@@ -1,0 +1,137 @@
+// Experiments T1/T2 (Theorems 4.8 and 4.14): the deciders' cost grows with
+// the quantifier structure the paper assigns them.
+//
+//   * parallel-correctness (Pi^p_2): the exact decider enumerates
+//     |U|^{vars} outer valuations, each with an inner minimality search —
+//     the measured curve is exponential in the variable count and
+//     polynomial-ish in |U| for fixed vars;
+//   * transfer (Pi^p_3): one more alternation — the same query sizes cost
+//     markedly more than PC.
+//
+// Wall-clock complexity curves are exactly what google-benchmark is for;
+// the printed table gives the decider answers on the scaled family so the
+// timing rows are attached to verified outputs.
+
+#include <cstdio>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "cq/minimal.h"
+#include "cq/parser.h"
+#include "distribution/parallel_correctness.h"
+#include "distribution/policies.h"
+#include "distribution/transfer.h"
+
+namespace {
+
+using namespace lamp;
+
+/// Path query with k atoms: H(x0,xk) <- R0(x0,x1), ..., R{k-1}(x{k-1},xk).
+std::string PathQueryText(std::size_t k) {
+  std::string text;
+  text.reserve(32 * (k + 1));
+  text += "H(x0,x";
+  text += std::to_string(k);
+  text += ") <- ";
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i > 0) text += ", ";
+    text += "R";
+    text += std::to_string(i);
+    text += "(x";
+    text += std::to_string(i);
+    text += ",x";
+    text += std::to_string(i + 1);
+    text += ")";
+  }
+  return text;
+}
+
+LambdaPolicy EvenOddPolicy(std::size_t universe_size) {
+  return LambdaPolicy(2, MakeUniverse(universe_size),
+                      [](NodeId node, const Fact& f) {
+                        // Node 0: facts whose argument sum is even; node 1
+                        // everything (so PC holds and the decider must
+                        // walk the whole space).
+                        if (node == 1) return true;
+                        std::int64_t sum = 0;
+                        for (Value v : f.args) sum += v.v;
+                        return sum % 2 == 0;
+                      });
+}
+
+void PrintTable() {
+  std::printf(
+      "# T1/T2: decider outputs on the scaled family (timings below)\n"
+      "# columns: atoms  vars  |U|  parallel-correct  transfers-to-self\n");
+  for (std::size_t k : {1, 2, 3}) {
+    Schema schema;
+    const ConjunctiveQuery q = ParseQuery(schema, PathQueryText(k));
+    const LambdaPolicy policy = EvenOddPolicy(3);
+    std::printf("%6zu %5zu %4d %17s %18s\n", k, k + 1, 3,
+                IsParallelCorrect(q, policy) ? "yes" : "no",
+                ParallelCorrectnessTransfersTo(q, q) ? "yes" : "no");
+  }
+  std::printf("\n");
+}
+
+void BM_ParallelCorrectness_Vars(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, PathQueryText(k));
+  const LambdaPolicy policy = EvenOddPolicy(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsParallelCorrect(q, policy));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_ParallelCorrectness_Vars)->DenseRange(1, 4)->Complexity();
+
+void BM_ParallelCorrectness_Universe(benchmark::State& state) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, PathQueryText(2));
+  const LambdaPolicy policy =
+      EvenOddPolicy(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsParallelCorrect(q, policy));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ParallelCorrectness_Universe)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+void BM_Transfer_Vars(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, PathQueryText(k));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelCorrectnessTransfersTo(q, q));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_Transfer_Vars)->DenseRange(1, 3)->Complexity();
+
+void BM_MinimalValuationCheck(benchmark::State& state) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(
+      schema, "H(x,z) <- R0(x,y), R0(y,z), R0(x,x)");
+  Valuation v(q.NumVars());
+  v.Bind(q.FindVar("x"), Value(1));
+  v.Bind(q.FindVar("y"), Value(2));
+  v.Bind(q.FindVar("z"), Value(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsMinimalValuation(q, v));
+  }
+}
+BENCHMARK(BM_MinimalValuationCheck);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment D2 (Section 3.2, Afrati-Ullman): transitive closure on
+// clusters — rounds (jobs) versus communication.
+//
+// Linear iteration needs ~diameter jobs with small shuffles; recursive
+// doubling needs ~log(diameter) jobs with larger shuffles. The table
+// regenerates that trade-off on path graphs of growing diameter.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "mapreduce/recursive.h"
+#include "relational/generators.h"
+
+namespace {
+
+using namespace lamp;
+
+void PrintTable() {
+  std::printf(
+      "# D2: transitive closure in MapReduce (Afrati-Ullman)\n"
+      "# columns: diameter  linear-jobs  doubling-jobs  linear-pairs  "
+      "doubling-pairs\n");
+  for (std::size_t n : {9u, 17u, 33u, 65u}) {
+    Schema schema;
+    const RelationId e = schema.AddRelation("E", 2);
+    const RelationId tc = schema.AddRelation("TC", 2);
+    Instance edges;
+    AddPathGraph(schema, e, n, edges);
+    const RecursiveTcResult linear =
+        TransitiveClosureLinear(schema, e, tc, edges);
+    const RecursiveTcResult doubling =
+        TransitiveClosureDoubling(schema, e, tc, edges);
+    std::printf("%9zu %12zu %14zu %13zu %15zu\n", n - 1, linear.jobs,
+                doubling.jobs, linear.pairs_shuffled,
+                doubling.pairs_shuffled);
+  }
+  std::printf(
+      "# shape check: linear jobs grow linearly with the diameter, "
+      "doubling jobs logarithmically; doubling shuffles more per job.\n\n");
+}
+
+void BM_LinearTc(benchmark::State& state) {
+  Schema schema;
+  const RelationId e = schema.AddRelation("E", 2);
+  const RelationId tc = schema.AddRelation("TC", 2);
+  Instance edges;
+  AddPathGraph(schema, e, static_cast<std::size_t>(state.range(0)), edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransitiveClosureLinear(schema, e, tc, edges));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LinearTc)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_DoublingTc(benchmark::State& state) {
+  Schema schema;
+  const RelationId e = schema.AddRelation("E", 2);
+  const RelationId tc = schema.AddRelation("TC", 2);
+  Instance edges;
+  AddPathGraph(schema, e, static_cast<std::size_t>(state.range(0)), edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TransitiveClosureDoubling(schema, e, tc, edges));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DoublingTc)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

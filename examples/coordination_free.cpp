@@ -1,0 +1,123 @@
+// Scenario: declarative distributed computing (Section 5 of the paper).
+//
+// A cluster of nodes holds a partitioned graph and must answer queries
+// under eventual consistency, without global synchronization barriers:
+//
+//   * triangles (monotone)      -> naive broadcast works (CALM theorem);
+//   * open triangles (Mdistinct) -> naive broadcast produces wrong
+//     answers on some schedules; the policy-aware strategy of Example 5.4
+//     fixes it without coordination;
+//   * complement of reachability (Mdisjoint) -> needs the per-component
+//     strategy over a domain-guided partitioning (Theorem 5.12).
+
+#include <cstdio>
+
+#include "cq/eval.h"
+#include "cq/parser.h"
+#include "datalog/eval.h"
+#include "datalog/program.h"
+#include "distribution/domain_guided.h"
+#include "distribution/policies.h"
+#include "net/consistency.h"
+#include "net/programs.h"
+#include "relational/generators.h"
+
+int main() {
+  using namespace lamp;
+
+  Schema schema;
+  const RelationId e = schema.AddRelation("E", 2);
+  const ConjunctiveQuery triangle = ParseQuery(
+      schema, "H(x,y,z) <- E(x,y), E(y,z), E(z,x), x != y, y != z, x != z");
+  const ConjunctiveQuery open_triangle =
+      ParseQuery(schema, "H(x,y,z) <- E(x,y), E(y,z), !E(z,x)");
+
+  Rng rng(3);
+  Instance graph;
+  AddRandomGraph(schema, e, 60, 15, rng, graph);
+  AddTriangleClusters(schema, e, 3, 100, graph);
+
+  const DomainGuidedPolicy policy =
+      DomainGuidedPolicy::HashBased(4, MakeUniverse(1), 5);
+  const std::vector<std::vector<Instance>> dist = {
+      DistributeByPolicy(graph, policy)};
+
+  auto wrap = [](const ConjunctiveQuery& q) -> NetQueryFunction {
+    return [&q](const Instance& i) { return Evaluate(q, i); };
+  };
+
+  // -- Monotone: naive broadcast is consistent on every schedule -----------
+  {
+    MonotoneBroadcastProgram program(wrap(triangle));
+    const ConsistencySweep sweep = CheckEventualConsistency(
+        program, dist, Evaluate(triangle, graph), 10, nullptr, false);
+    std::printf("triangles, naive broadcast:      %zu runs, %s\n",
+                sweep.runs,
+                sweep.all_runs_correct ? "all consistent" : "INCONSISTENT");
+  }
+
+  // -- Non-monotone: naive broadcast breaks --------------------------------
+  {
+    MonotoneBroadcastProgram program(wrap(open_triangle));
+    const ConsistencySweep sweep = CheckEventualConsistency(
+        program, dist, Evaluate(open_triangle, graph), 10, nullptr, false);
+    std::printf("open triangles, naive broadcast: %zu runs, %s\n",
+                sweep.runs,
+                sweep.all_runs_correct ? "all consistent (unexpected!)"
+                                       : "inconsistent, as the CALM theorem "
+                                         "predicts");
+  }
+
+  // -- Mdistinct: policy-aware strategy (Example 5.4) ----------------------
+  {
+    PolicyAwareNegationProgram program(open_triangle);
+    const ConsistencySweep sweep = CheckEventualConsistency(
+        program, dist, Evaluate(open_triangle, graph), 10, &policy, false);
+    std::printf("open triangles, policy-aware:    %zu runs, %s\n",
+                sweep.runs,
+                sweep.all_runs_correct ? "all consistent" : "INCONSISTENT");
+  }
+
+  // -- Mdisjoint: complement of reachability, per-component ----------------
+  {
+    Schema dl_schema;
+    DatalogProgram prog =
+        ParseProgram(dl_schema,
+                     "TC(x,y) <- E(x,y)\n"
+                     "TC(x,y) <- TC(x,z), TC(z,y)\n"
+                     "OUT(x,y) <- ADom(x), ADom(y), !TC(x,y)");
+    const RelationId out = dl_schema.IdOf("OUT");
+    NetQueryFunction not_tc = [&dl_schema, &prog,
+                               out](const Instance& edb) {
+      const Instance everything = EvaluateProgram(dl_schema, prog, edb);
+      Instance result;
+      for (const Fact& f : everything.FactsOf(out)) result.Insert(f);
+      return result;
+    };
+
+    Instance edb;
+    const RelationId de = dl_schema.IdOf("E");
+    // Three disconnected clusters.
+    edb.Insert(Fact(de, {0, 1}));
+    edb.Insert(Fact(de, {1, 2}));
+    edb.Insert(Fact(de, {10, 11}));
+    edb.Insert(Fact(de, {20, 21}));
+    edb.Insert(Fact(de, {21, 20}));
+
+    const DomainGuidedPolicy dl_policy =
+        DomainGuidedPolicy::HashBased(3, MakeUniverse(1), 9);
+    ComponentProgram program(not_tc, dl_schema);
+    const ConsistencySweep sweep = CheckEventualConsistency(
+        program, {DistributeByPolicy(edb, dl_policy)}, not_tc(edb), 10,
+        &dl_policy, false);
+    std::printf("not-reachable, per-component:    %zu runs, %s\n",
+                sweep.runs,
+                sweep.all_runs_correct ? "all consistent" : "INCONSISTENT");
+  }
+
+  std::printf(
+      "\nReading: this reproduces the paper's Figure 2 hierarchy in action\n"
+      "(M via broadcast, Mdistinct via policy awareness, Mdisjoint via\n"
+      "domain-guided per-component evaluation).\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Scenario: a partitioning analyzer for a multi-query workload
+// (Section 4.2's motivation: "an optimizer tries to automatically
+// partition the base data across multiple nodes to achieve overall
+// optimal performance for a specific workload" without reshuffling
+// between queries).
+//
+// Usage:
+//   pc_analyzer                       # analyze the built-in demo workload
+//   pc_analyzer 'H(x) <- R(x,y)' 'G(y) <- R(x,y), S(y)'   # your queries
+//
+// For every query pair the tool reports parallel-correctness transfer and
+// containment; it then picks an "anchor" query, builds its HyperCube
+// distribution, and verifies which other queries can reuse that
+// distribution without reshuffling.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cq/containment.h"
+#include "cq/parser.h"
+#include "distribution/hypercube.h"
+#include "distribution/parallel_correctness.h"
+#include "distribution/policies.h"
+#include "distribution/transfer.h"
+
+int main(int argc, char** argv) {
+  using namespace lamp;
+
+  std::vector<std::string> texts;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) texts.emplace_back(argv[i]);
+  } else {
+    // All four share the head relation H so containment is meaningful.
+    texts = {
+        "H() <- S(x), R(x,x), T(x)",
+        "H() <- R(x,x), T(x)",
+        "H() <- S(x), R(x,y), T(y)",
+        "H() <- R(x,y), T(y)",
+    };
+    std::printf("(no queries given; analyzing the paper's Example 4.11 "
+                "workload)\n\n");
+  }
+
+  Schema schema;
+  std::vector<ConjunctiveQuery> queries;
+  for (const std::string& text : texts) {
+    queries.push_back(ParseQuery(schema, text));
+    std::printf("Q%zu: %s\n", queries.size(),
+                queries.back().ToString(schema).c_str());
+  }
+  const std::size_t n = queries.size();
+
+  std::printf("\nparallel-correctness transfer (row ->pc column):\n     ");
+  for (std::size_t j = 0; j < n; ++j) std::printf("  Q%zu ", j + 1);
+  std::printf("\n");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("  Q%zu ", i + 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      std::printf("  %s ", ParallelCorrectnessTransfersTo(queries[i],
+                                                          queries[j])
+                               ? "yes"
+                               : " . ");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncontainment (row subseteq column):\n     ");
+  for (std::size_t j = 0; j < n; ++j) std::printf("  Q%zu ", j + 1);
+  std::printf("\n");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("  Q%zu ", i + 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool defined =
+          queries[i].negated().empty() && queries[j].negated().empty();
+      std::printf("  %s ",
+                  defined && IsContainedIn(queries[i], queries[j]) ? "yes"
+                                                                   : " . ");
+    }
+    std::printf("\n");
+  }
+
+  // Pick the query that transfers to the most others as the anchor whose
+  // distribution the workload keeps.
+  std::size_t best = 0;
+  std::size_t best_coverage = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t coverage = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (ParallelCorrectnessTransfersTo(queries[i], queries[j])) ++coverage;
+    }
+    if (coverage > best_coverage) {
+      best_coverage = coverage;
+      best = i;
+    }
+  }
+  std::printf(
+      "\nanchor: Q%zu (its distributions serve %zu/%zu workload queries "
+      "without reshuffling)\n",
+      best + 1, best_coverage, n);
+
+  // Sanity check with a concrete HyperCube distribution for the anchor.
+  if (queries[best].NumVars() > 0) {
+    const HypercubePolicy grid(queries[best],
+                               UniformShares(queries[best], 8),
+                               MakeUniverse(2));
+    std::printf("hypercube(8) for the anchor is parallel-correct for:");
+    for (std::size_t j = 0; j < n; ++j) {
+      if (IsParallelCorrect(queries[j], grid)) std::printf(" Q%zu", j + 1);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "automata/register_automaton.h"
+
+#include "common/check.h"
+
+namespace lamp {
+
+RegisterAutomaton::RegisterAutomaton(std::size_t num_states,
+                                     std::size_t num_registers,
+                                     std::size_t start_state)
+    : num_states_(num_states),
+      num_registers_(num_registers),
+      start_state_(start_state) {
+  LAMP_CHECK(start_state_ < num_states_);
+}
+
+void RegisterAutomaton::AddTransition(Transition transition) {
+  LAMP_CHECK(transition.from_state < num_states_);
+  LAMP_CHECK(transition.to_state < num_states_);
+  for (const auto& [reg, pos] : transition.stores) {
+    LAMP_CHECK(reg < num_registers_);
+    (void)pos;
+  }
+  for (const auto& maybe_reg : transition.guard.equals_register) {
+    if (maybe_reg.has_value()) LAMP_CHECK(*maybe_reg < num_registers_);
+  }
+  transitions_.push_back(std::move(transition));
+}
+
+bool RegisterAutomaton::GuardMatches(
+    const TransitionGuard& guard, const Fact& fact,
+    const std::vector<std::optional<Value>>& regs) const {
+  if (guard.relation != fact.relation) return false;
+  for (std::size_t i = 0; i < guard.equals_register.size(); ++i) {
+    if (!guard.equals_register[i].has_value()) continue;
+    if (i >= fact.args.size()) return false;
+    const auto& reg = regs[*guard.equals_register[i]];
+    if (!reg.has_value() || !(*reg == fact.args[i])) return false;
+  }
+  for (std::size_t i = 0; i < guard.equals_constant.size(); ++i) {
+    if (!guard.equals_constant[i].has_value()) continue;
+    if (i >= fact.args.size()) return false;
+    if (!(*guard.equals_constant[i] == fact.args[i])) return false;
+  }
+  return true;
+}
+
+std::vector<Fact> RegisterAutomaton::Run(
+    const std::vector<Fact>& stream) const {
+  std::size_t state = start_state_;
+  std::vector<std::optional<Value>> regs(num_registers_);
+  std::vector<Fact> output;
+
+  for (const Fact& fact : stream) {
+    for (const Transition& t : transitions_) {
+      if (t.from_state != state) continue;
+      if (!GuardMatches(t.guard, fact, regs)) continue;
+
+      for (const auto& [reg, pos] : t.stores) {
+        LAMP_CHECK(pos < fact.args.size());
+        regs[reg] = fact.args[pos];
+      }
+      if (t.output_relation.has_value()) {
+        std::vector<Value> args;
+        args.reserve(t.output_terms.size());
+        for (const OutputTerm& term : t.output_terms) {
+          switch (term.kind) {
+            case OutputTerm::Kind::kPosition:
+              LAMP_CHECK(term.index < fact.args.size());
+              args.push_back(fact.args[term.index]);
+              break;
+            case OutputTerm::Kind::kRegister: {
+              const auto& reg = regs[term.index];
+              LAMP_CHECK_MSG(reg.has_value(), "output from empty register");
+              args.push_back(*reg);
+              break;
+            }
+            case OutputTerm::Kind::kConstant:
+              args.push_back(term.constant);
+              break;
+          }
+        }
+        output.emplace_back(*t.output_relation, std::move(args));
+      }
+      state = t.to_state;
+      break;  // Deterministic by priority: first match fires.
+    }
+  }
+  return output;
+}
+
+}  // namespace lamp

@@ -1,0 +1,97 @@
+#ifndef LAMP_AUTOMATA_REGISTER_AUTOMATON_H_
+#define LAMP_AUTOMATA_REGISTER_AUTOMATON_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "relational/fact.h"
+
+/// \file
+/// Register automata over streams of facts (Kaminski-Francez /
+/// Neven-Schwentick-Vianu), the machine model behind "Distributed
+/// streaming with finite memory" (Neven et al., cited in Section 3.2 of
+/// the paper): reducers modelled as finite-state devices with a constant
+/// number of value registers. The streaming operators built from them
+/// (streaming_ops.h) realize the semi-join algebra fragment the paper
+/// mentions.
+///
+/// The automaton is deterministic-by-priority: on each input fact the
+/// first transition (in insertion order) whose guard matches fires; if
+/// none matches, the fact is skipped (state unchanged). Guards test the
+/// fact's relation plus equality of argument positions against registers
+/// or constants; actions store argument values into registers and may
+/// emit an output fact assembled from positions and registers.
+
+namespace lamp {
+
+/// Where an output term comes from.
+struct OutputTerm {
+  enum class Kind { kPosition, kRegister, kConstant };
+  Kind kind = Kind::kPosition;
+  std::size_t index = 0;  // Position or register index.
+  Value constant;         // For kConstant.
+
+  static OutputTerm Position(std::size_t pos) {
+    return {Kind::kPosition, pos, Value()};
+  }
+  static OutputTerm Register(std::size_t reg) {
+    return {Kind::kRegister, reg, Value()};
+  }
+  static OutputTerm Constant(Value v) {
+    return {Kind::kConstant, 0, v};
+  }
+};
+
+/// Guard of one transition.
+struct TransitionGuard {
+  RelationId relation = 0;
+  /// Per argument position: must equal the given register (which must be
+  /// loaded), if set.
+  std::vector<std::optional<std::size_t>> equals_register;
+  /// Per argument position: must equal the constant, if set.
+  std::vector<std::optional<Value>> equals_constant;
+};
+
+/// One transition.
+struct Transition {
+  std::size_t from_state = 0;
+  TransitionGuard guard;
+  std::size_t to_state = 0;
+  /// Register stores: register <- fact argument at position.
+  std::vector<std::pair<std::size_t, std::size_t>> stores;
+  /// Output to emit (relation + terms), if any.
+  std::optional<RelationId> output_relation;
+  std::vector<OutputTerm> output_terms;
+};
+
+/// A deterministic-by-priority register automaton.
+class RegisterAutomaton {
+ public:
+  RegisterAutomaton(std::size_t num_states, std::size_t num_registers,
+                    std::size_t start_state);
+
+  /// Appends a transition (earlier transitions have higher priority).
+  void AddTransition(Transition transition);
+
+  /// Runs the automaton over \p stream from the start state with empty
+  /// registers; returns all emitted facts in order.
+  std::vector<Fact> Run(const std::vector<Fact>& stream) const;
+
+  std::size_t num_states() const { return num_states_; }
+  std::size_t num_registers() const { return num_registers_; }
+
+ private:
+  bool GuardMatches(const TransitionGuard& guard, const Fact& fact,
+                    const std::vector<std::optional<Value>>& regs) const;
+
+  std::size_t num_states_;
+  std::size_t num_registers_;
+  std::size_t start_state_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_AUTOMATA_REGISTER_AUTOMATON_H_

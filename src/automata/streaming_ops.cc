@@ -1,0 +1,160 @@
+#include "automata/streaming_ops.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lamp {
+
+namespace {
+
+/// Maps a fact of \p rel to the key at \p column (raw value as key);
+/// other relations are dropped.
+void MapByColumn(std::vector<KeyValue>& out, const Fact& f, RelationId rel,
+                 std::size_t column) {
+  if (f.relation != rel) return;
+  LAMP_CHECK(column < f.args.size());
+  out.push_back({static_cast<std::uint64_t>(f.args[column].v), f});
+}
+
+/// Identity output action for the matched fact.
+void EmitWholeFact(Transition& t, const Schema& schema, RelationId rel) {
+  t.output_relation = rel;
+  for (std::size_t i = 0; i < schema.ArityOf(rel); ++i) {
+    t.output_terms.push_back(OutputTerm::Position(i));
+  }
+}
+
+}  // namespace
+
+MapReduceJob::ReduceFn AutomatonReducer(RegisterAutomaton automaton) {
+  return [automaton = std::move(automaton)](
+             std::uint64_t, const std::vector<Fact>& group) {
+    std::vector<Fact> sorted = group;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<KeyValue> out;
+    for (Fact& f : automaton.Run(sorted)) {
+      out.push_back({0, std::move(f)});
+    }
+    return out;
+  };
+}
+
+MapReduceJob StreamingSemijoin(const Schema& schema, RelationId r,
+                               std::size_t r_column, RelationId s,
+                               std::size_t s_column) {
+  LAMP_CHECK_MSG(s < r,
+                 "streaming semijoin needs the probe relation sorted first");
+  // States: 0 = no S seen, 1 = S seen. Zero registers: within one key
+  // group every fact already agrees on the join value.
+  RegisterAutomaton automaton(2, 0, 0);
+  {
+    Transition probe;  // S fact: remember its presence.
+    probe.from_state = 0;
+    probe.guard.relation = s;
+    probe.to_state = 1;
+    automaton.AddTransition(probe);
+  }
+  {
+    Transition hit;  // R fact after an S fact: emit.
+    hit.from_state = 1;
+    hit.guard.relation = r;
+    hit.to_state = 1;
+    EmitWholeFact(hit, schema, r);
+    automaton.AddTransition(hit);
+  }
+
+  MapReduceJob job;
+  job.map = [r, r_column, s, s_column](const Fact& f) {
+    std::vector<KeyValue> out;
+    MapByColumn(out, f, r, r_column);
+    MapByColumn(out, f, s, s_column);
+    return out;
+  };
+  job.reduce = AutomatonReducer(std::move(automaton));
+  return job;
+}
+
+MapReduceJob StreamingAntiSemijoin(const Schema& schema, RelationId r,
+                                   std::size_t r_column, RelationId s,
+                                   std::size_t s_column) {
+  LAMP_CHECK_MSG(
+      s < r, "streaming anti-semijoin needs the probe relation sorted first");
+  RegisterAutomaton automaton(2, 0, 0);
+  {
+    Transition probe;
+    probe.from_state = 0;
+    probe.guard.relation = s;
+    probe.to_state = 1;
+    automaton.AddTransition(probe);
+  }
+  {
+    Transition miss;  // R fact with no preceding S: emit.
+    miss.from_state = 0;
+    miss.guard.relation = r;
+    miss.to_state = 0;
+    EmitWholeFact(miss, schema, r);
+    automaton.AddTransition(miss);
+  }
+
+  MapReduceJob job;
+  job.map = [r, r_column, s, s_column](const Fact& f) {
+    std::vector<KeyValue> out;
+    MapByColumn(out, f, r, r_column);
+    MapByColumn(out, f, s, s_column);
+    return out;
+  };
+  job.reduce = AutomatonReducer(std::move(automaton));
+  return job;
+}
+
+MapReduceJob StreamingSelection(const Schema& schema, RelationId r,
+                                std::size_t column, Value value) {
+  RegisterAutomaton automaton(1, 0, 0);
+  Transition match;
+  match.from_state = 0;
+  match.guard.relation = r;
+  match.guard.equals_constant.resize(schema.ArityOf(r));
+  LAMP_CHECK(column < schema.ArityOf(r));
+  match.guard.equals_constant[column] = value;
+  match.to_state = 0;
+  EmitWholeFact(match, schema, r);
+  automaton.AddTransition(match);
+
+  MapReduceJob job;
+  job.map = [r](const Fact& f) {
+    std::vector<KeyValue> out;
+    if (f.relation == r) out.push_back({0, f});
+    return out;
+  };
+  job.reduce = AutomatonReducer(std::move(automaton));
+  return job;
+}
+
+MapReduceJob StreamingProjection(const Schema& schema, RelationId r,
+                                 const std::vector<std::size_t>& columns,
+                                 RelationId out_rel) {
+  LAMP_CHECK(schema.ArityOf(out_rel) == columns.size());
+  RegisterAutomaton automaton(1, 0, 0);
+  Transition project;
+  project.from_state = 0;
+  project.guard.relation = r;
+  project.to_state = 0;
+  project.output_relation = out_rel;
+  for (std::size_t col : columns) {
+    LAMP_CHECK(col < schema.ArityOf(r));
+    project.output_terms.push_back(OutputTerm::Position(col));
+  }
+  automaton.AddTransition(project);
+
+  MapReduceJob job;
+  job.map = [r](const Fact& f) {
+    std::vector<KeyValue> out;
+    if (f.relation == r) out.push_back({0, f});
+    return out;
+  };
+  job.reduce = AutomatonReducer(std::move(automaton));
+  return job;
+}
+
+}  // namespace lamp

@@ -1,0 +1,34 @@
+#ifndef LAMP_COMMON_CHECK_H_
+#define LAMP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Precondition / invariant checking macros.
+///
+/// LAMP_CHECK is always on (also in release builds): the library deals with
+/// combinatorial objects whose invariants are cheap to test relative to the
+/// enumeration work around them, and a silent invariant violation would
+/// invalidate every measurement downstream. A failed check prints the
+/// condition and location and aborts.
+
+#define LAMP_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "LAMP_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+#define LAMP_CHECK_MSG(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "LAMP_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                                \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+#endif  // LAMP_COMMON_CHECK_H_

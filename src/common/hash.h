@@ -1,0 +1,41 @@
+#ifndef LAMP_COMMON_HASH_H_
+#define LAMP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+/// \file
+/// Hash-combining utilities shared by facts, atoms and valuations.
+
+namespace lamp {
+
+/// Mixes a 64-bit value into an accumulated hash (splitmix64 finalizer).
+/// Used instead of std::hash chaining so that hash quality does not depend
+/// on the standard library's (often identity) integer hash.
+inline std::uint64_t HashMix(std::uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// Combines an existing seed with the hash of one more value.
+inline std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
+  return HashMix(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                         (seed >> 2)));
+}
+
+/// Hashes a contiguous range of 64-bit values with an initial seed.
+template <typename It>
+std::uint64_t HashRange(It first, It last, std::uint64_t seed = 0) {
+  std::uint64_t h = HashMix(seed);
+  for (It it = first; it != last; ++it) {
+    h = HashCombine(h, static_cast<std::uint64_t>(*it));
+  }
+  return h;
+}
+
+}  // namespace lamp
+
+#endif  // LAMP_COMMON_HASH_H_

@@ -1,0 +1,26 @@
+#include "common/interner.h"
+
+#include "common/check.h"
+
+namespace lamp {
+
+std::uint32_t Interner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t Interner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+const std::string& Interner::NameOf(std::uint32_t id) const {
+  LAMP_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace lamp

@@ -1,0 +1,42 @@
+#ifndef LAMP_COMMON_INTERNER_H_
+#define LAMP_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file
+/// Bidirectional string <-> dense-id interning.
+
+namespace lamp {
+
+/// Maps strings to dense uint32 ids and back. Used for relation names and
+/// for presenting symbolic domain constants (a, b, c, ...) in examples and
+/// tests while the engine works on integer values internally.
+class Interner {
+ public:
+  /// Returns the id for \p name, assigning the next free id on first use.
+  std::uint32_t Intern(std::string_view name);
+
+  /// Returns the id for \p name if already interned, or -1 cast to uint32.
+  std::uint32_t Find(std::string_view name) const;
+
+  /// Returns the string for an id previously returned by Intern.
+  const std::string& NameOf(std::uint32_t id) const;
+
+  /// Number of distinct interned strings.
+  std::size_t size() const { return names_.size(); }
+
+  /// Sentinel returned by Find for unknown names.
+  static constexpr std::uint32_t kNotFound = static_cast<std::uint32_t>(-1);
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_COMMON_INTERNER_H_

@@ -1,0 +1,75 @@
+#ifndef LAMP_COMMON_RNG_H_
+#define LAMP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Deterministic, seedable pseudo-random generation.
+///
+/// Every source of randomness in the library (instance generators, the
+/// asynchronous scheduler, hash families) goes through Rng so that all
+/// experiments are reproducible from a single seed.
+
+namespace lamp {
+
+/// xoshiro256**-based generator. Deliberately not std::mt19937: we want a
+/// fixed, documented algorithm whose output is identical across standard
+/// libraries and platforms.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent-looking streams.
+  explicit Rng(std::uint64_t seed);
+
+  /// Returns the next raw 64-bit output.
+  std::uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi]. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffles the given vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Samples from a Zipf(s) distribution over {0, ..., n-1}: element k has
+/// probability proportional to 1/(k+1)^s. Used to generate skewed relations
+/// with heavy hitters (Section 3 of the paper). Sampling is O(log n) via a
+/// precomputed CDF.
+class ZipfSampler {
+ public:
+  /// Builds the sampler for n elements with exponent s >= 0
+  /// (s == 0 is uniform). Requires n > 0.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one sample in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability of element k.
+  double Probability(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_COMMON_RNG_H_

@@ -1,0 +1,50 @@
+#ifndef LAMP_COMMON_SUBSET_H_
+#define LAMP_COMMON_SUBSET_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Combinatorial enumeration helpers used by the exact deciders
+/// (parallel-correctness, containment with negation, monotonicity classes),
+/// all of which quantify over subsets or tuples of a finite universe.
+
+namespace lamp {
+
+/// Calls \p fn once for every assignment of \p slots values each drawn from
+/// [0, base). fn receives the assignment as const std::vector<size_t>&.
+/// Stops early (and returns false) if fn returns false; returns true if all
+/// assignments were visited.
+template <typename Fn>
+bool ForEachTuple(std::size_t slots, std::size_t base, Fn&& fn) {
+  std::vector<std::size_t> idx(slots, 0);
+  if (base == 0) return slots == 0 ? fn(idx) : true;
+  while (true) {
+    if (!fn(static_cast<const std::vector<std::size_t>&>(idx))) return false;
+    std::size_t pos = 0;
+    while (pos < slots) {
+      if (++idx[pos] < base) break;
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == slots) return true;
+  }
+}
+
+/// Calls \p fn once for every subset of {0, ..., n-1}, passed as a
+/// std::vector<bool> membership mask. Requires n <= 24 (enumeration is
+/// 2^n). Stops early if fn returns false; returns true otherwise.
+template <typename Fn>
+bool ForEachSubset(std::size_t n, Fn&& fn) {
+  std::vector<bool> mask(n, false);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    for (std::size_t i = 0; i < n; ++i) mask[i] = (bits >> i) & 1;
+    if (!fn(static_cast<const std::vector<bool>&>(mask))) return false;
+  }
+  return true;
+}
+
+}  // namespace lamp
+
+#endif  // LAMP_COMMON_SUBSET_H_

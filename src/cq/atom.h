@@ -1,0 +1,30 @@
+#ifndef LAMP_CQ_ATOM_H_
+#define LAMP_CQ_ATOM_H_
+
+#include <vector>
+
+#include "cq/term.h"
+#include "relational/schema.h"
+
+/// \file
+/// Atoms: a relation name applied to terms, e.g. R(x, y) or S(x, 3).
+
+namespace lamp {
+
+/// One atom of a query body or head.
+struct Atom {
+  RelationId relation = 0;
+  std::vector<Term> terms;
+
+  Atom() = default;
+  Atom(RelationId rel, std::vector<Term> atom_terms)
+      : relation(rel), terms(std::move(atom_terms)) {}
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation == b.relation && a.terms == b.terms;
+  }
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_CQ_ATOM_H_

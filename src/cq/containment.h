@@ -1,0 +1,61 @@
+#ifndef LAMP_CQ_CONTAINMENT_H_
+#define LAMP_CQ_CONTAINMENT_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "common/rng.h"
+#include "cq/cq.h"
+#include "relational/instance.h"
+
+/// \file
+/// Query containment Q subseteq Q' (Section 4.2, and the reduction route
+/// of Theorem 4.9). Three deciders with increasing generality:
+///
+///  * plain CQs — the classical canonical-database / homomorphism test
+///    (Chandra-Merkurjev; NP-complete);
+///  * CQs with inequalities — canonical databases for every identification
+///    pattern (partition) of the variables consistent with the left query's
+///    inequalities (Pi^p_2 flavor);
+///  * CQ-not — exact containment is coNEXPTIME-complete (Theorem 4.9), so
+///    we provide a bounded exhaustive counterexample search plus a
+///    randomized falsifier, both explicitly sound-for-"no" only.
+
+namespace lamp {
+
+/// Exact containment test for queries without negation (inequalities on
+/// either side are supported). Requires the two queries to share \p schema.
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Searches exhaustively for an instance I over a domain of
+/// \p domain_size fresh values with Q1(I) not subseteq Q2(I). All
+/// instances built from at most \p max_facts facts over that domain are
+/// tried. Returns a counterexample instance, or nullopt if none exists in
+/// the searched space. Sound for "not contained"; completeness holds only
+/// relative to the bound.
+std::optional<Instance> FindContainmentCounterexample(
+    const Schema& schema, const ConjunctiveQuery& q1,
+    const ConjunctiveQuery& q2, std::size_t domain_size,
+    std::size_t max_facts);
+
+/// Randomized falsifier: \p trials random instances over \p domain_size
+/// values with about \p facts_per_relation facts per relation. Returns a
+/// counterexample or nullopt.
+std::optional<Instance> RandomContainmentCounterexample(
+    const Schema& schema, const ConjunctiveQuery& q1,
+    const ConjunctiveQuery& q2, std::size_t domain_size,
+    std::size_t facts_per_relation, std::size_t trials, Rng& rng);
+
+/// Enumerates the canonical databases of \p query: one per partition of its
+/// variables that respects the query's inequalities (variables forced
+/// unequal stay in different blocks; constants are kept distinct). For each,
+/// calls \p visit with the canonical instance and the frozen head fact.
+/// Returns false iff the visitor stopped.
+bool ForEachCanonicalDatabase(
+    const ConjunctiveQuery& query,
+    const std::function<bool(const Instance&, const Fact&)>& visit);
+
+}  // namespace lamp
+
+#endif  // LAMP_CQ_CONTAINMENT_H_

@@ -1,0 +1,254 @@
+#include "cq/eval.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace lamp {
+
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::int64_t>& key) const {
+    return static_cast<std::size_t>(HashRange(key.begin(), key.end()));
+  }
+};
+
+/// Lazily built hash indexes over one instance: for a (relation, set of
+/// bound positions) pair, maps the bound values to the matching facts.
+class IndexCache {
+ public:
+  explicit IndexCache(const Instance& instance) : instance_(instance) {}
+
+  /// Facts of \p relation whose values at the positions in \p mask equal
+  /// \p key (in ascending position order). Returns nullptr when empty.
+  const std::vector<const Fact*>* Lookup(RelationId relation,
+                                         std::uint64_t mask,
+                                         const std::vector<std::int64_t>& key) {
+    auto& index = indexes_[{relation, mask}];
+    if (!index.built) {
+      for (const Fact& f : instance_.FactsOf(relation)) {
+        std::vector<std::int64_t> fact_key;
+        for (std::size_t pos = 0; pos < f.args.size(); ++pos) {
+          if ((mask >> pos) & 1) fact_key.push_back(f.args[pos].v);
+        }
+        index.buckets[std::move(fact_key)].push_back(&f);
+      }
+      index.built = true;
+    }
+    auto it = index.buckets.find(key);
+    return it == index.buckets.end() ? nullptr : &it->second;
+  }
+
+ private:
+  struct Index {
+    bool built = false;
+    std::unordered_map<std::vector<std::int64_t>, std::vector<const Fact*>,
+                       KeyHash>
+        buckets;
+  };
+
+  const Instance& instance_;
+  std::map<std::pair<RelationId, std::uint64_t>, Index> indexes_;
+};
+
+/// Backtracking matcher for the positive body with greedy static atom
+/// ordering, early inequality checks and final negation checks.
+class Matcher {
+ public:
+  Matcher(const ConjunctiveQuery& query, const Instance& instance)
+      : query_(query), instance_(instance), cache_(instance) {
+    order_ = GreedyOrder();
+  }
+
+  bool Run(const ValuationVisitor& visit) {
+    Valuation valuation(query_.NumVars());
+    return Descend(0, valuation, visit);
+  }
+
+ private:
+  /// Orders body atoms: start from the atom over the smallest relation,
+  /// then repeatedly pick the atom sharing the most already-bound variables
+  /// (ties broken by relation size). Bound-variable overlap is what lets the
+  /// index cache turn each step into a hash lookup.
+  std::vector<std::size_t> GreedyOrder() const {
+    const std::vector<Atom>& body = query_.body();
+    std::vector<std::size_t> order;
+    std::vector<bool> used(body.size(), false);
+    std::vector<bool> bound_var(query_.NumVars(), false);
+
+    auto atom_vars = [](const Atom& atom) {
+      std::vector<VarId> vars;
+      for (const Term& t : atom.terms) {
+        if (t.IsVar()) vars.push_back(t.var);
+      }
+      return vars;
+    };
+
+    for (std::size_t step = 0; step < body.size(); ++step) {
+      std::size_t best = body.size();
+      std::size_t best_bound = 0;
+      std::size_t best_size = 0;
+      for (std::size_t i = 0; i < body.size(); ++i) {
+        if (used[i]) continue;
+        std::size_t bound = 0;
+        for (VarId v : atom_vars(body[i])) {
+          if (bound_var[v]) ++bound;
+        }
+        // Constants count as bound positions too.
+        for (const Term& t : body[i].terms) {
+          if (t.IsConst()) ++bound;
+        }
+        const std::size_t size = instance_.FactsOf(body[i].relation).size();
+        if (best == body.size() || bound > best_bound ||
+            (bound == best_bound && size < best_size)) {
+          best = i;
+          best_bound = bound;
+          best_size = size;
+        }
+      }
+      used[best] = true;
+      order.push_back(best);
+      for (VarId v : atom_vars(body[best])) bound_var[v] = true;
+    }
+    return order;
+  }
+
+  bool InequalitiesConsistent(const Valuation& valuation) const {
+    for (const auto& [a, b] : query_.inequalities()) {
+      const bool a_ready = a.IsConst() || valuation.IsBound(a.var);
+      const bool b_ready = b.IsConst() || valuation.IsBound(b.var);
+      if (a_ready && b_ready && valuation.Apply(a) == valuation.Apply(b)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool NegationSatisfied(const Valuation& valuation) const {
+    for (const Atom& atom : query_.negated()) {
+      if (instance_.Contains(valuation.ApplyToAtom(atom))) return false;
+    }
+    return true;
+  }
+
+  bool Descend(std::size_t depth, Valuation& valuation,
+               const ValuationVisitor& visit) {
+    if (depth == query_.body().size()) {
+      if (!NegationSatisfied(valuation)) return true;
+      return visit(valuation);
+    }
+    const Atom& atom = query_.body()[order_[depth]];
+
+    // Split positions into bound (hash key) and free.
+    std::uint64_t mask = 0;
+    std::vector<std::int64_t> key;
+    for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
+      const Term& t = atom.terms[pos];
+      if (t.IsConst()) {
+        mask |= std::uint64_t{1} << pos;
+        key.push_back(t.constant.v);
+      } else if (valuation.IsBound(t.var)) {
+        mask |= std::uint64_t{1} << pos;
+        key.push_back(valuation.Get(t.var).v);
+      }
+    }
+
+    const std::vector<const Fact*>* bucket =
+        cache_.Lookup(atom.relation, mask, key);
+    if (bucket == nullptr) return true;
+
+    for (const Fact* fact : *bucket) {
+      // Unify free positions; also verify repeated free variables match.
+      std::vector<VarId> newly_bound;
+      bool ok = true;
+      for (std::size_t pos = 0; pos < atom.terms.size() && ok; ++pos) {
+        const Term& t = atom.terms[pos];
+        if (t.IsConst()) continue;
+        if (valuation.IsBound(t.var)) {
+          ok = valuation.Get(t.var) == fact->args[pos];
+        } else {
+          valuation.Bind(t.var, fact->args[pos]);
+          newly_bound.push_back(t.var);
+          // A variable repeated inside this atom: later positions will see
+          // it bound and verify equality above.
+        }
+      }
+      if (ok && InequalitiesConsistent(valuation)) {
+        if (!Descend(depth + 1, valuation, visit)) {
+          for (VarId v : newly_bound) valuation.Unbind(v);
+          return false;
+        }
+      }
+      for (VarId v : newly_bound) valuation.Unbind(v);
+    }
+    return true;
+  }
+
+  const ConjunctiveQuery& query_;
+  const Instance& instance_;
+  IndexCache cache_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace
+
+bool ForEachSatisfyingValuation(const ConjunctiveQuery& query,
+                                const Instance& instance,
+                                const ValuationVisitor& visit) {
+  LAMP_CHECK_MSG(!query.body().empty(),
+                 "queries must have a nonempty positive body");
+  return Matcher(query, instance).Run(visit);
+}
+
+Instance Evaluate(const ConjunctiveQuery& query, const Instance& instance) {
+  Instance result;
+  ForEachSatisfyingValuation(query, instance,
+                             [&query, &result](const Valuation& v) {
+                               result.Insert(v.ApplyToAtom(query.head()));
+                               return true;
+                             });
+  return result;
+}
+
+Instance EvaluateUnion(const std::vector<ConjunctiveQuery>& queries,
+                       const Instance& instance) {
+  Instance result;
+  for (const ConjunctiveQuery& q : queries) {
+    result.InsertAll(Evaluate(q, instance));
+  }
+  return result;
+}
+
+bool ForEachValuationOverUniverse(const ConjunctiveQuery& query,
+                                  const std::vector<Value>& universe,
+                                  const ValuationVisitor& visit) {
+  const std::size_t n = query.NumVars();
+  std::vector<std::size_t> idx(n, 0);
+  if (universe.empty()) {
+    if (n == 0) {
+      return visit(Valuation(0));
+    }
+    return true;  // No valuations exist.
+  }
+  while (true) {
+    Valuation v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v.Bind(static_cast<VarId>(i), universe[idx[i]]);
+    }
+    if (!visit(v)) return false;
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (++idx[pos] < universe.size()) break;
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) return true;
+  }
+}
+
+}  // namespace lamp

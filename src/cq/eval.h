@@ -1,0 +1,49 @@
+#ifndef LAMP_CQ_EVAL_H_
+#define LAMP_CQ_EVAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "cq/cq.h"
+#include "cq/valuation.h"
+#include "relational/instance.h"
+
+/// \file
+/// Conjunctive-query evaluation.
+///
+/// Q(I) is the set of facts derivable by satisfying valuations (Section 2).
+/// Evaluation is backtracking search over body atoms with greedy atom
+/// ordering and lazily built hash indexes, so that per-server computation
+/// phases in the MPC simulator stay near-linear for the paper's queries.
+
+namespace lamp {
+
+/// Visitor for satisfying valuations; return false to stop enumeration.
+using ValuationVisitor = std::function<bool(const Valuation&)>;
+
+/// Calls \p visit for every total valuation V of \p query with
+/// V(body) subseteq \p instance that also satisfies the query's
+/// inequalities and negated atoms (negation evaluated against
+/// \p instance). Returns false iff the visitor stopped the enumeration.
+bool ForEachSatisfyingValuation(const ConjunctiveQuery& query,
+                                const Instance& instance,
+                                const ValuationVisitor& visit);
+
+/// Q(I): all facts derived by satisfying valuations.
+Instance Evaluate(const ConjunctiveQuery& query, const Instance& instance);
+
+/// Union of Q(I) over the queries of a UCQ (all must share one schema; the
+/// caller guarantees compatible head relations if it needs them).
+Instance EvaluateUnion(const std::vector<ConjunctiveQuery>& queries,
+                       const Instance& instance);
+
+/// Calls \p visit for every *total* valuation of \p query over
+/// \p universe — |universe|^#vars assignments; used by the exact deciders
+/// of Section 4. Returns false iff the visitor stopped.
+bool ForEachValuationOverUniverse(const ConjunctiveQuery& query,
+                                  const std::vector<Value>& universe,
+                                  const ValuationVisitor& visit);
+
+}  // namespace lamp
+
+#endif  // LAMP_CQ_EVAL_H_

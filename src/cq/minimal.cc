@@ -1,0 +1,45 @@
+#include "cq/minimal.h"
+
+#include "common/check.h"
+
+namespace lamp {
+
+bool IsMinimalValuation(const ConjunctiveQuery& query,
+                        const Valuation& valuation) {
+  LAMP_CHECK_MSG(query.negated().empty(),
+                 "minimal valuations are defined for CQs without negation");
+  LAMP_CHECK(valuation.IsTotal());
+  LAMP_CHECK(valuation.SatisfiesInequalities(query));
+
+  const Instance required = valuation.RequiredFacts(query);
+  const Fact head = valuation.ApplyToAtom(query.head());
+
+  // Any competitor V' with V'(body) subseteq required is a satisfying
+  // valuation of Q on the instance `required`; V'(body) is a strict subset
+  // exactly when it has fewer facts (a subset of equal size is equal).
+  bool minimal = true;
+  ForEachSatisfyingValuation(
+      query, required,
+      [&query, &required, &head, &minimal](const Valuation& candidate) {
+        if (candidate.ApplyToAtom(query.head()) == head &&
+            candidate.RequiredFacts(query).Size() < required.Size()) {
+          minimal = false;
+          return false;  // Stop: found a strictly smaller derivation.
+        }
+        return true;
+      });
+  return minimal;
+}
+
+bool ForEachMinimalValuation(const ConjunctiveQuery& query,
+                             const std::vector<Value>& universe,
+                             const ValuationVisitor& visit) {
+  return ForEachValuationOverUniverse(
+      query, universe, [&query, &visit](const Valuation& v) {
+        if (!v.SatisfiesInequalities(query)) return true;
+        if (!IsMinimalValuation(query, v)) return true;
+        return visit(v);
+      });
+}
+
+}  // namespace lamp

@@ -1,0 +1,38 @@
+#ifndef LAMP_CQ_MINIMAL_H_
+#define LAMP_CQ_MINIMAL_H_
+
+#include <vector>
+
+#include "cq/cq.h"
+#include "cq/eval.h"
+#include "cq/valuation.h"
+
+/// \file
+/// Minimal valuations (Definition 4.4 of the paper): a valuation V for Q is
+/// minimal when no valuation V' derives the same head fact from a strict
+/// subset of V's required facts. Minimal valuations are the semantic core
+/// of parallel-correctness (Proposition 4.6) and of transfer
+/// (Proposition 4.13).
+///
+/// Supported for CQs with inequalities; negated atoms are rejected (the
+/// paper's Section 4.1 machinery for CQ-not does not go through minimal
+/// valuations).
+
+namespace lamp {
+
+/// True iff \p valuation (total, satisfying the query's inequalities) is
+/// minimal for \p query.
+bool IsMinimalValuation(const ConjunctiveQuery& query,
+                        const Valuation& valuation);
+
+/// Calls \p visit for every *minimal* valuation of \p query whose values
+/// are drawn from \p universe. Enumeration cost is
+/// |universe|^#vars * (minimality check); this is the paper's Pi^p_2
+/// quantifier structure made executable. Returns false iff stopped.
+bool ForEachMinimalValuation(const ConjunctiveQuery& query,
+                             const std::vector<Value>& universe,
+                             const ValuationVisitor& visit);
+
+}  // namespace lamp
+
+#endif  // LAMP_CQ_MINIMAL_H_

@@ -1,0 +1,148 @@
+#include "cq/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+
+namespace lamp {
+
+namespace {
+
+/// Hand-rolled recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  Parser(Schema& schema, std::string_view text)
+      : schema_(schema), text_(text) {}
+
+  ConjunctiveQuery Parse() {
+    query_.SetHead(ParseAtom());
+    SkipSpace();
+    if (!Consume("<-")) {
+      LAMP_CHECK_MSG(Consume(":-"), "expected '<-' or ':-' after head");
+    }
+    ParseItem();
+    SkipSpace();
+    while (Consume(",")) {
+      ParseItem();
+      SkipSpace();
+    }
+    LAMP_CHECK_MSG(pos_ == text_.size(), "trailing input after query");
+    query_.Validate();
+    return std::move(query_);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekChar(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string ParseName() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    LAMP_CHECK_MSG(pos_ > start, "expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Term ParseTerm() {
+    SkipSpace();
+    LAMP_CHECK_MSG(pos_ < text_.size(), "expected a term");
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      const std::size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      const std::string digits(text_.substr(start, pos_ - start));
+      return Term::Const(Value(std::strtoll(digits.c_str(), nullptr, 10)));
+    }
+    return Term::Var(query_.VarIdOf(ParseName()));
+  }
+
+  Atom ParseAtom() {
+    const std::string name = ParseName();
+    LAMP_CHECK_MSG(Consume("("), "expected '(' after relation name");
+    std::vector<Term> terms;
+    if (!PeekChar(')')) {
+      terms.push_back(ParseTerm());
+      while (Consume(",")) terms.push_back(ParseTerm());
+    }
+    LAMP_CHECK_MSG(Consume(")"), "expected ')'");
+    const RelationId rel = schema_.AddRelation(name, terms.size());
+    LAMP_CHECK_MSG(schema_.ArityOf(rel) == terms.size(),
+                   "relation used with inconsistent arity");
+    return Atom(rel, std::move(terms));
+  }
+
+  void ParseItem() {
+    SkipSpace();
+    if (Consume("!") && !PeekEquals()) {
+      query_.AddNegatedAtom(ParseAtom());
+      return;
+    }
+    // Either an atom or the left side of an inequality.
+    const std::size_t save = pos_;
+    if (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+        text_[pos_] == '_') {
+      const std::string name = ParseName();
+      if (PeekChar('(')) {
+        pos_ = save;
+        query_.AddBodyAtom(ParseAtom());
+        return;
+      }
+      pos_ = save;
+    }
+    const Term lhs = ParseTerm();
+    LAMP_CHECK_MSG(Consume("!="), "expected '!=' in comparison");
+    const Term rhs = ParseTerm();
+    query_.AddInequality(lhs, rhs);
+  }
+
+  // After consuming '!', detects the "!=" case ('!' belonged to an
+  // inequality whose left term was already consumed — which our grammar
+  // forbids, so '!' followed by '=' is a syntax error we surface clearly).
+  bool PeekEquals() {
+    if (pos_ < text_.size() && text_[pos_] == '=') {
+      LAMP_CHECK_MSG(false, "'!=' must be preceded by a term");
+    }
+    return false;
+  }
+
+  Schema& schema_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  ConjunctiveQuery query_;
+};
+
+}  // namespace
+
+ConjunctiveQuery ParseQuery(Schema& schema, std::string_view text) {
+  return Parser(schema, text).Parse();
+}
+
+}  // namespace lamp

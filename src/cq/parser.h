@@ -1,0 +1,31 @@
+#ifndef LAMP_CQ_PARSER_H_
+#define LAMP_CQ_PARSER_H_
+
+#include <string_view>
+
+#include "cq/cq.h"
+#include "relational/schema.h"
+
+/// \file
+/// A small rule-syntax parser so that tests, examples and benchmarks can
+/// state queries exactly as the paper writes them.
+///
+/// Grammar:
+///   query  := atom ("<-" | ":-") item ("," item)*
+///   item   := atom | "!" atom | term "!=" term
+///   atom   := NAME "(" [term ("," term)*] ")"
+///   term   := NAME (a variable) | INTEGER (a constant)
+///
+/// Example: ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z), T(z,x)").
+/// Relations are registered in \p schema on first use (arity inferred);
+/// using a known relation with a different arity is a checked error.
+
+namespace lamp {
+
+/// Parses \p text into a validated ConjunctiveQuery. Aborts with a message
+/// on syntax errors (the parser is for trusted, in-repo query literals).
+ConjunctiveQuery ParseQuery(Schema& schema, std::string_view text);
+
+}  // namespace lamp
+
+#endif  // LAMP_CQ_PARSER_H_

@@ -1,0 +1,48 @@
+#ifndef LAMP_CQ_TERM_H_
+#define LAMP_CQ_TERM_H_
+
+#include <cstdint>
+
+#include "relational/value.h"
+
+/// \file
+/// Terms: the arguments of query atoms, either variables or constants.
+
+namespace lamp {
+
+/// Dense identifier of a variable within one query.
+using VarId = std::uint32_t;
+
+/// A variable or a domain constant.
+struct Term {
+  enum class Kind : std::uint8_t { kVar, kConst };
+
+  Kind kind = Kind::kVar;
+  VarId var = 0;          // Valid when kind == kVar.
+  Value constant;         // Valid when kind == kConst.
+
+  static Term Var(VarId v) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = v;
+    return t;
+  }
+  static Term Const(Value c) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = c;
+    return t;
+  }
+
+  bool IsVar() const { return kind == Kind::kVar; }
+  bool IsConst() const { return kind == Kind::kConst; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return false;
+    return a.IsVar() ? a.var == b.var : a.constant == b.constant;
+  }
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_CQ_TERM_H_

@@ -1,0 +1,57 @@
+#include "cq/ucq.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "cq/containment.h"
+#include "cq/eval.h"
+
+namespace lamp {
+
+Instance UnionQuery::Evaluate(const Instance& instance) const {
+  return EvaluateUnion(disjuncts_, instance);
+}
+
+bool UnionQuery::IsNegationFree() const {
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (!q.negated().empty()) return false;
+  }
+  return true;
+}
+
+std::string UnionQuery::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) os << "  |  ";
+    os << disjuncts_[i].ToString(schema);
+  }
+  return os.str();
+}
+
+bool IsContainedIn(const UnionQuery& u1, const UnionQuery& u2) {
+  LAMP_CHECK_MSG(u1.IsNegationFree() && u2.IsNegationFree(),
+                 "UCQ containment supports negation-free queries only");
+  for (const ConjunctiveQuery& q : u1.disjuncts()) {
+    bool contained = true;
+    ForEachCanonicalDatabase(
+        q, [&u2, &contained](const Instance& canonical, const Fact& head) {
+          if (!u2.Evaluate(canonical).Contains(head)) {
+            contained = false;
+            return false;
+          }
+          return true;
+        });
+    if (!contained) return false;
+  }
+  return true;
+}
+
+bool IsContainedIn(const ConjunctiveQuery& q, const UnionQuery& u) {
+  return IsContainedIn(UnionQuery({q}), u);
+}
+
+bool IsContainedIn(const UnionQuery& u, const ConjunctiveQuery& q) {
+  return IsContainedIn(u, UnionQuery({q}));
+}
+
+}  // namespace lamp

@@ -1,0 +1,56 @@
+#ifndef LAMP_CQ_UCQ_H_
+#define LAMP_CQ_UCQ_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/cq.h"
+#include "relational/instance.h"
+
+/// \file
+/// Unions of conjunctive queries. Both Section 4 extensions ([33]: PC for
+/// UCQ via union-aware minimal valuations, already in
+/// distribution/parallel_correctness.h) and the containment theory use
+/// them; this header gives the union a first-class type with evaluation
+/// and the Sagiv-Yannakakis containment test.
+
+namespace lamp {
+
+/// A union of CQs. All disjuncts share the caller's Schema; heads may use
+/// different relations (the output is simply the union of head facts).
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  void AddDisjunct(ConjunctiveQuery q) { disjuncts_.push_back(std::move(q)); }
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  std::size_t size() const { return disjuncts_.size(); }
+  bool Empty() const { return disjuncts_.empty(); }
+
+  /// Union of the disjuncts' answers.
+  Instance Evaluate(const Instance& instance) const;
+
+  /// True when every disjunct is negation-free.
+  bool IsNegationFree() const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+/// Exact containment for negation-free UCQs (inequalities allowed): by the
+/// Sagiv-Yannakakis argument, U1 subseteq U2 iff for every disjunct Q of
+/// U1 and every canonical database D of Q, the frozen head is in U2(D).
+bool IsContainedIn(const UnionQuery& u1, const UnionQuery& u2);
+
+/// Convenience overloads mixing CQs and unions.
+bool IsContainedIn(const ConjunctiveQuery& q, const UnionQuery& u);
+bool IsContainedIn(const UnionQuery& u, const ConjunctiveQuery& q);
+
+}  // namespace lamp
+
+#endif  // LAMP_CQ_UCQ_H_

@@ -1,0 +1,109 @@
+#include "datalog/components.h"
+
+#include <functional>
+
+#include "common/check.h"
+
+namespace lamp {
+
+namespace {
+
+/// All facts of the given relations with arguments from \p universe.
+std::vector<Fact> FactPool(const Schema& schema,
+                           const std::vector<RelationId>& relations,
+                           const std::vector<Value>& universe) {
+  std::vector<Fact> pool;
+  for (RelationId rel : relations) {
+    const std::size_t arity = schema.ArityOf(rel);
+    if (universe.empty() && arity > 0) continue;
+    std::vector<std::size_t> idx(arity, 0);
+    while (true) {
+      std::vector<Value> args;
+      args.reserve(arity);
+      for (std::size_t i = 0; i < arity; ++i) args.push_back(universe[idx[i]]);
+      pool.emplace_back(rel, std::move(args));
+      std::size_t pos = 0;
+      while (pos < arity) {
+        if (++idx[pos] < universe.size()) break;
+        idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == arity) break;
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+bool DistributesOverComponentsOn(const QueryFunction& query,
+                                 const Instance& instance) {
+  const Instance global = query(instance);
+  Instance per_component;
+  for (const Instance& component : instance.Components()) {
+    per_component.InsertAll(query(component));
+  }
+  return global == per_component;
+}
+
+std::optional<Instance> FindComponentDistributionViolation(
+    const Schema& schema, const std::vector<RelationId>& relations,
+    const QueryFunction& query, std::size_t domain_size,
+    std::size_t max_facts) {
+  std::vector<Value> universe;
+  for (std::size_t i = 0; i < domain_size; ++i) {
+    universe.emplace_back(static_cast<std::int64_t>(i));
+  }
+  const std::vector<Fact> pool = FactPool(schema, relations, universe);
+
+  Instance current;
+  std::optional<Instance> found;
+  std::function<void(std::size_t)> descend = [&](std::size_t start) {
+    if (found.has_value()) return;
+    if (!DistributesOverComponentsOn(query, current)) {
+      found = current;
+      return;
+    }
+    if (current.Size() >= max_facts) return;
+    for (std::size_t i = start; i < pool.size() && !found.has_value(); ++i) {
+      Instance next = current;
+      next.Insert(pool[i]);
+      std::swap(current, next);
+      descend(i + 1);
+      std::swap(current, next);
+    }
+  };
+  descend(0);
+  return found;
+}
+
+std::optional<Instance> RandomComponentDistributionViolation(
+    const Schema& schema, const std::vector<RelationId>& relations,
+    const QueryFunction& query, std::size_t domain_size,
+    std::size_t facts_per_relation, std::size_t trials, Rng& rng) {
+  LAMP_CHECK(domain_size >= 4);
+  for (std::size_t t = 0; t < trials; ++t) {
+    Instance instance;
+    for (RelationId rel : relations) {
+      const std::size_t arity = schema.ArityOf(rel);
+      for (std::size_t k = 0; k < facts_per_relation; ++k) {
+        // Half the facts in the low value range, half in a disjoint high
+        // range, so the instance has at least two components.
+        const bool high = k % 2 == 1;
+        std::vector<Value> args;
+        for (std::size_t i = 0; i < arity; ++i) {
+          const std::int64_t base =
+              high ? static_cast<std::int64_t>(10 * domain_size) : 0;
+          args.emplace_back(base +
+                            static_cast<std::int64_t>(
+                                rng.Uniform(domain_size / 2)));
+        }
+        instance.Insert(Fact(rel, std::move(args)));
+      }
+    }
+    if (!DistributesOverComponentsOn(query, instance)) return instance;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lamp

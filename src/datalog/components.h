@@ -1,0 +1,43 @@
+#ifndef LAMP_DATALOG_COMPONENTS_H_
+#define LAMP_DATALOG_COMPONENTS_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "datalog/monotone.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+/// \file
+/// Queries distributing over components (Ameloot-Ketsman-Neven-Zinn,
+/// discussed at the end of Section 5.3): Q distributes over components
+/// when Q(I) is the union of Q(J) over the connected components J of I.
+/// Connected (stratified) Datalog is an effective syntax for this class;
+/// the checkers below test the semantic property on bounded / random
+/// instance families.
+
+namespace lamp {
+
+/// True when Q(I) == union over components J of Q(J).
+bool DistributesOverComponentsOn(const QueryFunction& query,
+                                 const Instance& instance);
+
+/// Exhaustive falsifier over instances built from the given EDB
+/// \p relations with at most \p max_facts facts over \p domain_size
+/// values. Returns a witness instance where distribution fails.
+std::optional<Instance> FindComponentDistributionViolation(
+    const Schema& schema, const std::vector<RelationId>& relations,
+    const QueryFunction& query, std::size_t domain_size,
+    std::size_t max_facts);
+
+/// Randomized falsifier: \p trials random instances that are forced to
+/// have at least two components (two disjoint value ranges).
+std::optional<Instance> RandomComponentDistributionViolation(
+    const Schema& schema, const std::vector<RelationId>& relations,
+    const QueryFunction& query, std::size_t domain_size,
+    std::size_t facts_per_relation, std::size_t trials, Rng& rng);
+
+}  // namespace lamp
+
+#endif  // LAMP_DATALOG_COMPONENTS_H_

@@ -1,0 +1,136 @@
+#include "datalog/eval.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "cq/eval.h"
+
+namespace lamp {
+
+namespace {
+
+/// Adds ADom(v) for every active-domain value of \p edb when the program
+/// uses the ADom predicate.
+void PopulateADom(const Schema& schema, const Instance& edb, Instance& out) {
+  const RelationId adom_rel = schema.TryIdOf(kADomRelationName);
+  if (adom_rel == Interner::kNotFound) return;
+  LAMP_CHECK(schema.ArityOf(adom_rel) == 1);
+  for (Value v : edb.ActiveDomain()) {
+    out.Insert(Fact(adom_rel, {v.v}));
+  }
+}
+
+}  // namespace
+
+Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
+                         const Instance& edb, DatalogStats* stats) {
+  const auto strata = program.Stratify();
+  LAMP_CHECK_MSG(strata.has_value(),
+                 "program does not stratify; use well-founded evaluation");
+
+  Instance current = edb;
+  PopulateADom(schema, edb, current);
+
+  DatalogStats local_stats;
+
+  for (const std::vector<std::size_t>& stratum : *strata) {
+    // Recursive predicates of this stratum and their delta relations.
+    std::set<RelationId> recursive;
+    for (std::size_t idx : stratum) {
+      recursive.insert(program.rules()[idx].head().relation);
+    }
+    std::map<RelationId, RelationId> delta_rel;
+    for (RelationId rel : recursive) {
+      delta_rel[rel] = schema.AddRelation(
+          "__delta_" + schema.NameOf(rel) + "_s" +
+              std::to_string(&stratum - &(*strata)[0]),
+          schema.ArityOf(rel));
+    }
+
+    // Delta versions of each rule: one per occurrence of a recursive atom.
+    struct DeltaRule {
+      ConjunctiveQuery query;
+    };
+    std::vector<DeltaRule> delta_rules;
+    for (std::size_t idx : stratum) {
+      const ConjunctiveQuery& rule = program.rules()[idx];
+      for (std::size_t a = 0; a < rule.body().size(); ++a) {
+        auto it = delta_rel.find(rule.body()[a].relation);
+        if (it == delta_rel.end()) continue;
+        ConjunctiveQuery rewritten = rule;
+        rewritten.SetBodyRelation(a, it->second);
+        delta_rules.push_back({std::move(rewritten)});
+      }
+    }
+
+    // Round 0: evaluate every rule on `current` (recursive predicates are
+    // still empty, so this derives the base facts of the stratum).
+    Instance delta;
+    for (std::size_t idx : stratum) {
+      for (const Fact& f :
+           Evaluate(program.rules()[idx], current).AllFacts()) {
+        if (!current.Contains(f)) delta.Insert(f);
+      }
+    }
+    ++local_stats.iterations;
+
+    while (!delta.Empty()) {
+      local_stats.facts_derived += delta.Size();
+      current.InsertAll(delta);
+
+      // Working instance: current + delta re-tagged under delta relations.
+      Instance working = current;
+      for (const Fact& f : delta.AllFacts()) {
+        working.Insert(Fact(delta_rel.at(f.relation), f.args));
+      }
+
+      Instance next_delta;
+      for (const DeltaRule& dr : delta_rules) {
+        for (const Fact& f : Evaluate(dr.query, working).AllFacts()) {
+          if (!current.Contains(f)) next_delta.Insert(f);
+        }
+      }
+      delta = std::move(next_delta);
+      ++local_stats.iterations;
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return current;
+}
+
+Instance EvaluateProgramNaive(Schema& schema, const DatalogProgram& program,
+                              const Instance& edb, DatalogStats* stats) {
+  const auto strata = program.Stratify();
+  LAMP_CHECK_MSG(strata.has_value(),
+                 "program does not stratify; use well-founded evaluation");
+
+  Instance current = edb;
+  PopulateADom(schema, edb, current);
+
+  DatalogStats local_stats;
+
+  for (const std::vector<std::size_t>& stratum : *strata) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++local_stats.iterations;
+      for (std::size_t idx : stratum) {
+        for (const Fact& f :
+             Evaluate(program.rules()[idx], current).AllFacts()) {
+          if (current.Insert(f)) {
+            changed = true;
+            ++local_stats.facts_derived;
+          }
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return current;
+}
+
+}  // namespace lamp

@@ -1,0 +1,87 @@
+#include "datalog/wellfounded.h"
+
+#include <map>
+#include <string>
+
+#include "common/check.h"
+#include "datalog/eval.h"
+
+namespace lamp {
+
+namespace {
+
+/// Keeps only facts of the given relations.
+Instance FilterRelations(const Instance& instance,
+                         const std::set<RelationId>& keep) {
+  Instance out;
+  for (const Fact& f : instance.AllFacts()) {
+    if (keep.count(f.relation) > 0) out.Insert(f);
+  }
+  return out;
+}
+
+}  // namespace
+
+WellFoundedModel EvaluateWellFounded(Schema& schema,
+                                     const DatalogProgram& program,
+                                     const Instance& edb) {
+  const std::set<RelationId> idb = program.IdbRelations();
+
+  // Shadow relations for IDB predicates that occur negated; negation in
+  // the rewritten program points at the shadow, which holds the current
+  // assumed set. Negated EDB atoms keep their meaning (the EDB is total).
+  std::map<RelationId, RelationId> shadow;
+  DatalogProgram rewritten;
+  for (const ConjunctiveQuery& rule : program.rules()) {
+    ConjunctiveQuery copy = rule;
+    for (std::size_t i = 0; i < rule.negated().size(); ++i) {
+      const RelationId rel = rule.negated()[i].relation;
+      if (idb.count(rel) == 0) continue;
+      auto it = shadow.find(rel);
+      if (it == shadow.end()) {
+        it = shadow
+                 .emplace(rel, schema.AddRelation(
+                                   "__assumed_" + schema.NameOf(rel),
+                                   schema.ArityOf(rel)))
+                 .first;
+      }
+      copy.SetNegatedRelation(i, it->second);
+    }
+    rewritten.AddRule(std::move(copy));
+  }
+  LAMP_CHECK_MSG(rewritten.Stratify().has_value(),
+                 "rewritten program must stratify (negation now on shadows)");
+
+  // Gamma(X): least model with negation evaluated against the fixed X.
+  auto gamma = [&](const Instance& assumed) -> Instance {
+    Instance working = edb;
+    for (const Fact& f : assumed.AllFacts()) {
+      auto it = shadow.find(f.relation);
+      if (it != shadow.end()) working.Insert(Fact(it->second, f.args));
+    }
+    return FilterRelations(EvaluateProgram(schema, rewritten, working), idb);
+  };
+
+  // Alternating fixpoint: A0 = empty, A_{i+1} = Gamma(A_i). Evens ascend
+  // to the true set, odds descend to the possible set.
+  WellFoundedModel model;
+  Instance even;             // A_0.
+  Instance odd = gamma(even);  // A_1.
+  ++model.gamma_applications;
+  while (true) {
+    Instance next_even = gamma(odd);
+    ++model.gamma_applications;
+    if (next_even == even) break;
+    even = std::move(next_even);
+    odd = gamma(even);
+    ++model.gamma_applications;
+  }
+
+  model.true_facts = even;
+  for (const Fact& f : odd.AllFacts()) {
+    if (!even.Contains(f)) model.undefined_facts.Insert(f);
+  }
+  return model;
+}
+
+}  // namespace lamp

@@ -1,0 +1,39 @@
+#ifndef LAMP_DATALOG_WELLFOUNDED_H_
+#define LAMP_DATALOG_WELLFOUNDED_H_
+
+#include <cstddef>
+
+#include "datalog/program.h"
+#include "relational/instance.h"
+
+/// \file
+/// Well-founded semantics via the alternating fixpoint.
+///
+/// Programs with negative recursion (win-move: win(x) <- move(x,y),
+/// !win(y)) have no stratification; the paper's Section 5.3 cites the
+/// result that semi-connected programs under the well-founded semantics
+/// remain domain-disjoint-monotone (Zinn-Green-Ludaescher: "win-move is
+/// coordination-free (sometimes)"). The alternating fixpoint computes the
+/// three-valued model: facts true, false, or undefined.
+
+namespace lamp {
+
+/// The three-valued well-founded model restricted to IDB facts.
+struct WellFoundedModel {
+  Instance true_facts;       // Facts true in the well-founded model.
+  Instance undefined_facts;  // Facts neither true nor false (e.g. draws).
+  std::size_t gamma_applications = 0;  // Iterations of the operator.
+};
+
+/// Computes the well-founded model of \p program over \p edb. The
+/// Gamma operator evaluates negation against a fixed "assumed" set; the
+/// alternating sequence of under- and over-estimates converges because
+/// Gamma is antimonotone. EDB facts are always true and excluded from the
+/// result instances.
+WellFoundedModel EvaluateWellFounded(Schema& schema,
+                                     const DatalogProgram& program,
+                                     const Instance& edb);
+
+}  // namespace lamp
+
+#endif  // LAMP_DATALOG_WELLFOUNDED_H_

@@ -1,0 +1,53 @@
+#ifndef LAMP_DISTRIBUTION_DOMAIN_GUIDED_H_
+#define LAMP_DISTRIBUTION_DOMAIN_GUIDED_H_
+
+#include <functional>
+#include <vector>
+
+#include "distribution/policy.h"
+
+/// \file
+/// Domain-guided distribution policies (Section 5.2.2 of the paper).
+///
+/// A domain assignment alpha maps each domain value to a set of nodes; the
+/// induced policy P_alpha makes every node in alpha(a) responsible for
+/// every fact containing a. Domain-guided policies are what the class
+/// F2 = A2 = Mdisjoint of coordination-free computations is defined over:
+/// they guarantee that for each value a there is a node holding *all* facts
+/// that mention a.
+
+namespace lamp {
+
+/// P_alpha for a caller-supplied domain assignment.
+class DomainGuidedPolicy : public DistributionPolicy {
+ public:
+  /// alpha(value) = set of nodes; must be nonempty for universe values.
+  using DomainAssignment = std::function<std::vector<NodeId>(Value)>;
+
+  DomainGuidedPolicy(std::size_t num_nodes, std::vector<Value> universe,
+                     DomainAssignment alpha);
+
+  /// The common hash-based assignment alpha(a) = { hash(a) mod p }.
+  static DomainGuidedPolicy HashBased(std::size_t num_nodes,
+                                      std::vector<Value> universe,
+                                      std::uint64_t seed = 0);
+
+  std::size_t NumNodes() const override { return num_nodes_; }
+  const std::vector<Value>& Universe() const override { return universe_; }
+
+  /// A node is responsible for R(a1..ak) iff it lies in some alpha(ai).
+  /// Nullary facts are everyone's responsibility.
+  bool IsResponsible(NodeId node, const Fact& fact) const override;
+
+  /// alpha(value).
+  std::vector<NodeId> AssignmentOf(Value value) const { return alpha_(value); }
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<Value> universe_;
+  DomainAssignment alpha_;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_DISTRIBUTION_DOMAIN_GUIDED_H_

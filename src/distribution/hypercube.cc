@@ -1,0 +1,247 @@
+#include "distribution/hypercube.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace lamp {
+
+HypercubePolicy::HypercubePolicy(const ConjunctiveQuery& query, Shares shares,
+                                 std::vector<Value> universe,
+                                 std::uint64_t seed)
+    : query_(query),
+      shares_(std::move(shares)),
+      universe_(std::move(universe)),
+      seed_(seed) {
+  LAMP_CHECK(shares_.size() == query_.NumVars());
+  LAMP_CHECK(!shares_.empty());
+  stride_.resize(shares_.size());
+  for (std::size_t v = 0; v < shares_.size(); ++v) {
+    LAMP_CHECK(shares_[v] >= 1);
+    stride_[v] = num_nodes_;
+    num_nodes_ *= shares_[v];
+  }
+}
+
+std::size_t HypercubePolicy::HashVar(VarId v, Value value) const {
+  return static_cast<std::size_t>(
+      HashMix(static_cast<std::uint64_t>(value.v) ^ HashMix(seed_ + v)) %
+      shares_[v]);
+}
+
+std::vector<std::size_t> HypercubePolicy::Coordinates(NodeId node) const {
+  std::vector<std::size_t> coords(shares_.size());
+  std::size_t rest = node;
+  for (std::size_t v = 0; v < shares_.size(); ++v) {
+    coords[v] = rest % shares_[v];
+    rest /= shares_[v];
+  }
+  return coords;
+}
+
+NodeId HypercubePolicy::NodeAt(const std::vector<std::size_t>& coords) const {
+  LAMP_CHECK(coords.size() == shares_.size());
+  std::size_t node = 0;
+  for (std::size_t v = 0; v < shares_.size(); ++v) {
+    LAMP_CHECK(coords[v] < shares_[v]);
+    node += coords[v] * stride_[v];
+  }
+  return static_cast<NodeId>(node);
+}
+
+bool HypercubePolicy::ConstrainByAtom(const Atom& atom, const Fact& fact,
+                                      std::vector<bool>& constrained,
+                                      std::vector<std::size_t>& coord) const {
+  if (atom.relation != fact.relation) return false;
+  if (atom.terms.size() != fact.args.size()) return false;
+  std::fill(constrained.begin(), constrained.end(), false);
+  for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
+    const Term& t = atom.terms[pos];
+    if (t.IsConst()) {
+      if (t.constant != fact.args[pos]) return false;
+      continue;
+    }
+    const std::size_t h = HashVar(t.var, fact.args[pos]);
+    if (constrained[t.var] && coord[t.var] != h) return false;
+    constrained[t.var] = true;
+    coord[t.var] = h;
+  }
+  return true;
+}
+
+bool HypercubePolicy::IsResponsible(NodeId node, const Fact& fact) const {
+  const std::vector<std::size_t> node_coords = Coordinates(node);
+  std::vector<bool> constrained(shares_.size());
+  std::vector<std::size_t> coord(shares_.size());
+  for (const Atom& atom : query_.body()) {
+    if (!ConstrainByAtom(atom, fact, constrained, coord)) continue;
+    bool match = true;
+    for (std::size_t v = 0; v < shares_.size(); ++v) {
+      if (constrained[v] && node_coords[v] != coord[v]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> HypercubePolicy::ResponsibleNodes(const Fact& fact) const {
+  std::vector<NodeId> nodes;
+  std::vector<bool> constrained(shares_.size());
+  std::vector<std::size_t> coord(shares_.size());
+  std::vector<bool> seen(num_nodes_, false);
+  for (const Atom& atom : query_.body()) {
+    if (!ConstrainByAtom(atom, fact, constrained, coord)) continue;
+    // Enumerate the sub-grid over the unconstrained dimensions.
+    std::vector<std::size_t> free_dims;
+    for (std::size_t v = 0; v < shares_.size(); ++v) {
+      if (!constrained[v]) free_dims.push_back(v);
+    }
+    std::vector<std::size_t> coords = coord;
+    for (std::size_t v : free_dims) coords[v] = 0;
+    while (true) {
+      const NodeId node = NodeAt(coords);
+      if (!seen[node]) {
+        seen[node] = true;
+        nodes.push_back(node);
+      }
+      std::size_t i = 0;
+      for (; i < free_dims.size(); ++i) {
+        const std::size_t v = free_dims[i];
+        if (++coords[v] < shares_[v]) break;
+        coords[v] = 0;
+      }
+      if (i == free_dims.size()) break;
+    }
+  }
+  return nodes;
+}
+
+std::size_t HypercubePolicy::ReplicationOf(std::size_t atom_index) const {
+  LAMP_CHECK(atom_index < query_.body().size());
+  std::vector<bool> in_atom(shares_.size(), false);
+  for (const Term& t : query_.body()[atom_index].terms) {
+    if (t.IsVar()) in_atom[t.var] = true;
+  }
+  std::size_t replication = 1;
+  for (std::size_t v = 0; v < shares_.size(); ++v) {
+    if (!in_atom[v]) replication *= shares_[v];
+  }
+  return replication;
+}
+
+Shares UniformShares(const ConjunctiveQuery& query, std::size_t budget) {
+  const std::size_t k = query.NumVars();
+  LAMP_CHECK(k > 0);
+  auto share = static_cast<std::size_t>(
+      std::floor(std::pow(static_cast<double>(budget), 1.0 / k) + 1e-9));
+  if (share < 1) share = 1;
+  return Shares(k, share);
+}
+
+Shares OptimizeIntegerShares(const ConjunctiveQuery& query,
+                             std::size_t budget,
+                             const std::vector<double>& atom_sizes) {
+  const std::size_t k = query.NumVars();
+  LAMP_CHECK(k > 0);
+  LAMP_CHECK(atom_sizes.size() == query.body().size());
+
+  // Precompute which variables occur in each atom.
+  std::vector<std::vector<bool>> occurs(query.body().size(),
+                                        std::vector<bool>(k, false));
+  for (std::size_t a = 0; a < query.body().size(); ++a) {
+    for (const Term& t : query.body()[a].terms) {
+      if (t.IsVar()) occurs[a][t.var] = true;
+    }
+  }
+
+  Shares best(k, 1);
+  double best_load = -1.0;
+  Shares current(k, 1);
+
+  // Depth-first over share vectors with product <= budget.
+  std::function<void(std::size_t, std::size_t)> descend =
+      [&](std::size_t v, std::size_t remaining) {
+        if (v == k) {
+          double load = 0.0;
+          for (std::size_t a = 0; a < occurs.size(); ++a) {
+            double denom = 1.0;
+            for (std::size_t u = 0; u < k; ++u) {
+              if (occurs[a][u]) denom *= static_cast<double>(current[u]);
+            }
+            load += atom_sizes[a] / denom;
+          }
+          if (best_load < 0.0 || load < best_load) {
+            best_load = load;
+            best = current;
+          }
+          return;
+        }
+        for (std::size_t share = 1; share <= remaining; ++share) {
+          current[v] = share;
+          descend(v + 1, remaining / share);
+        }
+        current[v] = 1;
+      };
+  descend(0, budget);
+  return best;
+}
+
+Shares OptimizeIntegerSharesTotalComm(const ConjunctiveQuery& query,
+                                      std::size_t num_servers,
+                                      const std::vector<double>& atom_sizes) {
+  const std::size_t k = query.NumVars();
+  LAMP_CHECK(k > 0);
+  LAMP_CHECK(num_servers > 0);
+  LAMP_CHECK(atom_sizes.size() == query.body().size());
+
+  std::vector<std::vector<bool>> occurs(query.body().size(),
+                                        std::vector<bool>(k, false));
+  for (std::size_t a = 0; a < query.body().size(); ++a) {
+    for (const Term& t : query.body()[a].terms) {
+      if (t.IsVar()) occurs[a][t.var] = true;
+    }
+  }
+
+  Shares best(k, 1);
+  double best_comm = -1.0;
+  Shares current(k, 1);
+
+  // Depth-first over exact factorizations: the product of the remaining
+  // slots must divide out `remaining` completely.
+  std::function<void(std::size_t, std::size_t)> descend =
+      [&](std::size_t v, std::size_t remaining) {
+        if (v == k) {
+          if (remaining != 1) return;  // Not an exact factorization.
+          double comm = 0.0;
+          for (std::size_t a = 0; a < occurs.size(); ++a) {
+            double replication = 1.0;
+            for (std::size_t u = 0; u < k; ++u) {
+              if (!occurs[a][u]) replication *= static_cast<double>(current[u]);
+            }
+            comm += atom_sizes[a] * replication;
+          }
+          if (best_comm < 0.0 || comm < best_comm) {
+            best_comm = comm;
+            best = current;
+          }
+          return;
+        }
+        for (std::size_t share = 1; share <= remaining; ++share) {
+          if (remaining % share != 0) continue;
+          current[v] = share;
+          descend(v + 1, remaining / share);
+        }
+        current[v] = 1;
+      };
+  descend(0, num_servers);
+  LAMP_CHECK_MSG(best_comm >= 0.0, "no exact factorization found");
+  return best;
+}
+
+}  // namespace lamp

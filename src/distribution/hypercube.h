@@ -1,0 +1,97 @@
+#ifndef LAMP_DISTRIBUTION_HYPERCUBE_H_
+#define LAMP_DISTRIBUTION_HYPERCUBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cq/cq.h"
+#include "distribution/policy.h"
+
+/// \file
+/// The HyperCube (Shares) distribution policy (Section 3.1, Example 3.2).
+///
+/// Servers are arranged in a grid with one dimension per query variable;
+/// variable v gets share alpha_v, and a hash function h_v maps domain
+/// values to [0, alpha_v). A fact R(a1..ak) matching a body atom is
+/// replicated to every server whose coordinates agree with the hashed
+/// values at the atom's variable positions — so for every valuation V, all
+/// facts required by V meet at the server with coordinates
+/// (h_v(V(v)))_v. Every HyperCube distribution therefore *strongly
+/// saturates* its query (Section 4.1), independent of shares and hashes.
+
+namespace lamp {
+
+/// Share assignment: shares[v] = alpha_v, indexed by VarId of the query.
+using Shares = std::vector<std::size_t>;
+
+/// HyperCube policy for one conjunctive query.
+class HypercubePolicy : public DistributionPolicy {
+ public:
+  /// Builds the grid for \p query with the given \p shares (one entry per
+  /// query variable, all >= 1). \p universe is the finite universe used by
+  /// the exact deciders; \p seed picks the hash family member.
+  HypercubePolicy(const ConjunctiveQuery& query, Shares shares,
+                  std::vector<Value> universe, std::uint64_t seed = 0);
+
+  std::size_t NumNodes() const override { return num_nodes_; }
+  const std::vector<Value>& Universe() const override { return universe_; }
+  bool IsResponsible(NodeId node, const Fact& fact) const override;
+  std::vector<NodeId> ResponsibleNodes(const Fact& fact) const override;
+
+  /// h_v(value) in [0, shares[v]).
+  std::size_t HashVar(VarId v, Value value) const;
+
+  /// Decodes a node id into its grid coordinates (one per variable).
+  std::vector<std::size_t> Coordinates(NodeId node) const;
+
+  /// The grid node at the given coordinates.
+  NodeId NodeAt(const std::vector<std::size_t>& coords) const;
+
+  const Shares& shares() const { return shares_; }
+  const ConjunctiveQuery& query() const { return query_; }
+
+  /// Replication factor of a fact matching body atom \p atom_index: the
+  /// product of the shares of the variables *not* occurring in that atom.
+  std::size_t ReplicationOf(std::size_t atom_index) const;
+
+ private:
+  /// Per-atom coordinate constraints for \p fact: fills \p constrained /
+  /// \p coord for the atom's variable positions; returns false when the
+  /// fact cannot match the atom (constant mismatch, repeated variable with
+  /// diverging values, wrong relation/arity).
+  bool ConstrainByAtom(const Atom& atom, const Fact& fact,
+                       std::vector<bool>& constrained,
+                       std::vector<std::size_t>& coord) const;
+
+  ConjunctiveQuery query_;
+  Shares shares_;
+  std::vector<Value> universe_;
+  std::uint64_t seed_;
+  std::vector<std::size_t> stride_;
+  std::size_t num_nodes_ = 1;
+};
+
+/// Uniform shares: every variable gets floor(p^(1/k)) (at least 1), the
+/// Example 3.2 special case alpha_x = alpha_y = alpha_z = p^(1/3).
+Shares UniformShares(const ConjunctiveQuery& query, std::size_t budget);
+
+/// Best integer shares with product <= \p budget, minimizing the expected
+/// per-server load  sum_atoms m_atom / prod_{v in atom} alpha_v  given the
+/// relation sizes \p atom_sizes (one per body atom). Exhaustive search over
+/// integer grids; budget is expected to be small (<= a few thousand).
+Shares OptimizeIntegerShares(const ConjunctiveQuery& query,
+                             std::size_t budget,
+                             const std::vector<double>& atom_sizes);
+
+/// The Afrati-Ullman Shares objective: integer shares with product exactly
+/// \p num_servers minimizing the *total communication*
+/// sum_atoms m_atom * prod_{v not in atom} alpha_v (each tuple of an atom
+/// is replicated once per grid cell along the dimensions its atom does not
+/// constrain). Exhaustive over the factorizations of num_servers.
+Shares OptimizeIntegerSharesTotalComm(const ConjunctiveQuery& query,
+                                      std::size_t num_servers,
+                                      const std::vector<double>& atom_sizes);
+
+}  // namespace lamp
+
+#endif  // LAMP_DISTRIBUTION_HYPERCUBE_H_

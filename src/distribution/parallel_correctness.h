@@ -1,0 +1,89 @@
+#ifndef LAMP_DISTRIBUTION_PARALLEL_CORRECTNESS_H_
+#define LAMP_DISTRIBUTION_PARALLEL_CORRECTNESS_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/cq.h"
+#include "cq/valuation.h"
+#include "distribution/policy.h"
+#include "relational/schema.h"
+
+/// \file
+/// Parallel-correctness (Section 4.1 of the paper).
+///
+/// [Q,P](I) is the one-round distributed evaluation: reshuffle I according
+/// to policy P, evaluate Q locally everywhere, output the union
+/// (Definition 4.2). Q is parallel-correct under P when [Q,P](I) = Q(I) for
+/// every instance over P's universe.
+///
+/// The exact deciders implement:
+///  * Condition (PC0) — "strongly saturates": every valuation's required
+///    facts meet at some node (sufficient, not necessary; Example 4.3);
+///  * Condition (PC1) — "saturates": every *minimal* valuation's required
+///    facts meet at some node, which characterizes parallel-correctness
+///    (Proposition 4.6);
+///  * the UCQ generalization (union-aware minimality, [33]);
+///  * instance-level checks (problem PCI), which also cover CQ-not via
+///    parallel-soundness + parallel-completeness;
+///  * a bounded exhaustive counterexample search used to cross-validate the
+///    characterization and to handle CQ-not (where exact PC is
+///    coNEXPTIME-complete, Theorem 4.9).
+
+namespace lamp {
+
+/// [Q,P](I): union over nodes of Q evaluated on the node's local instance.
+Instance DistributedEval(const ConjunctiveQuery& query,
+                         const DistributionPolicy& policy,
+                         const Instance& instance);
+
+/// Problem PCI for general queries (negation allowed): does the one-round
+/// evaluation compute Q(I) on this instance?
+bool IsParallelCorrectOn(const ConjunctiveQuery& query,
+                         const DistributionPolicy& policy,
+                         const Instance& instance);
+
+/// Parallel-soundness on an instance: [Q,P](I) subseteq Q(I). Trivial for
+/// monotone queries, the interesting half for CQ-not.
+bool IsParallelSoundOn(const ConjunctiveQuery& query,
+                       const DistributionPolicy& policy,
+                       const Instance& instance);
+
+/// Parallel-completeness on an instance: Q(I) subseteq [Q,P](I).
+bool IsParallelCompleteOn(const ConjunctiveQuery& query,
+                          const DistributionPolicy& policy,
+                          const Instance& instance);
+
+/// Condition (PC0): P strongly saturates Q.
+bool StronglySaturates(const DistributionPolicy& policy,
+                       const ConjunctiveQuery& query);
+
+/// Condition (PC1): P saturates Q.
+bool Saturates(const DistributionPolicy& policy, const ConjunctiveQuery& query);
+
+/// Problem PC for CQs (with inequalities): exact, via Proposition 4.6.
+bool IsParallelCorrect(const ConjunctiveQuery& query,
+                       const DistributionPolicy& policy);
+
+/// Minimality within a union (the [33] extension): valuation \p valuation
+/// for disjunct \p index is UCQ-minimal when no valuation of *any* disjunct
+/// derives the same head fact from a strict subset of its required facts.
+bool IsMinimalForUnion(const std::vector<ConjunctiveQuery>& union_queries,
+                       std::size_t index, const Valuation& valuation);
+
+/// Problem PC for unions of CQs: exact, via union-aware minimality.
+bool IsParallelCorrectUnion(const std::vector<ConjunctiveQuery>& union_queries,
+                            const DistributionPolicy& policy);
+
+/// Exhaustively searches instances over the policy's universe with at most
+/// \p max_facts facts (schema-typed) for one where the one-round evaluation
+/// is wrong. Returns the first counterexample found. Works for any query,
+/// including CQ-not; cost is exponential in the fact pool.
+std::optional<Instance> FindPcCounterexample(const Schema& schema,
+                                             const ConjunctiveQuery& query,
+                                             const DistributionPolicy& policy,
+                                             std::size_t max_facts);
+
+}  // namespace lamp
+
+#endif  // LAMP_DISTRIBUTION_PARALLEL_CORRECTNESS_H_

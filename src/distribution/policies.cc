@@ -1,0 +1,71 @@
+#include "distribution/policies.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace lamp {
+
+void FinitePolicy::Assign(NodeId node, const Fact& fact) {
+  LAMP_CHECK(node < num_nodes_);
+  responsible_[fact].insert(node);
+}
+
+bool FinitePolicy::IsResponsible(NodeId node, const Fact& fact) const {
+  auto it = responsible_.find(fact);
+  return it != responsible_.end() && it->second.count(node) > 0;
+}
+
+void HashPolicy::SetKey(RelationId relation, std::vector<std::size_t> columns) {
+  keys_[relation] = std::move(columns);
+}
+
+NodeId HashPolicy::TargetNode(const Fact& fact) const {
+  auto it = keys_.find(fact.relation);
+  LAMP_CHECK_MSG(it != keys_.end(), "relation has no distribution key");
+  std::uint64_t h = HashMix(seed_);
+  for (std::size_t col : it->second) {
+    LAMP_CHECK(col < fact.args.size());
+    h = HashCombine(h, static_cast<std::uint64_t>(fact.args[col].v));
+  }
+  return static_cast<NodeId>(h % num_nodes_);
+}
+
+bool HashPolicy::IsResponsible(NodeId node, const Fact& fact) const {
+  auto it = keys_.find(fact.relation);
+  if (it == keys_.end()) return true;  // Broadcast relation.
+  return TargetNode(fact) == node;
+}
+
+RangePolicy::RangePolicy(std::vector<Value> universe,
+                         RelationId keyed_relation, std::size_t column,
+                         std::vector<std::int64_t> bounds)
+    : universe_(std::move(universe)),
+      keyed_relation_(keyed_relation),
+      column_(column),
+      bounds_(std::move(bounds)) {
+  LAMP_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+bool RangePolicy::IsResponsible(NodeId node, const Fact& fact) const {
+  if (fact.relation != keyed_relation_) return true;  // Broadcast.
+  LAMP_CHECK(column_ < fact.args.size());
+  const std::int64_t key = fact.args[column_].v;
+  // Number of bounds <= key gives the bucket index.
+  const auto bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), key) -
+      bounds_.begin());
+  return bucket == node;
+}
+
+std::vector<Value> MakeUniverse(std::size_t n) {
+  std::vector<Value> u;
+  u.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u.emplace_back(static_cast<std::int64_t>(i));
+  }
+  return u;
+}
+
+}  // namespace lamp

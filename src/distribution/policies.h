@@ -1,0 +1,122 @@
+#ifndef LAMP_DISTRIBUTION_POLICIES_H_
+#define LAMP_DISTRIBUTION_POLICIES_H_
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "distribution/policy.h"
+#include "relational/schema.h"
+
+/// \file
+/// Concrete distribution policies:
+///
+///  * FinitePolicy — the paper's class P_fin: all (node, fact) pairs are
+///    enumerated explicitly;
+///  * LambdaPolicy — responsibility decided by an arbitrary predicate (the
+///    class P_npoly made concrete; used to express Example 4.3 directly);
+///  * HashPolicy — classic repartition by key columns (Example 3.1(1a));
+///  * RangePolicy — primary horizontal fragmentation by a threshold on a
+///    column (the Customer example of Section 4.1).
+///
+/// The HyperCube policy lives in hypercube.h (it is derived from a query).
+
+namespace lamp {
+
+/// P_fin: responsibility enumerated fact by fact.
+class FinitePolicy : public DistributionPolicy {
+ public:
+  FinitePolicy(std::size_t num_nodes, std::vector<Value> universe)
+      : num_nodes_(num_nodes), universe_(std::move(universe)) {}
+
+  /// Makes \p node responsible for \p fact.
+  void Assign(NodeId node, const Fact& fact);
+
+  std::size_t NumNodes() const override { return num_nodes_; }
+  const std::vector<Value>& Universe() const override { return universe_; }
+  bool IsResponsible(NodeId node, const Fact& fact) const override;
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<Value> universe_;
+  std::unordered_map<Fact, std::set<NodeId>, FactHash> responsible_;
+};
+
+/// Responsibility decided by a caller-supplied predicate.
+class LambdaPolicy : public DistributionPolicy {
+ public:
+  using Predicate = std::function<bool(NodeId, const Fact&)>;
+
+  LambdaPolicy(std::size_t num_nodes, std::vector<Value> universe,
+               Predicate predicate)
+      : num_nodes_(num_nodes),
+        universe_(std::move(universe)),
+        predicate_(std::move(predicate)) {}
+
+  std::size_t NumNodes() const override { return num_nodes_; }
+  const std::vector<Value>& Universe() const override { return universe_; }
+  bool IsResponsible(NodeId node, const Fact& fact) const override {
+    return predicate_(node, fact);
+  }
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<Value> universe_;
+  Predicate predicate_;
+};
+
+/// Hash repartitioning: each relation declares the columns forming its
+/// distribution key; a fact goes to the single node
+/// hash(key values) mod p. Relations without a declared key are broadcast
+/// to every node.
+class HashPolicy : public DistributionPolicy {
+ public:
+  HashPolicy(std::size_t num_nodes, std::vector<Value> universe,
+             std::uint64_t seed = 0)
+      : num_nodes_(num_nodes), universe_(std::move(universe)), seed_(seed) {}
+
+  /// Declares the key columns of \p relation.
+  void SetKey(RelationId relation, std::vector<std::size_t> columns);
+
+  std::size_t NumNodes() const override { return num_nodes_; }
+  const std::vector<Value>& Universe() const override { return universe_; }
+  bool IsResponsible(NodeId node, const Fact& fact) const override;
+
+  /// The node a keyed fact is routed to.
+  NodeId TargetNode(const Fact& fact) const;
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<Value> universe_;
+  std::uint64_t seed_;
+  std::unordered_map<RelationId, std::vector<std::size_t>> keys_;
+};
+
+/// Range partitioning on one column: node i gets facts whose key value lies
+/// in [bounds[i-1], bounds[i]) with open ends at the extremes. Non-keyed
+/// relations are broadcast.
+class RangePolicy : public DistributionPolicy {
+ public:
+  /// \p bounds must be strictly increasing and have NumNodes()-1 entries.
+  RangePolicy(std::vector<Value> universe, RelationId keyed_relation,
+              std::size_t column, std::vector<std::int64_t> bounds);
+
+  std::size_t NumNodes() const override { return bounds_.size() + 1; }
+  const std::vector<Value>& Universe() const override { return universe_; }
+  bool IsResponsible(NodeId node, const Fact& fact) const override;
+
+ private:
+  std::vector<Value> universe_;
+  RelationId keyed_relation_;
+  std::size_t column_;
+  std::vector<std::int64_t> bounds_;
+};
+
+/// Helper: the universe {0, 1, ..., n-1} as Values.
+std::vector<Value> MakeUniverse(std::size_t n);
+
+}  // namespace lamp
+
+#endif  // LAMP_DISTRIBUTION_POLICIES_H_

@@ -1,0 +1,38 @@
+#include "distribution/policy.h"
+
+namespace lamp {
+
+Instance DistributionPolicy::LocalInstance(const Instance& instance,
+                                           NodeId node) const {
+  Instance local;
+  for (const Fact& f : instance.AllFacts()) {
+    if (IsResponsible(node, f)) local.Insert(f);
+  }
+  return local;
+}
+
+std::vector<NodeId> DistributionPolicy::ResponsibleNodes(
+    const Fact& fact) const {
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < NumNodes(); ++n) {
+    if (IsResponsible(n, fact)) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+bool DistributionPolicy::SomeNodeHasAll(const Instance& facts) const {
+  const std::vector<Fact> all = facts.AllFacts();
+  for (NodeId n = 0; n < NumNodes(); ++n) {
+    bool has_all = true;
+    for (const Fact& f : all) {
+      if (!IsResponsible(n, f)) {
+        has_all = false;
+        break;
+      }
+    }
+    if (has_all) return true;
+  }
+  return false;
+}
+
+}  // namespace lamp

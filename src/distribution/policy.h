@@ -1,0 +1,52 @@
+#ifndef LAMP_DISTRIBUTION_POLICY_H_
+#define LAMP_DISTRIBUTION_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/instance.h"
+
+/// \file
+/// Distribution policies (Section 4.1 of the paper).
+///
+/// A distribution policy P = (U, rfacts_P) for a network N maps each node
+/// to the set of facts over U it is *responsible* for. The interface is the
+/// membership test IsResponsible(node, fact) — the paper's class P_npoly,
+/// where responsibility is decided by an algorithm rather than enumerated —
+/// plus the finite universe U that the exact deciders quantify over.
+
+namespace lamp {
+
+/// Identifier of a network node; nodes are 0 .. NumNodes()-1.
+using NodeId = std::uint32_t;
+
+/// Abstract distribution policy.
+class DistributionPolicy {
+ public:
+  virtual ~DistributionPolicy() = default;
+
+  /// Number of nodes in the network N.
+  virtual std::size_t NumNodes() const = 0;
+
+  /// The finite universe U the policy is defined over. Deciders enumerate
+  /// valuations over this set (Proposition 4.6).
+  virtual const std::vector<Value>& Universe() const = 0;
+
+  /// True iff \p node is responsible for \p fact.
+  virtual bool IsResponsible(NodeId node, const Fact& fact) const = 0;
+
+  /// loc-inst_{P,I}(node) = I intersect rfacts_P(node).
+  Instance LocalInstance(const Instance& instance, NodeId node) const;
+
+  /// All nodes responsible for \p fact. The default scans every node;
+  /// structured policies (HyperCube) override with a direct computation.
+  virtual std::vector<NodeId> ResponsibleNodes(const Fact& fact) const;
+
+  /// True when some node is responsible for every fact of \p facts
+  /// ("the facts meet at some node" — the core of conditions PC0/PC1).
+  bool SomeNodeHasAll(const Instance& facts) const;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_DISTRIBUTION_POLICY_H_

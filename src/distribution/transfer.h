@@ -1,0 +1,34 @@
+#ifndef LAMP_DISTRIBUTION_TRANSFER_H_
+#define LAMP_DISTRIBUTION_TRANSFER_H_
+
+#include "cq/cq.h"
+
+/// \file
+/// Parallel-correctness transfer (Section 4.2 of the paper).
+///
+/// Transfer Q ->pc Q' holds when Q' is parallel-correct under *every*
+/// policy for which Q is (Definition 4.10); it lets a multi-query optimizer
+/// reuse one data partitioning for a workload without reshuffling.
+/// Proposition 4.13 characterizes transfer by the *covers* relation: for
+/// every minimal valuation V' of Q' there is a minimal valuation V of Q
+/// with V'(body') subseteq V(body).
+///
+/// The decider makes the paper's Pi^p_3 quantifier structure executable by
+/// genericity: the outer valuation V' may be restricted to a universe of
+/// |vars(Q')| fresh values plus all constants of both queries, and the
+/// inner V to adom(V'(body')) plus constants plus |vars(Q)| fresh values —
+/// every other valuation is isomorphic to one of these via a domain
+/// permutation fixing the constants.
+
+namespace lamp {
+
+/// Definition 4.12: Q covers Q'.
+bool Covers(const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime);
+
+/// Proposition 4.13: transfer holds iff Q covers Q'.
+bool ParallelCorrectnessTransfersTo(const ConjunctiveQuery& q,
+                                    const ConjunctiveQuery& q_prime);
+
+}  // namespace lamp
+
+#endif  // LAMP_DISTRIBUTION_TRANSFER_H_

@@ -1,0 +1,203 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lamp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense tableau: rows_ x cols_ constraint matrix (with slack/artificial
+/// columns), rhs_ per row, basis_ holds the basic column of each row.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        a_(rows, std::vector<double>(cols, 0.0)),
+        rhs_(rows, 0.0),
+        basis_(rows, 0) {}
+
+  double& At(std::size_t r, std::size_t c) { return a_[r][c]; }
+  double& Rhs(std::size_t r) { return rhs_[r]; }
+  std::size_t& Basis(std::size_t r) { return basis_[r]; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void Pivot(std::size_t pr, std::size_t pc) {
+    const double pivot = a_[pr][pc];
+    LAMP_CHECK(std::fabs(pivot) > kEps);
+    for (std::size_t c = 0; c < cols_; ++c) a_[pr][c] /= pivot;
+    rhs_[pr] /= pivot;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = a_[r][pc];
+      if (std::fabs(factor) < kEps) continue;
+      for (std::size_t c = 0; c < cols_; ++c) a_[r][c] -= factor * a_[pr][c];
+      rhs_[r] -= factor * rhs_[pr];
+    }
+    basis_[pr] = pc;
+  }
+
+  /// Runs primal simplex maximizing cost . x over columns in
+  /// [0, usable_cols). Returns false on unboundedness. `cost` has cols_
+  /// entries (non-usable columns must have cost 0 and never enter).
+  bool Maximize(const std::vector<double>& cost, std::size_t usable_cols) {
+    while (true) {
+      // Reduced costs: c_j - c_B . B^{-1} A_j. Maintain implicitly:
+      // recompute from the current tableau each iteration (small LPs).
+      std::size_t entering = cols_;
+      for (std::size_t j = 0; j < usable_cols; ++j) {  // Bland: lowest index.
+        double reduced = cost[j];
+        for (std::size_t r = 0; r < rows_; ++r) {
+          reduced -= cost[basis_[r]] * a_[r][j];
+        }
+        if (reduced > kEps) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering == cols_) return true;  // Optimal.
+
+      std::size_t leaving = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (a_[r][entering] > kEps) {
+          const double ratio = rhs_[r] / a_[r][entering];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leaving == rows_ || basis_[r] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving == rows_) return false;  // Unbounded.
+      Pivot(leaving, entering);
+    }
+  }
+
+  double ObjectiveValue(const std::vector<double>& cost) const {
+    double value = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) value += cost[basis_[r]] * rhs_[r];
+    return value;
+  }
+
+  std::vector<double> Extract(std::size_t num_vars) const {
+    std::vector<double> x(num_vars, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (basis_[r] < num_vars) x[basis_[r]] = rhs_[r];
+    }
+    return x;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> rhs_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LinearProgram& lp) {
+  const std::size_t n = lp.num_vars;
+  const std::size_t m = lp.constraints.size();
+  LAMP_CHECK(lp.objective.size() == n);
+
+  // Normalize rows to rhs >= 0, count extra columns.
+  std::vector<LinearProgram::Constraint> rows = lp.constraints;
+  for (auto& row : rows) {
+    LAMP_CHECK(row.coeffs.size() == n);
+    if (row.rhs < 0.0) {
+      row.rhs = -row.rhs;
+      for (double& c : row.coeffs) c = -c;
+      if (row.type == ConstraintType::kLe) {
+        row.type = ConstraintType::kGe;
+      } else if (row.type == ConstraintType::kGe) {
+        row.type = ConstraintType::kLe;
+      }
+    }
+  }
+
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (const auto& row : rows) {
+    if (row.type != ConstraintType::kEq) ++num_slack;
+    if (row.type != ConstraintType::kLe) ++num_artificial;
+  }
+
+  const std::size_t slack_base = n;
+  const std::size_t artificial_base = n + num_slack;
+  const std::size_t cols = n + num_slack + num_artificial;
+
+  Tableau tableau(m, cols);
+  std::size_t next_slack = slack_base;
+  std::size_t next_artificial = artificial_base;
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto& row = rows[r];
+    for (std::size_t j = 0; j < n; ++j) tableau.At(r, j) = row.coeffs[j];
+    tableau.Rhs(r) = row.rhs;
+    switch (row.type) {
+      case ConstraintType::kLe:
+        tableau.At(r, next_slack) = 1.0;
+        tableau.Basis(r) = next_slack++;
+        break;
+      case ConstraintType::kGe:
+        tableau.At(r, next_slack) = -1.0;
+        ++next_slack;
+        tableau.At(r, next_artificial) = 1.0;
+        tableau.Basis(r) = next_artificial++;
+        break;
+      case ConstraintType::kEq:
+        tableau.At(r, next_artificial) = 1.0;
+        tableau.Basis(r) = next_artificial++;
+        break;
+    }
+  }
+
+  LpSolution solution;
+
+  // Phase 1: maximize -sum(artificials); feasible iff optimum is ~0.
+  if (num_artificial > 0) {
+    std::vector<double> phase1_cost(cols, 0.0);
+    for (std::size_t j = artificial_base; j < cols; ++j) phase1_cost[j] = -1.0;
+    const bool bounded = tableau.Maximize(phase1_cost, cols);
+    LAMP_CHECK(bounded);  // Phase-1 objective is bounded by 0.
+    if (tableau.ObjectiveValue(phase1_cost) < -1e-7) {
+      solution.status = LpSolution::Status::kInfeasible;
+      return solution;
+    }
+    // Drive any artificial still in the basis (at value 0) out if possible.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (tableau.Basis(r) >= artificial_base) {
+        for (std::size_t j = 0; j < artificial_base; ++j) {
+          if (std::fabs(tableau.At(r, j)) > kEps) {
+            tableau.Pivot(r, j);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Phase 2: maximize the real objective over structural + slack columns.
+  std::vector<double> cost(cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) cost[j] = lp.objective[j];
+  if (!tableau.Maximize(cost, artificial_base)) {
+    solution.status = LpSolution::Status::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpSolution::Status::kOptimal;
+  solution.objective_value = tableau.ObjectiveValue(cost);
+  solution.x = tableau.Extract(n);
+  return solution;
+}
+
+}  // namespace lamp

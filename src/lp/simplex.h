@@ -1,0 +1,51 @@
+#ifndef LAMP_LP_SIMPLEX_H_
+#define LAMP_LP_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// A small dense two-phase simplex solver.
+///
+/// The paper's load bounds hinge on two linear programs over the query
+/// hypergraph: the fractional edge packing (tau*, Section 3.1) and the
+/// share-exponent program whose optimum is the HyperCube load exponent.
+/// These LPs have a handful of variables, so a textbook dense tableau with
+/// Bland's anti-cycling rule is the right tool — no external dependency,
+/// fully deterministic.
+
+namespace lamp {
+
+/// Constraint sense for LinearProgram rows.
+enum class ConstraintType { kLe, kGe, kEq };
+
+/// maximize objective . x  subject to the constraints and x >= 0.
+struct LinearProgram {
+  /// One linear constraint: coeffs . x (type) rhs.
+  struct Constraint {
+    std::vector<double> coeffs;
+    ConstraintType type = ConstraintType::kLe;
+    double rhs = 0.0;
+  };
+
+  std::size_t num_vars = 0;
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+};
+
+/// Solver outcome.
+struct LpSolution {
+  enum class Status { kOptimal, kInfeasible, kUnbounded };
+
+  Status status = Status::kInfeasible;
+  double objective_value = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves \p lp with two-phase primal simplex (Bland's rule). Deterministic;
+/// suitable for LPs with up to a few hundred rows/columns.
+LpSolution SolveLp(const LinearProgram& lp);
+
+}  // namespace lamp
+
+#endif  // LAMP_LP_SIMPLEX_H_

@@ -1,0 +1,50 @@
+#include "mapreduce/mapreduce.h"
+
+#include <algorithm>
+
+namespace lamp {
+
+std::size_t MapReduceStats::MaxGroupSize() const {
+  if (group_sizes.empty()) return 0;
+  return *std::max_element(group_sizes.begin(), group_sizes.end());
+}
+
+Instance RunJob(const MapReduceJob& job, const Instance& input,
+                MapReduceStats* stats) {
+  // Map stage: apply mu to every input fact, group by key. Groups use an
+  // ordered map so the execution is deterministic.
+  std::map<std::uint64_t, std::vector<Fact>> groups;
+  std::size_t shuffled = 0;
+  for (const Fact& f : input.AllFacts()) {
+    for (KeyValue& kv : job.map(f)) {
+      groups[kv.key].push_back(std::move(kv.value));
+      ++shuffled;
+    }
+  }
+
+  // Reduce stage: apply rho per group.
+  Instance output;
+  MapReduceStats local;
+  local.pairs_shuffled = shuffled;
+  for (const auto& [key, values] : groups) {
+    local.group_sizes.push_back(values.size());
+    for (const KeyValue& kv : job.reduce(key, values)) {
+      output.Insert(kv.value);
+    }
+  }
+  if (stats != nullptr) *stats = std::move(local);
+  return output;
+}
+
+Instance RunProgram(const MapReduceProgram& program, const Instance& input,
+                    std::vector<MapReduceStats>* stats) {
+  Instance current = input;
+  for (const MapReduceJob& job : program.jobs) {
+    MapReduceStats job_stats;
+    current = RunJob(job, current, &job_stats);
+    if (stats != nullptr) stats->push_back(std::move(job_stats));
+  }
+  return current;
+}
+
+}  // namespace lamp

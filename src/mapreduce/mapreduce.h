@@ -1,0 +1,75 @@
+#ifndef LAMP_MAPREDUCE_MAPREDUCE_H_
+#define LAMP_MAPREDUCE_MAPREDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "relational/instance.h"
+
+/// \file
+/// The MapReduce formalism of Section 3 of the paper.
+///
+/// A job is a pair (mu, rho): the map function mu turns each input fact
+/// into key-value pairs; pairs are grouped by key; the reduce function rho
+/// turns each group into output pairs. A MapReduce *program* is a sequence
+/// of jobs. The paper observes that every MapReduce program is an MPC
+/// algorithm — the map phase is the communication phase (the key is the
+/// server) and the reduce phase the computation phase; ToMpc() makes the
+/// translation executable and the tests check both sides compute the same
+/// result with the same load profile.
+///
+/// Values are facts (the natural choice for relational jobs); keys are
+/// 64-bit integers.
+
+namespace lamp {
+
+/// One key-value pair.
+struct KeyValue {
+  std::uint64_t key = 0;
+  Fact value;
+};
+
+/// A MapReduce job.
+struct MapReduceJob {
+  /// mu: fact -> collection of key-value pairs.
+  using MapFn = std::function<std::vector<KeyValue>(const Fact&)>;
+  /// rho: (key, values) -> collection of key-value pairs.
+  using ReduceFn = std::function<std::vector<KeyValue>(
+      std::uint64_t key, const std::vector<Fact>& group)>;
+
+  MapFn map;
+  ReduceFn reduce;
+};
+
+/// Load statistics of one job execution: number of values each reducer
+/// (key group) received — the "reducer size" of Das Sarma et al. [27] —
+/// and the total number of key-value pairs shuffled (the communication
+/// cost of Afrati-Ullman).
+struct MapReduceStats {
+  std::vector<std::size_t> group_sizes;
+  std::size_t pairs_shuffled = 0;
+
+  std::size_t MaxGroupSize() const;
+  std::size_t NumGroups() const { return group_sizes.size(); }
+};
+
+/// Executes one job on \p input; all produced values are collected into an
+/// Instance (duplicate facts merge).
+Instance RunJob(const MapReduceJob& job, const Instance& input,
+                MapReduceStats* stats = nullptr);
+
+/// A program: jobs executed in sequence, the output of one feeding the
+/// next.
+struct MapReduceProgram {
+  std::vector<MapReduceJob> jobs;
+};
+
+/// Runs a whole program; per-job stats are appended to \p stats.
+Instance RunProgram(const MapReduceProgram& program, const Instance& input,
+                    std::vector<MapReduceStats>* stats = nullptr);
+
+}  // namespace lamp
+
+#endif  // LAMP_MAPREDUCE_MAPREDUCE_H_

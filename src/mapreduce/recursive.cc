@@ -1,0 +1,98 @@
+#include "mapreduce/recursive.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lamp {
+
+namespace {
+
+/// One join job over binary relations: joins `left` facts (on their second
+/// column) with `right` facts (on their first column), emitting `out`
+/// facts. Keys are the raw join values, so grouping is exact.
+MapReduceJob JoinSecondWithFirst(RelationId left, RelationId right,
+                                 RelationId out) {
+  MapReduceJob job;
+  job.map = [left, right](const Fact& f) {
+    std::vector<KeyValue> kvs;
+    if (f.relation == left) {
+      kvs.push_back({static_cast<std::uint64_t>(f.args[1].v), f});
+    }
+    if (f.relation == right) {
+      kvs.push_back({static_cast<std::uint64_t>(f.args[0].v), f});
+    }
+    return kvs;
+  };
+  job.reduce = [left, right, out](std::uint64_t key,
+                                  const std::vector<Fact>& group) {
+    std::vector<KeyValue> kvs;
+    for (const Fact& l : group) {
+      if (l.relation != left ||
+          static_cast<std::uint64_t>(l.args[1].v) != key) {
+        continue;
+      }
+      for (const Fact& r : group) {
+        if (r.relation != right ||
+            static_cast<std::uint64_t>(r.args[0].v) != key) {
+          continue;
+        }
+        kvs.push_back({0, Fact(out, {l.args[0].v, r.args[1].v})});
+      }
+    }
+    return kvs;
+  };
+  return job;
+}
+
+void Accumulate(const MapReduceStats& stats, RecursiveTcResult& result) {
+  result.pairs_shuffled += stats.pairs_shuffled;
+  result.max_group = std::max(result.max_group, stats.MaxGroupSize());
+}
+
+}  // namespace
+
+RecursiveTcResult TransitiveClosureLinear(const Schema& schema,
+                                          RelationId edge, RelationId tc,
+                                          const Instance& edges) {
+  LAMP_CHECK(schema.ArityOf(edge) == 2 && schema.ArityOf(tc) == 2);
+  RecursiveTcResult result;
+  // TC starts as a copy of the edges.
+  for (const Fact& f : edges.FactsOf(edge)) {
+    result.closure.Insert(Fact(tc, f.args));
+  }
+
+  const MapReduceJob step = JoinSecondWithFirst(tc, edge, tc);
+  while (true) {
+    Instance input = edges;
+    input.InsertAll(result.closure);
+    MapReduceStats stats;
+    const Instance derived = RunJob(step, input, &stats);
+    ++result.jobs;
+    Accumulate(stats, result);
+    if (result.closure.InsertAll(derived) == 0) break;
+  }
+  return result;
+}
+
+RecursiveTcResult TransitiveClosureDoubling(const Schema& schema,
+                                            RelationId edge, RelationId tc,
+                                            const Instance& edges) {
+  LAMP_CHECK(schema.ArityOf(edge) == 2 && schema.ArityOf(tc) == 2);
+  RecursiveTcResult result;
+  for (const Fact& f : edges.FactsOf(edge)) {
+    result.closure.Insert(Fact(tc, f.args));
+  }
+
+  const MapReduceJob step = JoinSecondWithFirst(tc, tc, tc);
+  while (true) {
+    MapReduceStats stats;
+    const Instance derived = RunJob(step, result.closure, &stats);
+    ++result.jobs;
+    Accumulate(stats, result);
+    if (result.closure.InsertAll(derived) == 0) break;
+  }
+  return result;
+}
+
+}  // namespace lamp

@@ -1,0 +1,40 @@
+#ifndef LAMP_MAPREDUCE_RELATIONAL_JOBS_H_
+#define LAMP_MAPREDUCE_RELATIONAL_JOBS_H_
+
+#include "cq/cq.h"
+#include "distribution/hypercube.h"
+#include "mapreduce/mapreduce.h"
+#include "mpc/join_strategies.h"
+
+/// \file
+/// The canonical relational MapReduce jobs the paper refers to, plus the
+/// MapReduce -> MPC translation it sketches ("the map phase and reducer
+/// phase readily translate to the communication and computation phase").
+
+namespace lamp {
+
+/// The repartition join (Example 3.1(1a)) as one MapReduce job:
+/// mu hashes each fact on its join-variable values to one of
+/// \p num_reducers keys; rho evaluates \p query on its group. \p query
+/// must be a two-atom join without self-joins.
+MapReduceJob RepartitionJoinJob(const ConjunctiveQuery& query,
+                                std::size_t num_reducers,
+                                std::uint64_t seed = 0);
+
+/// The Shares/HyperCube algorithm (Section 3.1, Afrati-Ullman) as one
+/// MapReduce job: mu replicates each fact to every grid cell the
+/// HyperCube policy makes responsible; rho evaluates the query. The
+/// returned job owns a HypercubePolicy built from \p shares.
+MapReduceJob SharesJob(const ConjunctiveQuery& query, const Shares& shares,
+                       std::uint64_t seed = 0);
+
+/// Executes \p job as a one-round MPC algorithm on \p num_servers servers:
+/// reducer keys are assigned to servers round-robin (key mod p), the map
+/// phase becomes the communication phase and the reduce phase runs
+/// per-server over its keys — the paper's MapReduce-to-MPC translation.
+MpcRunResult RunJobOnMpc(const MapReduceJob& job, const Instance& input,
+                         std::size_t num_servers);
+
+}  // namespace lamp
+
+#endif  // LAMP_MAPREDUCE_RELATIONAL_JOBS_H_

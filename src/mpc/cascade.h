@@ -1,0 +1,32 @@
+#ifndef LAMP_MPC_CASCADE_H_
+#define LAMP_MPC_CASCADE_H_
+
+#include <cstdint>
+
+#include "cq/cq.h"
+#include "mpc/join_strategies.h"
+#include "relational/schema.h"
+
+/// \file
+/// Multi-round evaluation by a cascade of binary hash joins
+/// (Example 3.1(2): the two-round triangle R |x| S then |x| T).
+///
+/// Round i repartitions the intermediate result and the next atom's
+/// relation on their shared variables and joins locally; relations needed
+/// in later rounds stay put (self-routing, which is not communication).
+/// The number of rounds is #atoms - 1; intermediate results can exceed the
+/// final output (the motivation for Yannakakis/GYM in Section 3.2).
+
+namespace lamp {
+
+/// Evaluates \p query (no negation; inequalities applied at the end) by a
+/// left-deep cascade. Atoms are greedily reordered so that every join step
+/// shares at least one variable (checked error for cartesian steps).
+/// \p schema is extended with synthetic relations for the intermediates.
+MpcRunResult CascadeJoin(Schema& schema, const ConjunctiveQuery& query,
+                         const Instance& input, std::size_t num_servers,
+                         std::uint64_t seed = 0);
+
+}  // namespace lamp
+
+#endif  // LAMP_MPC_CASCADE_H_

@@ -1,0 +1,52 @@
+#ifndef LAMP_MPC_DECOMPOSITION_H_
+#define LAMP_MPC_DECOMPOSITION_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "cq/cq.h"
+
+/// \file
+/// Tree decompositions of query hypergraphs (the input GYM takes,
+/// Section 3.2: "GYM takes a tree decomposition of a possibly cyclic
+/// query as input").
+///
+/// We build decompositions by min-degree elimination on the variable
+/// co-occurrence graph — the standard heuristic; its width is optimal for
+/// the small query shapes the experiments use (triangles, cycles,
+/// chordal-ish joins).
+
+namespace lamp {
+
+/// A tree decomposition with atoms assigned to bags.
+struct TreeDecomposition {
+  static constexpr std::ptrdiff_t kRoot = -1;
+
+  struct Bag {
+    std::set<VarId> vars;
+    std::vector<std::size_t> atom_indices;  // Body atoms evaluated here.
+  };
+
+  std::vector<Bag> bags;
+  std::vector<std::ptrdiff_t> parent;  // parent[i] or kRoot.
+
+  /// Width = max bag size - 1.
+  std::size_t Width() const;
+};
+
+/// Builds a decomposition by min-degree elimination. Every body atom is
+/// assigned to exactly one bag that covers all its variables; bags that
+/// ended up with no atoms are contracted away. Requires at least one atom
+/// and at least one variable.
+TreeDecomposition BuildTreeDecomposition(const ConjunctiveQuery& query);
+
+/// Validity checks (used by tests): every atom's variables inside its
+/// bag, every atom assigned, and every variable's bags forming a
+/// connected subtree.
+bool IsValidDecomposition(const ConjunctiveQuery& query,
+                          const TreeDecomposition& td);
+
+}  // namespace lamp
+
+#endif  // LAMP_MPC_DECOMPOSITION_H_

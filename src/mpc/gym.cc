@@ -1,0 +1,178 @@
+#include "mpc/gym.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "mpc/cascade.h"
+#include "mpc/hypercube_run.h"
+#include "mpc/yannakakis.h"
+
+namespace lamp {
+
+MpcRunResult GymEvaluate(Schema& schema, const ConjunctiveQuery& query,
+                         const TreeDecomposition& td, const Instance& input,
+                         std::size_t num_servers, std::uint64_t seed) {
+  LAMP_CHECK_MSG(query.negated().empty(), "GYM does not handle negation");
+  LAMP_CHECK(!td.bags.empty());
+
+  MpcRunResult result;
+  Instance bag_instance;
+  std::vector<RelationId> bag_rel(td.bags.size());
+  std::vector<std::vector<VarId>> bag_cols(td.bags.size());
+
+  // Phase 1: evaluate each bag's atom group with HyperCube.
+  for (std::size_t b = 0; b < td.bags.size(); ++b) {
+    const TreeDecomposition::Bag& bag = td.bags[b];
+    LAMP_CHECK_MSG(!bag.atom_indices.empty(),
+                   "decomposition has an atom-less bag");
+
+    // Columns: the variables actually bound by the bag's atoms, sorted.
+    std::set<VarId> bound;
+    for (std::size_t a : bag.atom_indices) {
+      for (const Term& t : query.body()[a].terms) {
+        if (t.IsVar()) bound.insert(t.var);
+      }
+    }
+    bag_cols[b].assign(bound.begin(), bound.end());
+    bag_rel[b] = schema.AddRelation(
+        "__bag" + std::to_string(b) + "_" + std::to_string(seed % 1000),
+        bag_cols[b].size());
+
+    // Bag sub-query: full head over the bound variables. Inequalities
+    // local to the bag are applied here (harmless to defer, cheaper not
+    // to).
+    ConjunctiveQuery sub;
+    std::vector<Term> head_terms;
+    head_terms.reserve(bag_cols[b].size());
+    // Re-intern variable names so the sub-query is self-contained.
+    std::vector<VarId> local_of(query.NumVars(), 0);
+    for (VarId v : bag_cols[b]) {
+      local_of[v] = sub.VarIdOf(query.VarName(v));
+      head_terms.push_back(Term::Var(local_of[v]));
+    }
+    sub.SetHead(Atom(bag_rel[b], std::move(head_terms)));
+    for (std::size_t a : bag.atom_indices) {
+      Atom atom = query.body()[a];
+      for (Term& t : atom.terms) {
+        if (t.IsVar()) t = Term::Var(local_of[t.var]);
+      }
+      sub.AddBodyAtom(std::move(atom));
+    }
+    for (const auto& [lhs, rhs] : query.inequalities()) {
+      const bool lhs_in = !lhs.IsVar() || bound.count(lhs.var) > 0;
+      const bool rhs_in = !rhs.IsVar() || bound.count(rhs.var) > 0;
+      if (lhs_in && rhs_in) {
+        const Term l = lhs.IsVar() ? Term::Var(local_of[lhs.var]) : lhs;
+        const Term r = rhs.IsVar() ? Term::Var(local_of[rhs.var]) : rhs;
+        sub.AddInequality(l, r);
+      }
+    }
+    sub.Validate();
+
+    const MpcRunResult bag_run =
+        RunHyperCubeUniform(sub, input, num_servers, seed + b);
+    bag_instance.InsertAll(bag_run.output);
+    for (const RoundStats& r : bag_run.stats.rounds) {
+      result.stats.rounds.push_back(r);
+    }
+  }
+
+  // Phase 2: Yannakakis over the bag relations. The bag query's body is
+  // one atom per bag; its hypergraph has the decomposition tree as a join
+  // tree, hence it is acyclic.
+  ConjunctiveQuery bag_query;
+  std::vector<VarId> global_to_local(query.NumVars(),
+                                     static_cast<VarId>(-1));
+  auto local_var = [&](VarId v) {
+    if (global_to_local[v] == static_cast<VarId>(-1)) {
+      global_to_local[v] = bag_query.VarIdOf(query.VarName(v));
+    }
+    return global_to_local[v];
+  };
+  for (std::size_t b = 0; b < td.bags.size(); ++b) {
+    std::vector<Term> terms;
+    terms.reserve(bag_cols[b].size());
+    for (VarId v : bag_cols[b]) terms.push_back(Term::Var(local_var(v)));
+    bag_query.AddBodyAtom(Atom(bag_rel[b], std::move(terms)));
+  }
+  {
+    Atom head = query.head();
+    for (Term& t : head.terms) {
+      if (t.IsVar()) t = Term::Var(local_var(t.var));
+    }
+    bag_query.SetHead(std::move(head));
+  }
+  for (const auto& [lhs, rhs] : query.inequalities()) {
+    const Term l = lhs.IsVar() ? Term::Var(local_var(lhs.var)) : lhs;
+    const Term r = rhs.IsVar() ? Term::Var(local_var(rhs.var)) : rhs;
+    bag_query.AddInequality(l, r);
+  }
+  bag_query.Validate();
+
+  // The decomposition tree *is* a join tree for the bag query (bag i's
+  // atom corresponds to decomposition bag i), so hand it to the semijoin
+  // phase directly instead of re-deriving one: the bound-variable
+  // hypergraph can look cyclic even when the decomposition is valid.
+  JoinTree bag_tree;
+  bag_tree.acyclic = true;
+  bag_tree.parent = td.parent;
+  {
+    // Leaves-first order via Kahn's algorithm on the parent pointers.
+    std::vector<std::size_t> children(td.bags.size(), 0);
+    for (std::ptrdiff_t p : td.parent) {
+      if (p != TreeDecomposition::kRoot) ++children[static_cast<std::size_t>(p)];
+    }
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < td.bags.size(); ++i) {
+      if (children[i] == 0) frontier.push_back(i);
+    }
+    while (!frontier.empty()) {
+      const std::size_t bag = frontier.back();
+      frontier.pop_back();
+      bag_tree.removal_order.push_back(bag);
+      const std::ptrdiff_t p = td.parent[bag];
+      if (p != TreeDecomposition::kRoot &&
+          --children[static_cast<std::size_t>(p)] == 0) {
+        frontier.push_back(static_cast<std::size_t>(p));
+      }
+    }
+    LAMP_CHECK(bag_tree.removal_order.size() == td.bags.size());
+  }
+  // Every tree edge must share a bound variable for the distributed
+  // semijoin (and the subsequent cascade) to have a repartition key.
+  for (std::size_t i = 0; i < td.bags.size(); ++i) {
+    if (td.parent[i] == TreeDecomposition::kRoot) continue;
+    const auto& a = bag_cols[i];
+    const auto& b = bag_cols[static_cast<std::size_t>(td.parent[i])];
+    bool shared = false;
+    for (VarId v : a) {
+      if (std::find(b.begin(), b.end(), v) != b.end()) shared = true;
+    }
+    LAMP_CHECK_MSG(shared,
+                   "decomposition edge without shared bound variables");
+  }
+
+  MpcRunResult reduced = SemijoinReduce(bag_query, bag_tree, bag_instance,
+                                        num_servers, seed + 101);
+  for (RoundStats& r : reduced.stats.rounds) {
+    result.stats.rounds.push_back(std::move(r));
+  }
+  MpcRunResult joined =
+      CascadeJoin(schema, bag_query, reduced.output, num_servers, seed + 202);
+  result.output = std::move(joined.output);
+  for (RoundStats& r : joined.stats.rounds) {
+    result.stats.rounds.push_back(std::move(r));
+  }
+  return result;
+}
+
+MpcRunResult GymEvaluate(Schema& schema, const ConjunctiveQuery& query,
+                         const Instance& input, std::size_t num_servers,
+                         std::uint64_t seed) {
+  return GymEvaluate(schema, query, BuildTreeDecomposition(query), input,
+                     num_servers, seed);
+}
+
+}  // namespace lamp

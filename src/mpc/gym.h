@@ -1,0 +1,46 @@
+#ifndef LAMP_MPC_GYM_H_
+#define LAMP_MPC_GYM_H_
+
+#include <cstdint>
+
+#include "cq/cq.h"
+#include "mpc/decomposition.h"
+#include "mpc/join_strategies.h"
+#include "relational/schema.h"
+
+/// \file
+/// GYM — Generalized Yannakakis in MapReduce (Afrati et al., discussed in
+/// Section 3.2 of the paper) — for possibly cyclic queries:
+///
+///  1. take a tree decomposition of the query;
+///  2. evaluate the atoms grouped at each bag with the Shares/HyperCube
+///     algorithm, materializing one relation per bag;
+///  3. run Yannakakis over the (acyclic) bag tree: semi-join reduction
+///     then a join cascade whose intermediates are bounded by the reduced
+///     data.
+///
+/// The decomposition's shape trades rounds against communication: a
+/// single bag degenerates to plain one-round HyperCube, a deep tree to
+/// many cheap rounds. Bag evaluations are independent (they run on
+/// disjoint server groups in real deployments); the simulator executes
+/// them as separate rounds, so reported round counts upper-bound a real
+/// GYM execution.
+
+namespace lamp {
+
+/// Evaluates \p query (no negation) with GYM over \p td on
+/// \p num_servers simulated servers. \p schema gains synthetic bag
+/// relations ("__bag<i>"). Inequalities are applied in the final join
+/// cascade.
+MpcRunResult GymEvaluate(Schema& schema, const ConjunctiveQuery& query,
+                         const TreeDecomposition& td, const Instance& input,
+                         std::size_t num_servers, std::uint64_t seed = 0);
+
+/// Convenience: builds the decomposition internally.
+MpcRunResult GymEvaluate(Schema& schema, const ConjunctiveQuery& query,
+                         const Instance& input, std::size_t num_servers,
+                         std::uint64_t seed = 0);
+
+}  // namespace lamp
+
+#endif  // LAMP_MPC_GYM_H_

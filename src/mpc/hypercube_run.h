@@ -1,0 +1,42 @@
+#ifndef LAMP_MPC_HYPERCUBE_RUN_H_
+#define LAMP_MPC_HYPERCUBE_RUN_H_
+
+#include <cstdint>
+
+#include "cq/cq.h"
+#include "distribution/hypercube.h"
+#include "mpc/join_strategies.h"
+
+/// \file
+/// One-round HyperCube/Shares evaluation in the MPC simulator
+/// (Section 3.1). Routing is the HypercubePolicy; the computation phase
+/// evaluates the query locally. For a full CQ on skew-free data the
+/// maximum load is O(m/p^{1/tau*}) with high probability
+/// (Beame-Koutris-Suciu), which bench/bench_hypercube_load.cc measures.
+
+namespace lamp {
+
+/// Runs \p query in one round on a grid with the given \p shares.
+MpcRunResult RunHyperCube(const ConjunctiveQuery& query, const Instance& input,
+                          const Shares& shares, std::uint64_t seed = 0);
+
+/// Convenience: uniform shares for a budget of \p num_servers.
+MpcRunResult RunHyperCubeUniform(const ConjunctiveQuery& query,
+                                 const Instance& input,
+                                 std::size_t num_servers,
+                                 std::uint64_t seed = 0);
+
+/// Convenience: LP-optimal share exponents rounded to integers (each
+/// alpha_v = round(p^{x_v}) clamped to >= 1).
+MpcRunResult RunHyperCubeLpShares(const ConjunctiveQuery& query,
+                                  const Instance& input,
+                                  std::size_t num_servers,
+                                  std::uint64_t seed = 0);
+
+/// The share vector RunHyperCubeLpShares uses.
+Shares LpRoundedShares(const ConjunctiveQuery& query,
+                       std::size_t num_servers);
+
+}  // namespace lamp
+
+#endif  // LAMP_MPC_HYPERCUBE_RUN_H_

@@ -1,0 +1,139 @@
+#include "mpc/join_strategies.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "cq/eval.h"
+#include "mpc/simulator.h"
+
+namespace lamp {
+
+namespace {
+
+/// Positions (within each of the two atoms) of the shared join variables.
+struct JoinShape {
+  std::vector<std::size_t> left_positions;   // In body()[0].
+  std::vector<std::size_t> right_positions;  // In body()[1].
+};
+
+JoinShape AnalyzeBinaryJoin(const ConjunctiveQuery& query) {
+  LAMP_CHECK_MSG(query.body().size() == 2,
+                 "binary join strategies need exactly two body atoms");
+  const Atom& left = query.body()[0];
+  const Atom& right = query.body()[1];
+  LAMP_CHECK_MSG(left.relation != right.relation,
+                 "binary join strategies do not support self-joins");
+
+  std::set<VarId> left_vars;
+  for (const Term& t : left.terms) {
+    if (t.IsVar()) left_vars.insert(t.var);
+  }
+  std::set<VarId> shared;
+  for (const Term& t : right.terms) {
+    if (t.IsVar() && left_vars.count(t.var) > 0) shared.insert(t.var);
+  }
+  LAMP_CHECK_MSG(!shared.empty(), "the two atoms share no variable");
+
+  JoinShape shape;
+  // First occurrence of each shared var in each atom, in VarId order.
+  for (VarId v : shared) {
+    for (std::size_t i = 0; i < left.terms.size(); ++i) {
+      if (left.terms[i].IsVar() && left.terms[i].var == v) {
+        shape.left_positions.push_back(i);
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < right.terms.size(); ++i) {
+      if (right.terms[i].IsVar() && right.terms[i].var == v) {
+        shape.right_positions.push_back(i);
+        break;
+      }
+    }
+  }
+  return shape;
+}
+
+std::uint64_t HashPositions(const Fact& fact,
+                            const std::vector<std::size_t>& positions,
+                            std::uint64_t seed) {
+  std::uint64_t h = HashMix(seed);
+  for (std::size_t pos : positions) {
+    h = HashCombine(h, static_cast<std::uint64_t>(fact.args[pos].v));
+  }
+  return h;
+}
+
+MpcSimulator::Computer EvaluateLocally(const ConjunctiveQuery& query) {
+  return [&query](NodeId, const Instance& received) {
+    return MpcSimulator::ComputeResult{Instance(),
+                                       Evaluate(query, received)};
+  };
+}
+
+}  // namespace
+
+MpcRunResult RepartitionJoin(const ConjunctiveQuery& query,
+                             const Instance& input, std::size_t num_servers,
+                             std::uint64_t seed) {
+  const JoinShape shape = AnalyzeBinaryJoin(query);
+  const RelationId left_rel = query.body()[0].relation;
+  const RelationId right_rel = query.body()[1].relation;
+
+  MpcSimulator sim(num_servers);
+  sim.LoadInput(input);
+  sim.RunRound(
+      [&](NodeId, const Fact& f) -> std::vector<NodeId> {
+        if (f.relation == left_rel) {
+          return {static_cast<NodeId>(
+              HashPositions(f, shape.left_positions, seed) % num_servers)};
+        }
+        if (f.relation == right_rel) {
+          return {static_cast<NodeId>(
+              HashPositions(f, shape.right_positions, seed) % num_servers)};
+        }
+        return {};
+      },
+      EvaluateLocally(query));
+  return {sim.output(), sim.stats()};
+}
+
+MpcRunResult FragmentReplicateJoin(const ConjunctiveQuery& query,
+                                   const Instance& input,
+                                   std::size_t num_servers,
+                                   std::uint64_t seed) {
+  AnalyzeBinaryJoin(query);  // Validates the query shape.
+  const RelationId left_rel = query.body()[0].relation;
+  const RelationId right_rel = query.body()[1].relation;
+
+  const auto g = static_cast<std::size_t>(
+      std::floor(std::sqrt(static_cast<double>(num_servers)) + 1e-9));
+  LAMP_CHECK(g >= 1);
+
+  MpcSimulator sim(num_servers);
+  sim.LoadInput(input);
+  sim.RunRound(
+      [&](NodeId, const Fact& f) -> std::vector<NodeId> {
+        std::vector<NodeId> targets;
+        // Group by the whole-fact hash: balanced regardless of value skew.
+        const std::uint64_t group = FactHash()(f) ^ HashMix(seed);
+        if (f.relation == left_rel) {
+          const std::size_t row = group % g;
+          for (std::size_t col = 0; col < g; ++col) {
+            targets.push_back(static_cast<NodeId>(row * g + col));
+          }
+        } else if (f.relation == right_rel) {
+          const std::size_t col = group % g;
+          for (std::size_t row = 0; row < g; ++row) {
+            targets.push_back(static_cast<NodeId>(row * g + col));
+          }
+        }
+        return targets;
+      },
+      EvaluateLocally(query));
+  return {sim.output(), sim.stats()};
+}
+
+}  // namespace lamp

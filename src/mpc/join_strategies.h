@@ -1,0 +1,47 @@
+#ifndef LAMP_MPC_JOIN_STRATEGIES_H_
+#define LAMP_MPC_JOIN_STRATEGIES_H_
+
+#include <cstdint>
+
+#include "cq/cq.h"
+#include "mpc/stats.h"
+#include "relational/instance.h"
+
+/// \file
+/// The two single-round binary-join strategies of Example 3.1:
+///
+///  (1a) *repartition join*: hash both relations on the shared join
+///       variables; O(m/p) load without skew but degrades to O(m) when a
+///       join value is heavy;
+///  (1b) *fragment-replicate join* (Ullman's drug-interaction pattern, used
+///       by DYM-n): split R into sqrt(p) row groups and S into sqrt(p)
+///       column groups and give every (row, column) pair a server;
+///       O(m/sqrt(p)) load independent of skew.
+
+namespace lamp {
+
+/// Result of a complete MPC execution: the query output plus per-round
+/// load statistics.
+struct MpcRunResult {
+  Instance output;
+  RunStats stats;
+};
+
+/// Example 3.1(1a). \p query must be a join of exactly two atoms sharing
+/// at least one variable (e.g. H(x,y,z) <- R(x,y), S(y,z)).
+MpcRunResult RepartitionJoin(const ConjunctiveQuery& query,
+                             const Instance& input, std::size_t num_servers,
+                             std::uint64_t seed = 0);
+
+/// Example 3.1(1b). Uses the largest g with g*g <= num_servers and
+/// arranges the g*g servers as a grid; the first atom's facts go to a
+/// random-but-deterministic row group, the second atom's to a column
+/// group. Load O(m/g) regardless of skew.
+MpcRunResult FragmentReplicateJoin(const ConjunctiveQuery& query,
+                                   const Instance& input,
+                                   std::size_t num_servers,
+                                   std::uint64_t seed = 0);
+
+}  // namespace lamp
+
+#endif  // LAMP_MPC_JOIN_STRATEGIES_H_

@@ -1,0 +1,33 @@
+#ifndef LAMP_MPC_SHARES_SKEW_H_
+#define LAMP_MPC_SHARES_SKEW_H_
+
+#include <cstdint>
+
+#include "cq/cq.h"
+#include "mpc/join_strategies.h"
+
+/// \file
+/// SharesSkew (Afrati-Stasinopoulos-Ullman-Vasilakopoulos, cited in
+/// Section 3.1): a *one-round* generalization of Shares that handles
+/// heavy hitters by "distinguishing tuples that are heavy hitters" —
+/// each heavy join value gets its own residual grid, all within the same
+/// communication round.
+///
+/// Implemented for the binary join H <- R(x,y), S(y,z) (the shape the
+/// paper's Example 3.1 analyzes): the server pool is split into a hashed
+/// region for light join values and one fragment-replicate sub-grid per
+/// heavy value; every tuple is routed in the single round either to its
+/// hash bucket or to its heavy sub-grid. Load drops from the
+/// repartition join's O(heavy-degree) to O(m/sqrt(p_b)) per heavy value.
+
+namespace lamp {
+
+/// One-round skew-aware join. \p heavy_threshold 0 means m/sqrt(p).
+MpcRunResult SharesSkewJoin(const ConjunctiveQuery& query,
+                            const Instance& input, std::size_t num_servers,
+                            std::uint64_t seed = 0,
+                            std::size_t heavy_threshold = 0);
+
+}  // namespace lamp
+
+#endif  // LAMP_MPC_SHARES_SKEW_H_

@@ -1,0 +1,73 @@
+#include "mpc/simulator.h"
+
+#include "common/check.h"
+
+namespace lamp {
+
+MpcSimulator::MpcSimulator(std::size_t num_servers) {
+  LAMP_CHECK(num_servers > 0);
+  locals_.resize(num_servers);
+}
+
+void MpcSimulator::LoadInput(const Instance& global) {
+  const std::size_t p = locals_.size();
+  locals_.assign(p, Instance());
+  output_ = Instance();
+  stats_ = RunStats();
+  std::size_t i = 0;
+  for (const Fact& f : global.AllFacts()) {
+    locals_[i % p].Insert(f);
+    ++i;
+  }
+}
+
+void MpcSimulator::LoadLocals(std::vector<Instance> locals) {
+  LAMP_CHECK(locals.size() == locals_.size());
+  locals_ = std::move(locals);
+  output_ = Instance();
+  stats_ = RunStats();
+}
+
+void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
+  const std::size_t p = locals_.size();
+
+  // Communication phase.
+  std::vector<Instance> received(p);
+  RoundStats round;
+  round.received.assign(p, 0);
+  for (NodeId source = 0; source < p; ++source) {
+    for (const Fact& f : locals_[source].AllFacts()) {
+      for (NodeId target : route(source, f)) {
+        LAMP_CHECK(target < p);
+        // A fact kept at its current server is not communicated: it
+        // persists but does not count toward the load (the model's load is
+        // the data *received* by a server during the round).
+        if (received[target].Insert(f) && target != source) {
+          ++round.received[target];
+        }
+      }
+    }
+  }
+  stats_.rounds.push_back(std::move(round));
+
+  // Computation phase.
+  for (NodeId server = 0; server < p; ++server) {
+    ComputeResult result = compute(server, received[server]);
+    locals_[server] = std::move(result.next_state);
+    output_.InsertAll(result.output);
+  }
+}
+
+MpcSimulator::Computer MpcSimulator::KeepAll() {
+  return [](NodeId, const Instance& received) {
+    return ComputeResult{received, Instance()};
+  };
+}
+
+Instance MpcSimulator::GlobalState() const {
+  Instance global;
+  for (const Instance& local : locals_) global.InsertAll(local);
+  return global;
+}
+
+}  // namespace lamp

@@ -1,0 +1,79 @@
+#ifndef LAMP_MPC_SIMULATOR_H_
+#define LAMP_MPC_SIMULATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "distribution/policy.h"
+#include "mpc/stats.h"
+#include "relational/instance.h"
+
+/// \file
+/// The MPC execution model (Section 3 of the paper): p servers, rounds of a
+/// communication phase (every server routes each of its facts to a set of
+/// servers) followed by a computation phase (local function of the received
+/// data). The simulator is single-threaded and deterministic; what it
+/// *measures* — per-server received tuples — is exactly the quantity the
+/// surveyed load bounds speak about.
+///
+/// Accounting convention: the load of a server in a round is the number of
+/// distinct tuples it receives from *other* servers. A fact a server routes
+/// to itself persists into the next phase but is not communication (multi-
+/// round algorithms use self-routing to keep relations in place for later
+/// rounds). With round-robin initial placement, accidental self-hits are a
+/// 1/p effect on measured loads.
+
+namespace lamp {
+
+/// Simulates one MPC cluster execution.
+class MpcSimulator {
+ public:
+  /// Routes one fact (held by server \p source) to target servers.
+  /// Returning an empty vector drops the fact.
+  using Router =
+      std::function<std::vector<NodeId>(NodeId source, const Fact& fact)>;
+
+  /// Computation phase of one server: transforms the received local
+  /// instance into (next round's local state, output facts).
+  struct ComputeResult {
+    Instance next_state;
+    Instance output;
+  };
+  using Computer =
+      std::function<ComputeResult(NodeId server, const Instance& received)>;
+
+  explicit MpcSimulator(std::size_t num_servers);
+
+  /// Distributes \p global round-robin over the servers ("the input data
+  /// is initially partitioned among the p servers"). Resets stats/output.
+  void LoadInput(const Instance& global);
+
+  /// Places \p local directly on each server (for tests). Resets stats.
+  void LoadLocals(std::vector<Instance> locals);
+
+  /// Executes one round: route every fact of every server with \p route,
+  /// then run \p compute per server on the received data. Load statistics
+  /// for the round are appended to stats().
+  void RunRound(const Router& route, const Computer& compute);
+
+  /// A computation phase that evaluates nothing and keeps the received
+  /// data as next state (pure reshuffle).
+  static Computer KeepAll();
+
+  std::size_t num_servers() const { return locals_.size(); }
+  const std::vector<Instance>& locals() const { return locals_; }
+  const Instance& output() const { return output_; }
+  const RunStats& stats() const { return stats_; }
+
+  /// Union of all server states (for assertions).
+  Instance GlobalState() const;
+
+ private:
+  std::vector<Instance> locals_;
+  Instance output_;
+  RunStats stats_;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_MPC_SIMULATOR_H_

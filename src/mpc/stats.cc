@@ -1,0 +1,47 @@
+#include "mpc/stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace lamp {
+
+std::size_t RoundStats::MaxLoad() const {
+  if (received.empty()) return 0;
+  return *std::max_element(received.begin(), received.end());
+}
+
+std::size_t RoundStats::TotalLoad() const {
+  return std::accumulate(received.begin(), received.end(), std::size_t{0});
+}
+
+double RoundStats::AvgLoad() const {
+  if (received.empty()) return 0.0;
+  return static_cast<double>(TotalLoad()) /
+         static_cast<double>(received.size());
+}
+
+std::size_t RunStats::MaxLoad() const {
+  std::size_t max_load = 0;
+  for (const RoundStats& r : rounds) {
+    max_load = std::max(max_load, r.MaxLoad());
+  }
+  return max_load;
+}
+
+std::size_t RunStats::TotalCommunication() const {
+  std::size_t total = 0;
+  for (const RoundStats& r : rounds) total += r.TotalLoad();
+  return total;
+}
+
+std::string RunStats::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    os << "round " << i << ": max=" << rounds[i].MaxLoad()
+       << " total=" << rounds[i].TotalLoad() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lamp

@@ -1,0 +1,51 @@
+#ifndef LAMP_MPC_STATS_H_
+#define LAMP_MPC_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file
+/// Load accounting for MPC rounds (Section 3 of the paper).
+///
+/// The model's central quantity is the *load*: the number of tuples a
+/// server receives during one round. The paper states bounds on the maximum
+/// load (e.g. O(m/p^{1/tau*}) for HyperCube) and on the total load a.k.a.
+/// communication cost (the Shares objective). Both are tracked per round.
+
+namespace lamp {
+
+/// Tuples received per server during one communication phase.
+struct RoundStats {
+  std::vector<std::size_t> received;
+
+  /// Maximum load over servers (the Koutris-Suciu objective).
+  std::size_t MaxLoad() const;
+
+  /// Total load = communication cost (the Afrati-Ullman objective).
+  std::size_t TotalLoad() const;
+
+  /// Average load per server.
+  double AvgLoad() const;
+};
+
+/// Statistics of a complete (multi-round) MPC execution.
+struct RunStats {
+  std::vector<RoundStats> rounds;
+
+  /// Max over rounds of the per-round maximum load ("the load should
+  /// always be a number in [m/p, m]" at any point of the execution).
+  std::size_t MaxLoad() const;
+
+  /// Total tuples communicated across all rounds.
+  std::size_t TotalCommunication() const;
+
+  std::size_t NumRounds() const { return rounds.size(); }
+
+  /// One line per round: "round 0: max=12 total=96".
+  std::string ToString() const;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_MPC_STATS_H_

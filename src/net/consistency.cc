@@ -1,0 +1,42 @@
+#include "net/consistency.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lamp {
+
+ConsistencySweep CheckEventualConsistency(
+    TransducerProgram& program,
+    const std::vector<std::vector<Instance>>& distributions,
+    const Instance& expected, std::size_t num_seeds,
+    const DistributionPolicy* policy, bool aware) {
+  ConsistencySweep sweep;
+  sweep.min_facts_transferred = std::numeric_limits<std::size_t>::max();
+
+  for (const std::vector<Instance>& locals : distributions) {
+    for (std::uint64_t seed = 0; seed < num_seeds; ++seed) {
+      TransducerNetwork network(locals, program, policy, aware);
+      const NetworkRunResult result = network.Run(seed);
+      ++sweep.runs;
+      if (!(result.output == expected)) sweep.all_runs_correct = false;
+      sweep.min_facts_transferred =
+          std::min(sweep.min_facts_transferred, result.facts_transferred);
+      sweep.max_facts_transferred =
+          std::max(sweep.max_facts_transferred, result.facts_transferred);
+      sweep.total_facts_transferred += result.facts_transferred;
+    }
+  }
+  if (sweep.runs == 0) sweep.min_facts_transferred = 0;
+  return sweep;
+}
+
+bool ComputesWithoutCommunication(TransducerProgram& program,
+                                  const std::vector<Instance>& ideal_locals,
+                                  const Instance& expected,
+                                  const DistributionPolicy* policy,
+                                  bool aware) {
+  TransducerNetwork network(ideal_locals, program, policy, aware);
+  return network.RunWithoutDelivery().output == expected;
+}
+
+}  // namespace lamp

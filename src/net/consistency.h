@@ -1,0 +1,49 @@
+#ifndef LAMP_NET_CONSISTENCY_H_
+#define LAMP_NET_CONSISTENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+/// \file
+/// Eventual-consistency and coordination-freeness probes (Section 5.1).
+///
+/// A program computes a query Q when *every* run outputs Q(I), for every
+/// network size and horizontal distribution. That is a universally
+/// quantified statement; the checker samples it: many scheduler seeds x
+/// many distributions, each run compared against the expected output.
+/// The coordination-freeness probe implements the definition directly:
+/// there must be a distribution (the "ideal" one) on which the program
+/// computes Q without reading any message.
+
+namespace lamp {
+
+/// Aggregate of a consistency sweep.
+struct ConsistencySweep {
+  bool all_runs_correct = true;
+  std::size_t runs = 0;
+  std::size_t min_facts_transferred = 0;
+  std::size_t max_facts_transferred = 0;
+  std::size_t total_facts_transferred = 0;
+};
+
+/// Runs \p program on every given distribution with every seed in
+/// [0, num_seeds); each run's output is compared to \p expected.
+ConsistencySweep CheckEventualConsistency(
+    TransducerProgram& program,
+    const std::vector<std::vector<Instance>>& distributions,
+    const Instance& expected, std::size_t num_seeds,
+    const DistributionPolicy* policy = nullptr, bool aware = true);
+
+/// The Section 5.1 probe: true when the heartbeat-only run on
+/// \p ideal_locals already outputs \p expected (no message ever read).
+bool ComputesWithoutCommunication(TransducerProgram& program,
+                                  const std::vector<Instance>& ideal_locals,
+                                  const Instance& expected,
+                                  const DistributionPolicy* policy = nullptr,
+                                  bool aware = true);
+
+}  // namespace lamp
+
+#endif  // LAMP_NET_CONSISTENCY_H_

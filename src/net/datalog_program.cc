@@ -1,0 +1,55 @@
+#include "net/datalog_program.h"
+
+#include "common/check.h"
+#include "datalog/eval.h"
+
+namespace lamp {
+
+DistributedDatalogProgram::DistributedDatalogProgram(
+    Schema& schema, const DatalogProgram& program)
+    : schema_(schema), program_(program), idb_(program.IdbRelations()) {
+  for (const ConjunctiveQuery& rule : program.rules()) {
+    LAMP_CHECK_MSG(rule.negated().empty(),
+                   "distributed pipelining requires a negation-free "
+                   "(monotone) program");
+  }
+}
+
+void DistributedDatalogProgram::OnStart(NodeContext& ctx) {
+  // Share the local base facts, then derive and share conclusions.
+  Message base = ctx.state().AllFacts();
+  if (!base.empty()) ctx.Broadcast(std::move(base));
+  DeriveAndShare(ctx);
+}
+
+void DistributedDatalogProgram::OnReceive(NodeContext& ctx,
+                                          const Message& message) {
+  bool changed = false;
+  for (const Fact& f : message) {
+    if (!ctx.state().Contains(f)) {
+      ctx.InsertState(f);
+      changed = true;
+    }
+  }
+  if (changed) DeriveAndShare(ctx);
+}
+
+void DistributedDatalogProgram::DeriveAndShare(NodeContext& ctx) {
+  // The state is the node's knowledge: EDB shards plus facts (base or
+  // derived) received from others. Monotonicity makes deriving from this
+  // mixture sound.
+  const Instance everything =
+      EvaluateProgram(schema_, program_, ctx.state());
+  Message fresh;
+  for (const Fact& f : everything.AllFacts()) {
+    const bool is_idb = idb_.count(f.relation) > 0;
+    if (is_idb) ctx.Output(f);
+    if (!ctx.state().Contains(f)) {
+      ctx.InsertState(f);
+      fresh.push_back(f);
+    }
+  }
+  if (!fresh.empty()) ctx.Broadcast(std::move(fresh));
+}
+
+}  // namespace lamp

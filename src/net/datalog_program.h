@@ -1,0 +1,44 @@
+#ifndef LAMP_NET_DATALOG_PROGRAM_H_
+#define LAMP_NET_DATALOG_PROGRAM_H_
+
+#include <set>
+
+#include "datalog/program.h"
+#include "net/transducer.h"
+
+/// \file
+/// Declarative networking (the Section 5 motivation [13, 41]): running a
+/// Datalog program itself as the node program of a transducer network.
+///
+/// Unlike MonotoneBroadcastProgram — which ships raw EDB facts and
+/// re-evaluates the query from scratch — DistributedDatalogProgram
+/// pipelines *derived* facts: each node runs semi-naive evaluation over
+/// everything it knows and broadcasts only the facts that are new to it
+/// (EDB and IDB alike). For monotone (semi-positive-free) programs this
+/// is eventually consistent on every schedule, and IDB pipelining lets
+/// nodes start from each other's conclusions instead of re-deriving them.
+
+namespace lamp {
+
+/// Runs \p program (negation-free Datalog) distributed. \p schema is the
+/// shared schema (extended with the engine's delta relations).
+class DistributedDatalogProgram : public TransducerProgram {
+ public:
+  DistributedDatalogProgram(Schema& schema, const DatalogProgram& program);
+
+  void OnStart(NodeContext& ctx) override;
+  void OnReceive(NodeContext& ctx, const Message& message) override;
+
+ private:
+  /// Derives everything derivable from the state, outputs IDB facts, and
+  /// broadcasts facts not previously known to this node.
+  void DeriveAndShare(NodeContext& ctx);
+
+  Schema& schema_;
+  const DatalogProgram& program_;
+  std::set<RelationId> idb_;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_NET_DATALOG_PROGRAM_H_

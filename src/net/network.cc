@@ -1,0 +1,166 @@
+#include "net/network.h"
+
+#include <deque>
+
+#include "common/check.h"
+
+namespace lamp {
+
+namespace {
+
+/// The NodeContext implementation used by the runner. Broadcasts are
+/// collected and dispatched by the runner after the transition returns.
+class RunnerContext : public NodeContext {
+ public:
+  RunnerContext(NodeId self, std::size_t network_size, Instance& state,
+                Instance& output, const DistributionPolicy* policy,
+                bool aware)
+      : self_(self),
+        network_size_(network_size),
+        state_(state),
+        output_(output),
+        policy_(policy),
+        aware_(aware) {}
+
+  NodeId self() const override { return self_; }
+
+  std::size_t NetworkSize() const override {
+    LAMP_CHECK_MSG(aware_,
+                   "oblivious (A_i) program queried the All relation");
+    return network_size_;
+  }
+
+  const Instance& state() const override { return state_; }
+  void InsertState(const Fact& fact) override { state_.Insert(fact); }
+  void Output(const Fact& fact) override { output_.Insert(fact); }
+  void Broadcast(Message message) override {
+    outgoing_.push_back(std::move(message));
+  }
+  const DistributionPolicy* policy() const override { return policy_; }
+
+  std::vector<Message>& outgoing() { return outgoing_; }
+
+ private:
+  NodeId self_;
+  std::size_t network_size_;
+  Instance& state_;
+  Instance& output_;
+  const DistributionPolicy* policy_;
+  bool aware_;
+  std::vector<Message> outgoing_;
+};
+
+}  // namespace
+
+TransducerNetwork::TransducerNetwork(std::vector<Instance> locals,
+                                     TransducerProgram& program,
+                                     const DistributionPolicy* policy,
+                                     bool aware)
+    : locals_(std::move(locals)),
+      program_(program),
+      policy_(policy),
+      aware_(aware) {
+  LAMP_CHECK(!locals_.empty());
+}
+
+NetworkRunResult TransducerNetwork::Run(std::uint64_t seed) {
+  const std::size_t n = locals_.size();
+  Rng rng(seed);
+
+  std::vector<Instance> states = locals_;
+  std::vector<Instance> outputs(n);
+  std::vector<std::deque<Message>> inbox(n);
+  NetworkRunResult result;
+
+  auto dispatch = [&](NodeId from, std::vector<Message>& outgoing) {
+    for (Message& msg : outgoing) {
+      result.facts_transferred += msg.size() * (n - 1);
+      result.messages_sent += (n - 1);
+      for (NodeId to = 0; to < n; ++to) {
+        if (to == from) continue;
+        inbox[to].push_back(msg);
+      }
+    }
+    outgoing.clear();
+  };
+
+  // Heartbeat transitions, in random order (order must not matter; the
+  // consistency checker sweeps seeds to probe that).
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  for (NodeId node : order) {
+    RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
+    program_.OnStart(ctx);
+    dispatch(node, ctx.outgoing());
+  }
+
+  // Delivery loop: pick a random nonempty inbox and a random queued
+  // message (arbitrary delay/reordering), deliver, repeat to quiescence.
+  while (true) {
+    std::vector<NodeId> ready;
+    for (NodeId i = 0; i < n; ++i) {
+      if (!inbox[i].empty()) ready.push_back(i);
+    }
+    if (ready.empty()) break;
+    const NodeId node = ready[rng.Uniform(ready.size())];
+    const std::size_t pick = rng.Uniform(inbox[node].size());
+    Message msg = std::move(inbox[node][pick]);
+    inbox[node].erase(inbox[node].begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+
+    RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
+    program_.OnReceive(ctx, msg);
+    dispatch(node, ctx.outgoing());
+    ++result.transitions;
+  }
+
+  for (const Instance& out : outputs) result.output.InsertAll(out);
+  return result;
+}
+
+NetworkRunResult TransducerNetwork::RunWithoutDelivery() {
+  const std::size_t n = locals_.size();
+  std::vector<Instance> states = locals_;
+  std::vector<Instance> outputs(n);
+  NetworkRunResult result;
+
+  for (NodeId node = 0; node < n; ++node) {
+    RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
+    program_.OnStart(ctx);
+    // Messages are sent into the void: counted, never delivered.
+    for (const Message& msg : ctx.outgoing()) {
+      result.messages_sent += (n - 1);
+      result.facts_transferred += msg.size() * (n - 1);
+    }
+  }
+  for (const Instance& out : outputs) result.output.InsertAll(out);
+  return result;
+}
+
+std::vector<Instance> DistributeByPolicy(const Instance& instance,
+                                         const DistributionPolicy& policy) {
+  std::vector<Instance> locals(policy.NumNodes());
+  for (NodeId node = 0; node < policy.NumNodes(); ++node) {
+    locals[node] = policy.LocalInstance(instance, node);
+  }
+  return locals;
+}
+
+std::vector<Instance> DistributeRoundRobin(const Instance& instance,
+                                           std::size_t num_nodes) {
+  std::vector<Instance> locals(num_nodes);
+  std::size_t i = 0;
+  for (const Fact& f : instance.AllFacts()) {
+    locals[i % num_nodes].Insert(f);
+    ++i;
+  }
+  return locals;
+}
+
+std::vector<Instance> DistributeReplicated(const Instance& instance,
+                                           std::size_t num_nodes) {
+  return std::vector<Instance>(num_nodes, instance);
+}
+
+}  // namespace lamp

@@ -1,0 +1,73 @@
+#ifndef LAMP_NET_NETWORK_H_
+#define LAMP_NET_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transducer.h"
+
+/// \file
+/// The asynchronous runner for transducer networks.
+///
+/// Computation is a transition system: at every step one node is active;
+/// message delivery order is nondeterministic (modelling arbitrary delay).
+/// The runner draws scheduling decisions from a seeded Rng, so each seed
+/// is one concrete run; eventual-consistency checks sweep many seeds.
+/// A run ends at *quiescence*: every inbox empty (our programs are
+/// inflationary, so no further output can appear after that). The
+/// coordination-freeness probe runs the heartbeat transitions only and
+/// never delivers messages — Section 5.1's definition requires some ideal
+/// distribution on which that already computes the query.
+
+namespace lamp {
+
+/// Outcome of one run.
+struct NetworkRunResult {
+  Instance output;                   // Union of all nodes' output relations.
+  std::size_t messages_sent = 0;     // Point-to-point message count.
+  std::size_t facts_transferred = 0; // Sum of message sizes (fact count).
+  std::size_t transitions = 0;       // Deliveries performed.
+};
+
+/// One transducer network execution environment.
+class TransducerNetwork {
+ public:
+  /// \p locals is the horizontal distribution H (one local database per
+  /// node). \p policy may be nullptr (policy-unaware network). When
+  /// \p aware is false the run aborts if the program queries NetworkSize
+  /// (the class A_i of oblivious networks).
+  TransducerNetwork(std::vector<Instance> locals, TransducerProgram& program,
+                    const DistributionPolicy* policy = nullptr,
+                    bool aware = true);
+
+  /// Runs to quiescence with delivery order driven by \p seed.
+  NetworkRunResult Run(std::uint64_t seed);
+
+  /// Heartbeat-only run: OnStart fires everywhere, but no message is ever
+  /// read (they are sent and counted, then dropped).
+  NetworkRunResult RunWithoutDelivery();
+
+ private:
+  std::vector<Instance> locals_;
+  TransducerProgram& program_;
+  const DistributionPolicy* policy_;
+  bool aware_;
+};
+
+/// Builds the horizontal distribution induced by \p policy on
+/// \p instance: locals[k] = the facts node k is responsible for.
+std::vector<Instance> DistributeByPolicy(const Instance& instance,
+                                         const DistributionPolicy& policy);
+
+/// Round-robin distribution over \p num_nodes nodes.
+std::vector<Instance> DistributeRoundRobin(const Instance& instance,
+                                           std::size_t num_nodes);
+
+/// The "ideal" distribution that replicates the full instance everywhere.
+std::vector<Instance> DistributeReplicated(const Instance& instance,
+                                           std::size_t num_nodes);
+
+}  // namespace lamp
+
+#endif  // LAMP_NET_NETWORK_H_

@@ -1,0 +1,168 @@
+#ifndef LAMP_NET_PROGRAMS_H_
+#define LAMP_NET_PROGRAMS_H_
+
+#include <functional>
+#include <vector>
+
+#include "cq/cq.h"
+#include "net/transducer.h"
+#include "relational/schema.h"
+
+/// \file
+/// The coordination-free evaluation strategies of Section 5.2, as concrete
+/// transducer programs:
+///
+///  * MonotoneBroadcastProgram — Example 5.1(1): broadcast everything,
+///    output new answers as they become derivable. Correct exactly for
+///    monotone queries (class M = F0 = A0).
+///  * DistinctCompleteProgram — the Theorem 5.8 strategy for Mdistinct:
+///    policy-aware nodes output Q(state) once the local active domain C is
+///    *distinct-complete* — every possible fact over C is either received
+///    or one the node is responsible for (so its absence is meaningful).
+///  * ComponentProgram — the Theorem 5.12 strategy for Mdisjoint under
+///    domain-guided policies: nodes announce per-value completeness and
+///    evaluate Q on the union of the components whose values are all
+///    complete (every disjoint-complete subset is such a union).
+///  * EconomicalBroadcastProgram — the Ketsman-Neven refinement
+///    (Section 6): broadcast only facts that unify with some body atom of
+///    the query, instead of the whole local database.
+
+namespace lamp {
+
+/// A query as a black box over instances.
+using NetQueryFunction = std::function<Instance(const Instance&)>;
+
+/// Example 5.1(1): the naive broadcast strategy for monotone queries.
+class MonotoneBroadcastProgram : public TransducerProgram {
+ public:
+  explicit MonotoneBroadcastProgram(NetQueryFunction query)
+      : query_(std::move(query)) {}
+
+  void OnStart(NodeContext& ctx) override;
+  void OnReceive(NodeContext& ctx, const Message& message) override;
+
+ private:
+  void EvaluateAndOutput(NodeContext& ctx);
+
+  NetQueryFunction query_;
+};
+
+/// Theorem 5.8: policy-aware strategy for domain-distinct-monotone
+/// queries. Requires the network to pass a policy; the EDB \p relations
+/// bound the fact space enumerated in the completeness test (cost
+/// |C|^arity per check — suitable for the moderate domains the
+/// experiments use).
+class DistinctCompleteProgram : public TransducerProgram {
+ public:
+  DistinctCompleteProgram(NetQueryFunction query, const Schema& schema,
+                          std::vector<RelationId> relations)
+      : query_(std::move(query)),
+        schema_(schema),
+        relations_(std::move(relations)) {}
+
+  void OnStart(NodeContext& ctx) override;
+  void OnReceive(NodeContext& ctx, const Message& message) override;
+
+ private:
+  /// Outputs Q(state) if adom(state) is distinct-complete for this node.
+  void TryOutput(NodeContext& ctx);
+
+  NetQueryFunction query_;
+  const Schema& schema_;
+  std::vector<RelationId> relations_;
+};
+
+/// Theorem 5.12: per-component strategy for domain-disjoint-monotone
+/// queries under a domain-guided policy. Uses a marker relation
+/// (registered in the schema as "__complete"/1) to announce "all facts
+/// containing value a have been sent", one atomic message per owned
+/// value.
+class ComponentProgram : public TransducerProgram {
+ public:
+  /// \p schema is extended with the marker relation.
+  ComponentProgram(NetQueryFunction query, Schema& schema);
+
+  void OnStart(NodeContext& ctx) override;
+  void OnReceive(NodeContext& ctx, const Message& message) override;
+
+  RelationId marker_relation() const { return marker_; }
+
+ private:
+  /// Evaluates Q on the union of complete components of the real state.
+  void TryOutput(NodeContext& ctx);
+
+  NetQueryFunction query_;
+  RelationId marker_;
+};
+
+/// Example 5.4: the per-derivation policy-aware strategy for CQs with
+/// negation. A node outputs a derivation as soon as the positive part
+/// matches its state and each negated fact is *known absent*: not in the
+/// state while the node is responsible for it (so it would have been in
+/// the local database if it were in I). Sound for any policy whose
+/// horizontal distribution is the induced one; complete when every
+/// candidate negated fact has a responsible node (e.g. any domain-guided
+/// policy) and the query negates at most one atom per derivation —
+/// exactly the open-triangle setting of the paper.
+class PolicyAwareNegationProgram : public TransducerProgram {
+ public:
+  explicit PolicyAwareNegationProgram(const ConjunctiveQuery& query)
+      : query_(query) {}
+
+  void OnStart(NodeContext& ctx) override;
+  void OnReceive(NodeContext& ctx, const Message& message) override;
+
+ private:
+  void TryOutput(NodeContext& ctx);
+
+  const ConjunctiveQuery& query_;
+};
+
+/// Example 5.1(2)'s *coordinating* strategy for non-monotone queries: each
+/// node broadcasts its data followed by a "done" marker; a node evaluates
+/// the query (negation included) only once it has collected the markers of
+/// every other node — at that point its state is the full instance, so
+/// negation is safe. The barrier requires knowing how many nodes exist:
+/// this program reads |All| and therefore lives outside the oblivious
+/// classes A_i — exactly the coordination the CALM theorem says
+/// non-monotone queries cannot avoid.
+class CoordinatedBarrierProgram : public TransducerProgram {
+ public:
+  /// \p schema is extended with the marker relation "__done"/1 (the value
+  /// is the announcing node id).
+  CoordinatedBarrierProgram(NetQueryFunction query, Schema& schema);
+
+  void OnStart(NodeContext& ctx) override;
+  void OnReceive(NodeContext& ctx, const Message& message) override;
+
+ private:
+  void TryOutput(NodeContext& ctx);
+
+  NetQueryFunction query_;
+  RelationId done_;
+};
+
+/// Ketsman-Neven-style economical broadcast for a CQ: like
+/// MonotoneBroadcastProgram but only facts unifying with some body atom
+/// of \p query are transmitted.
+class EconomicalBroadcastProgram : public TransducerProgram {
+ public:
+  explicit EconomicalBroadcastProgram(const ConjunctiveQuery& query)
+      : query_(query) {}
+
+  void OnStart(NodeContext& ctx) override;
+  void OnReceive(NodeContext& ctx, const Message& message) override;
+
+  /// True when \p fact matches some positive body atom of the query
+  /// (relation, constants and repeated-variable patterns).
+  bool IsRelevant(const Fact& fact) const;
+
+ private:
+  void EvaluateAndOutput(NodeContext& ctx);
+
+  const ConjunctiveQuery& query_;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_NET_PROGRAMS_H_

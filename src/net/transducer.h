@@ -1,0 +1,78 @@
+#ifndef LAMP_NET_TRANSDUCER_H_
+#define LAMP_NET_TRANSDUCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distribution/policy.h"
+#include "relational/instance.h"
+
+/// \file
+/// Relational transducer networks (Section 5.1 of the paper).
+///
+/// Every node runs the same program over its relational state: a local
+/// database (its share of the horizontal distribution), auxiliary facts,
+/// and a write-only output relation. Nodes communicate by broadcasting
+/// *messages* — batches of facts — which can be arbitrarily delayed and
+/// reordered but never lost. Policy-aware programs (Section 5.2.2) may
+/// additionally query the distribution policy for facts over their local
+/// active domain.
+
+namespace lamp {
+
+/// A message: one batch of facts broadcast atomically. (The formal model
+/// allows arbitrary message content; batching lets a program send "all my
+/// facts about value a" as one unit.)
+using Message = std::vector<Fact>;
+
+/// The interface a program uses during a transition. Provided by the
+/// network runner; operations are recorded and applied after the
+/// transition returns.
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  /// This node's identity.
+  virtual NodeId self() const = 0;
+
+  /// |All|: the number of nodes. Programs in the classes A0/A1/A2 — the
+  /// network-unaware ("oblivious") ones — must not call this; the runner
+  /// aborts if an unaware run does (that is how obliviousness is audited).
+  virtual std::size_t NetworkSize() const = 0;
+
+  /// The node's current relational state.
+  virtual const Instance& state() const = 0;
+
+  /// Adds a fact to the relational state.
+  virtual void InsertState(const Fact& fact) = 0;
+
+  /// Emits a fact to the write-only output relation (never retracted).
+  virtual void Output(const Fact& fact) = 0;
+
+  /// Broadcasts a message to every *other* node.
+  virtual void Broadcast(Message message) = 0;
+
+  /// The distribution policy, or nullptr for policy-unaware networks.
+  /// Policy-aware programs may only query facts over their local active
+  /// domain (the runner does not enforce this; programs are ours).
+  virtual const DistributionPolicy* policy() const = 0;
+};
+
+/// A transducer program: the transition function every node runs.
+/// Implementations must be deterministic functions of (state, input);
+/// any per-node scratch data belongs in the relational state.
+class TransducerProgram {
+ public:
+  virtual ~TransducerProgram() = default;
+
+  /// The initial (heartbeat) transition: the local database is already in
+  /// the state.
+  virtual void OnStart(NodeContext& ctx) = 0;
+
+  /// Delivery of one message.
+  virtual void OnReceive(NodeContext& ctx, const Message& message) = 0;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_NET_TRANSDUCER_H_

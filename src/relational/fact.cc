@@ -1,0 +1,18 @@
+#include "relational/fact.h"
+
+#include <sstream>
+
+namespace lamp {
+
+std::string FactToString(const Schema& schema, const Fact& fact) {
+  std::ostringstream os;
+  os << schema.NameOf(fact.relation) << "(";
+  for (std::size_t i = 0; i < fact.args.size(); ++i) {
+    if (i > 0) os << ",";
+    os << fact.args[i].v;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace lamp

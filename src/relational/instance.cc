@@ -1,0 +1,153 @@
+#include "relational/instance.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lamp {
+
+namespace {
+
+const std::vector<Fact>& EmptyFactVector() {
+  static const auto* empty = new std::vector<Fact>();
+  return *empty;
+}
+
+}  // namespace
+
+bool Instance::Insert(const Fact& fact) {
+  if (!index_.insert(fact).second) return false;
+  if (fact.relation >= by_relation_.size()) {
+    by_relation_.resize(fact.relation + 1);
+  }
+  by_relation_[fact.relation].push_back(fact);
+  ++size_;
+  return true;
+}
+
+std::size_t Instance::InsertAll(const Instance& other) {
+  std::size_t added = 0;
+  for (const auto& facts : other.by_relation_) {
+    for (const Fact& f : facts) {
+      if (Insert(f)) ++added;
+    }
+  }
+  return added;
+}
+
+bool Instance::Contains(const Fact& fact) const {
+  return index_.count(fact) > 0;
+}
+
+const std::vector<Fact>& Instance::FactsOf(RelationId relation) const {
+  if (relation >= by_relation_.size()) return EmptyFactVector();
+  return by_relation_[relation];
+}
+
+std::vector<Fact> Instance::AllFacts() const {
+  std::vector<Fact> out;
+  out.reserve(size_);
+  for (const auto& facts : by_relation_) {
+    out.insert(out.end(), facts.begin(), facts.end());
+  }
+  return out;
+}
+
+std::set<Value> Instance::ActiveDomain() const {
+  std::set<Value> dom;
+  for (const auto& facts : by_relation_) {
+    for (const Fact& f : facts) {
+      dom.insert(f.args.begin(), f.args.end());
+    }
+  }
+  return dom;
+}
+
+Instance Instance::RestrictTo(const std::set<Value>& values) const {
+  Instance out;
+  for (const auto& facts : by_relation_) {
+    for (const Fact& f : facts) {
+      const bool inside = std::all_of(
+          f.args.begin(), f.args.end(),
+          [&values](Value v) { return values.count(v) > 0; });
+      if (inside) out.Insert(f);
+    }
+  }
+  return out;
+}
+
+Instance Instance::Touching(const std::set<Value>& values) const {
+  Instance out;
+  for (const auto& facts : by_relation_) {
+    for (const Fact& f : facts) {
+      const bool touches = std::any_of(
+          f.args.begin(), f.args.end(),
+          [&values](Value v) { return values.count(v) > 0; });
+      if (touches) out.Insert(f);
+    }
+  }
+  return out;
+}
+
+std::vector<Instance> Instance::Components() const {
+  // Union-find over facts, merging facts that share a value.
+  const std::vector<Fact> facts = AllFacts();
+  std::vector<std::size_t> parent(facts.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+
+  auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&parent, &find](std::size_t a, std::size_t b) {
+    parent[find(a)] = find(b);
+  };
+
+  std::map<Value, std::size_t> first_owner;
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    for (Value v : facts[i].args) {
+      auto [it, inserted] = first_owner.emplace(v, i);
+      if (!inserted) unite(i, it->second);
+    }
+  }
+
+  std::map<std::size_t, Instance> groups;
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    groups[find(i)].Insert(facts[i]);
+  }
+  std::vector<Instance> out;
+  out.reserve(groups.size());
+  for (auto& [root, inst] : groups) out.push_back(std::move(inst));
+  return out;
+}
+
+bool operator==(const Instance& a, const Instance& b) {
+  if (a.size_ != b.size_) return false;
+  for (const auto& facts : a.by_relation_) {
+    for (const Fact& f : facts) {
+      if (!b.Contains(f)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Instance::ToString(const Schema& schema) const {
+  std::vector<Fact> facts = AllFacts();
+  std::sort(facts.begin(), facts.end());
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << FactToString(schema, facts[i]);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace lamp

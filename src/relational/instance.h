@@ -1,0 +1,76 @@
+#ifndef LAMP_RELATIONAL_INSTANCE_H_
+#define LAMP_RELATIONAL_INSTANCE_H_
+
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/fact.h"
+#include "relational/value.h"
+
+/// \file
+/// Database instances: finite sets of facts (Section 2 of the paper), with
+/// the instance-level operations the surveyed results need — active domain,
+/// restriction to a value set (I|C, Lemma 5.7), and connected components
+/// (Lemma 5.11).
+
+namespace lamp {
+
+/// A finite set of facts grouped by relation. Duplicate inserts are ignored
+/// (set semantics). Iteration order within a relation is insertion order,
+/// which keeps runs deterministic.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Inserts a fact; returns true if it was new.
+  bool Insert(const Fact& fact);
+
+  /// Inserts every fact of \p other; returns the number of new facts.
+  std::size_t InsertAll(const Instance& other);
+
+  /// Membership test.
+  bool Contains(const Fact& fact) const;
+
+  /// Total number of facts.
+  std::size_t Size() const { return size_; }
+
+  bool Empty() const { return size_ == 0; }
+
+  /// Facts of one relation (empty if the relation never occurred).
+  const std::vector<Fact>& FactsOf(RelationId relation) const;
+
+  /// All facts, in (relation, insertion) order.
+  std::vector<Fact> AllFacts() const;
+
+  /// adom(I): the set of values occurring in some fact.
+  std::set<Value> ActiveDomain() const;
+
+  /// I|C = { f in I : adom(f) subseteq C } (Lemma 5.7 of the paper).
+  Instance RestrictTo(const std::set<Value>& values) const;
+
+  /// Facts whose argument set intersects \p values.
+  Instance Touching(const std::set<Value>& values) const;
+
+  /// The connected components of I: J is a component when J is a minimal
+  /// nonempty subset with adom(J) disjoint from adom(I \ J)
+  /// (Section 5.2.2 of the paper). Facts with no arguments (nullary facts)
+  /// each form their own component.
+  std::vector<Instance> Components() const;
+
+  /// Set equality (independent of insertion order).
+  friend bool operator==(const Instance& a, const Instance& b);
+
+  /// Renders the instance as "{R(1,2), S(3)}" sorted for stable output.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::unordered_set<Fact, FactHash> index_;
+  std::vector<std::vector<Fact>> by_relation_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_RELATIONAL_INSTANCE_H_

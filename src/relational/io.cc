@@ -1,0 +1,107 @@
+#include "relational/io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lamp {
+
+namespace {
+
+/// Parses one "R(1,2)" line into a fact, registering the relation.
+Fact ParseFactLine(const std::string& line, Schema& schema) {
+  std::size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  };
+
+  skip_space();
+  const std::size_t name_start = pos;
+  while (pos < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+          line[pos] == '_')) {
+    ++pos;
+  }
+  LAMP_CHECK_MSG(pos > name_start, "expected a relation name");
+  const std::string name = line.substr(name_start, pos - name_start);
+
+  skip_space();
+  LAMP_CHECK_MSG(pos < line.size() && line[pos] == '(', "expected '('");
+  ++pos;
+
+  std::vector<Value> args;
+  skip_space();
+  if (pos < line.size() && line[pos] != ')') {
+    while (true) {
+      skip_space();
+      const std::size_t num_start = pos;
+      if (pos < line.size() && line[pos] == '-') ++pos;
+      while (pos < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+      }
+      LAMP_CHECK_MSG(pos > num_start, "expected an integer argument");
+      args.emplace_back(
+          std::strtoll(line.substr(num_start, pos - num_start).c_str(),
+                       nullptr, 10));
+      skip_space();
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+  }
+  LAMP_CHECK_MSG(pos < line.size() && line[pos] == ')', "expected ')'");
+  ++pos;
+  skip_space();
+  LAMP_CHECK_MSG(pos == line.size(), "trailing characters after fact");
+
+  const RelationId rel = schema.AddRelation(name, args.size());
+  LAMP_CHECK_MSG(schema.ArityOf(rel) == args.size(),
+                 "fact arity disagrees with relation");
+  return Fact(rel, std::move(args));
+}
+
+}  // namespace
+
+void WriteInstance(std::ostream& os, const Schema& schema,
+                   const Instance& instance) {
+  std::vector<Fact> facts = instance.AllFacts();
+  std::sort(facts.begin(), facts.end());
+  for (const Fact& f : facts) {
+    os << FactToString(schema, f) << "\n";
+  }
+}
+
+Instance ReadInstance(std::istream& is, Schema& schema) {
+  Instance instance;
+  std::string line;
+  while (std::getline(is, line)) {
+    // Trim and skip blanks/comments.
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#' || line[start] == '%') continue;
+    std::size_t end = line.find_last_not_of(" \t\r");
+    instance.Insert(
+        ParseFactLine(line.substr(start, end - start + 1), schema));
+  }
+  return instance;
+}
+
+Instance ReadInstanceFromString(const std::string& text, Schema& schema) {
+  std::istringstream is(text);
+  return ReadInstance(is, schema);
+}
+
+}  // namespace lamp

@@ -1,0 +1,32 @@
+#ifndef LAMP_RELATIONAL_IO_H_
+#define LAMP_RELATIONAL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+/// \file
+/// Plain-text (de)serialization of instances: one fact per line in the
+/// same syntax the query parser uses ("R(1,2)"), '#'/'%' comments and
+/// blank lines ignored. Lets examples and downstream users ship datasets
+/// as files and replay experiment inputs exactly.
+
+namespace lamp {
+
+/// Writes every fact of \p instance, sorted, one per line.
+void WriteInstance(std::ostream& os, const Schema& schema,
+                   const Instance& instance);
+
+/// Parses facts from \p is. Unknown relations are registered in \p schema
+/// with the arity of their first occurrence; later occurrences must agree
+/// (checked error). Aborts on malformed lines.
+Instance ReadInstance(std::istream& is, Schema& schema);
+
+/// Convenience: parse from a string.
+Instance ReadInstanceFromString(const std::string& text, Schema& schema);
+
+}  // namespace lamp
+
+#endif  // LAMP_RELATIONAL_IO_H_

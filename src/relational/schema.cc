@@ -1,0 +1,40 @@
+#include "relational/schema.h"
+
+#include "common/check.h"
+
+namespace lamp {
+
+RelationId Schema::AddRelation(std::string_view name, std::size_t arity) {
+  const std::uint32_t existing = names_.Find(name);
+  if (existing != Interner::kNotFound) {
+    LAMP_CHECK_MSG(arities_[existing] == arity,
+                   "relation re-registered with different arity");
+    return existing;
+  }
+  const RelationId id = names_.Intern(name);
+  LAMP_CHECK(id == arities_.size());
+  arities_.push_back(arity);
+  return id;
+}
+
+RelationId Schema::IdOf(std::string_view name) const {
+  const RelationId id = names_.Find(name);
+  LAMP_CHECK_MSG(id != Interner::kNotFound, "unknown relation");
+  return id;
+}
+
+RelationId Schema::TryIdOf(std::string_view name) const {
+  return names_.Find(name);
+}
+
+std::size_t Schema::ArityOf(RelationId id) const {
+  LAMP_CHECK(id < arities_.size());
+  return arities_[id];
+}
+
+const std::string& Schema::NameOf(RelationId id) const {
+  LAMP_CHECK(id < arities_.size());
+  return names_.NameOf(id);
+}
+
+}  // namespace lamp

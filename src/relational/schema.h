@@ -1,0 +1,51 @@
+#ifndef LAMP_RELATIONAL_SCHEMA_H_
+#define LAMP_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+
+/// \file
+/// Database schemas: relation names with associated arities (Section 2 of
+/// the paper).
+
+namespace lamp {
+
+/// Dense identifier of a relation within a Schema.
+using RelationId = std::uint32_t;
+
+/// A database schema. Relations are registered once and then referred to by
+/// RelationId everywhere; the schema owns the name <-> id mapping.
+class Schema {
+ public:
+  /// Registers relation \p name with the given arity and returns its id.
+  /// Registering an existing name with the same arity returns the existing
+  /// id; re-registering with a different arity is a checked error.
+  RelationId AddRelation(std::string_view name, std::size_t arity);
+
+  /// Returns the id of \p name; checked error if unknown.
+  RelationId IdOf(std::string_view name) const;
+
+  /// Returns the id of \p name, or Interner::kNotFound if unknown.
+  RelationId TryIdOf(std::string_view name) const;
+
+  /// Arity of relation \p id.
+  std::size_t ArityOf(RelationId id) const;
+
+  /// Name of relation \p id.
+  const std::string& NameOf(RelationId id) const;
+
+  /// Number of registered relations.
+  std::size_t NumRelations() const { return arities_.size(); }
+
+ private:
+  Interner names_;
+  std::vector<std::size_t> arities_;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,40 @@
+#ifndef LAMP_RELATIONAL_VALUE_H_
+#define LAMP_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/hash.h"
+
+/// \file
+/// Domain values.
+///
+/// The paper works over an abstract infinite domain **dom**; every result it
+/// surveys is *generic* (invariant under permutations of dom), so a concrete
+/// countable domain is enough. We use 64-bit integers. Symbolic constants in
+/// examples (a, b, c, ...) are interned to integers at the edge.
+
+namespace lamp {
+
+/// A single domain value. Strong struct (not a typedef) so that values,
+/// node ids and plain sizes cannot be mixed up silently.
+struct Value {
+  std::int64_t v = 0;
+
+  constexpr Value() = default;
+  constexpr explicit Value(std::int64_t value) : v(value) {}
+
+  friend constexpr bool operator==(Value a, Value b) { return a.v == b.v; }
+  friend constexpr bool operator!=(Value a, Value b) { return a.v != b.v; }
+  friend constexpr bool operator<(Value a, Value b) { return a.v < b.v; }
+};
+
+struct ValueHash {
+  std::size_t operator()(Value x) const {
+    return static_cast<std::size_t>(HashMix(static_cast<std::uint64_t>(x.v)));
+  }
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_RELATIONAL_VALUE_H_

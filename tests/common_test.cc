@@ -1,0 +1,174 @@
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/subset.h"
+
+namespace lamp {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = rng.UniformInt(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= (x == -2);
+    saw_hi |= (x == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+  ZipfSampler zipf(4, 0.0);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(zipf.Probability(k), 0.25, 1e-12);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnHead) {
+  ZipfSampler zipf(1000, 1.2);
+  EXPECT_GT(zipf.Probability(0), 0.1);
+  EXPECT_GT(zipf.Probability(0), 100 * zipf.Probability(999));
+}
+
+TEST(Zipf, SampleMatchesProbabilities) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(123);
+  std::vector<int> counts(10, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.Probability(k), 0.02)
+        << "element " << k;
+  }
+}
+
+TEST(Interner, RoundTrip) {
+  Interner interner;
+  const auto a = interner.Intern("alpha");
+  const auto b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.NameOf(a), "alpha");
+  EXPECT_EQ(interner.NameOf(b), "beta");
+  EXPECT_EQ(interner.Find("alpha"), a);
+  EXPECT_EQ(interner.Find("gamma"), Interner::kNotFound);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Hash, MixSpreadsNearbyInputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(HashMix(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Hash, RangeOrderSensitive) {
+  const std::vector<std::uint64_t> ab = {1, 2};
+  const std::vector<std::uint64_t> ba = {2, 1};
+  EXPECT_NE(HashRange(ab.begin(), ab.end()), HashRange(ba.begin(), ba.end()));
+}
+
+TEST(Subset, ForEachTupleCountsBasePowSlots) {
+  int count = 0;
+  ForEachTuple(3, 4, [&count](const std::vector<std::size_t>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 64);
+}
+
+TEST(Subset, ForEachTupleEarlyStop) {
+  int count = 0;
+  const bool completed = ForEachTuple(2, 5, [&count](const auto&) {
+    return ++count < 7;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 7);
+}
+
+TEST(Subset, ForEachSubsetCountsPowersOfTwo) {
+  int count = 0;
+  ForEachSubset(5, [&count](const std::vector<bool>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 32);
+}
+
+TEST(Subset, ForEachSubsetZeroElements) {
+  int count = 0;
+  ForEachSubset(0, [&count](const std::vector<bool>& mask) {
+    EXPECT_TRUE(mask.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace lamp

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "cq/containment.h"
+#include "cq/parser.h"
+
+namespace lamp {
+namespace {
+
+// Figure 1(b) of the paper: containment relationships between
+//   Q1: H() <- S(x), R(x,x), T(x)
+//   Q2: H() <- R(x,x), T(x)
+//   Q3: H() <- S(x), R(x,y), T(y)
+//   Q4: H() <- R(x,y), T(y)
+class Figure1Queries : public ::testing::Test {
+ protected:
+  Figure1Queries() {
+    q1_ = ParseQuery(schema_, "H() <- S(x), R(x,x), T(x)");
+    q2_ = ParseQuery(schema_, "H() <- R(x,x), T(x)");
+    q3_ = ParseQuery(schema_, "H() <- S(x), R(x,y), T(y)");
+    q4_ = ParseQuery(schema_, "H() <- R(x,y), T(y)");
+  }
+
+  Schema schema_;
+  ConjunctiveQuery q1_, q2_, q3_, q4_;
+};
+
+TEST_F(Figure1Queries, ContainmentMatchesFigure1b) {
+  // Q1 is the most specific: contained in all others.
+  EXPECT_TRUE(IsContainedIn(q1_, q2_));
+  EXPECT_TRUE(IsContainedIn(q1_, q3_));
+  EXPECT_TRUE(IsContainedIn(q1_, q4_));
+  // Q2 subseteq Q4, Q3 subseteq Q4.
+  EXPECT_TRUE(IsContainedIn(q2_, q4_));
+  EXPECT_TRUE(IsContainedIn(q3_, q4_));
+  // And the non-containments.
+  EXPECT_FALSE(IsContainedIn(q2_, q1_));
+  EXPECT_FALSE(IsContainedIn(q2_, q3_));
+  EXPECT_FALSE(IsContainedIn(q3_, q2_));
+  EXPECT_FALSE(IsContainedIn(q3_, q1_));
+  EXPECT_FALSE(IsContainedIn(q4_, q1_));
+  EXPECT_FALSE(IsContainedIn(q4_, q2_));
+  EXPECT_FALSE(IsContainedIn(q4_, q3_));
+  EXPECT_FALSE(IsContainedIn(q1_, q1_) == false);  // Reflexivity.
+}
+
+TEST(Containment, PathInLongerPath) {
+  Schema schema;
+  const ConjunctiveQuery p2 = ParseQuery(schema, "H(x,z) <- E(x,y), E(y,z)");
+  const ConjunctiveQuery p1 = ParseQuery(schema, "H(x,y) <- E(x,y)");
+  // A 2-path does not imply an edge between its endpoints and vice versa.
+  EXPECT_FALSE(IsContainedIn(p2, p1));
+  EXPECT_FALSE(IsContainedIn(p1, p2));
+}
+
+TEST(Containment, SelfLoopContainedInTriangle) {
+  Schema schema;
+  const ConjunctiveQuery loop = ParseQuery(schema, "H() <- E(x,x)");
+  const ConjunctiveQuery triangle =
+      ParseQuery(schema, "H() <- E(x,y), E(y,z), E(z,x)");
+  // A self-loop is a (degenerate) triangle: Q_loop subseteq Q_triangle.
+  EXPECT_TRUE(IsContainedIn(loop, triangle));
+  EXPECT_FALSE(IsContainedIn(triangle, loop));
+}
+
+TEST(Containment, ConstantsMatter) {
+  Schema schema;
+  const ConjunctiveQuery qc = ParseQuery(schema, "H(x) <- R(x, 7)");
+  const ConjunctiveQuery qv = ParseQuery(schema, "H(x) <- R(x, y)");
+  EXPECT_TRUE(IsContainedIn(qc, qv));
+  EXPECT_FALSE(IsContainedIn(qv, qc));
+}
+
+TEST(Containment, InequalityOnLeftShrinksQuery) {
+  Schema schema;
+  const ConjunctiveQuery q_neq =
+      ParseQuery(schema, "H(x,y) <- E(x,y), x != y");
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,y) <- E(x,y)");
+  EXPECT_TRUE(IsContainedIn(q_neq, q));
+  EXPECT_FALSE(IsContainedIn(q, q_neq));
+}
+
+TEST(Containment, InequalityOnRightNeedsAllPartitions) {
+  Schema schema;
+  // Q: H(x,y) <- E(x,y), E(y,x). Q': same + x != y.
+  // The valuation x=y (a self-loop) derives H(a,a) in Q but Q' cannot:
+  // containment must fail, and detecting it requires the non-injective
+  // canonical database.
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,y) <- E(x,y), E(y,x)");
+  const ConjunctiveQuery qp =
+      ParseQuery(schema, "H(x,y) <- E(x,y), E(y,x), x != y");
+  EXPECT_FALSE(IsContainedIn(q, qp));
+  EXPECT_TRUE(IsContainedIn(qp, q));
+}
+
+TEST(Containment, EquivalentUpToVariableRenaming) {
+  Schema schema;
+  const ConjunctiveQuery a = ParseQuery(schema, "H(u,w) <- E(u,v), E(v,w)");
+  const ConjunctiveQuery b = ParseQuery(schema, "H(x,z) <- E(x,y), E(y,z)");
+  EXPECT_TRUE(IsContainedIn(a, b));
+  EXPECT_TRUE(IsContainedIn(b, a));
+}
+
+TEST(Containment, RedundantAtomEquivalence) {
+  Schema schema;
+  const ConjunctiveQuery redundant =
+      ParseQuery(schema, "H(x) <- R(x,y), R(x,z)");
+  const ConjunctiveQuery core = ParseQuery(schema, "H(x) <- R(x,y)");
+  EXPECT_TRUE(IsContainedIn(redundant, core));
+  EXPECT_TRUE(IsContainedIn(core, redundant));
+}
+
+TEST(CanonicalDatabases, InjectiveDatabaseAppears) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x) <- R(x,y)");
+  int count = 0;
+  bool saw_two_distinct = false;
+  ForEachCanonicalDatabase(q, [&](const Instance& inst, const Fact& head) {
+    ++count;
+    EXPECT_EQ(inst.Size(), 1u);
+    EXPECT_EQ(head.args.size(), 1u);
+    const Fact f = inst.AllFacts()[0];
+    if (f.args[0] != f.args[1]) saw_two_distinct = true;
+    return true;
+  });
+  EXPECT_EQ(count, 2);  // {x=y} and {x,y distinct}.
+  EXPECT_TRUE(saw_two_distinct);
+}
+
+TEST(CanonicalDatabases, InequalityFiltersPartitions) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x) <- R(x,y), x != y");
+  int count = 0;
+  ForEachCanonicalDatabase(q, [&count](const Instance&, const Fact&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);  // Only the injective partition is consistent.
+}
+
+TEST(CounterexampleSearch, FindsWitnessForNonContainment) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,y) <- E(x,y)");
+  const ConjunctiveQuery qp =
+      ParseQuery(schema, "H(x,y) <- E(x,y), x != y");
+  const auto witness = FindContainmentCounterexample(schema, q, qp, 2, 2);
+  ASSERT_TRUE(witness.has_value());
+  // The witness must actually violate containment.
+  EXPECT_FALSE(witness->Empty());
+}
+
+TEST(CounterexampleSearch, NoWitnessForValidContainment) {
+  Schema schema;
+  const ConjunctiveQuery q1 = ParseQuery(schema, "H(x) <- R(x,x)");
+  const ConjunctiveQuery q2 = ParseQuery(schema, "H(x) <- R(x,y)");
+  EXPECT_FALSE(
+      FindContainmentCounterexample(schema, q1, q2, 2, 3).has_value());
+}
+
+TEST(CounterexampleSearch, NegationCounterexample) {
+  Schema schema;
+  // Q: wedge; Q': wedge with negated closing edge. Not contained: a closed
+  // triangle derives in Q but not in Q'.
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,z) <- E(x,y), E(y,z)");
+  const ConjunctiveQuery qp =
+      ParseQuery(schema, "H(x,z) <- E(x,y), E(y,z), !E(z,x)");
+  const auto witness = FindContainmentCounterexample(schema, q, qp, 2, 3);
+  EXPECT_TRUE(witness.has_value());
+}
+
+TEST(CounterexampleSearch, RandomizedFalsifierAgrees) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,z) <- E(x,y), E(y,z)");
+  const ConjunctiveQuery qp =
+      ParseQuery(schema, "H(x,z) <- E(x,y), E(y,z), !E(z,x)");
+  Rng rng(5);
+  const auto witness =
+      RandomContainmentCounterexample(schema, q, qp, 3, 4, 200, rng);
+  EXPECT_TRUE(witness.has_value());
+}
+
+}  // namespace
+}  // namespace lamp

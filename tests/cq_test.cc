@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "cq/cq.h"
+#include "cq/parser.h"
+#include "cq/valuation.h"
+#include "relational/schema.h"
+
+namespace lamp {
+namespace {
+
+TEST(Parser, ParsesTriangleQuery) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+  EXPECT_EQ(q.body().size(), 3u);
+  EXPECT_EQ(q.NumVars(), 3u);
+  EXPECT_EQ(schema.ArityOf(schema.IdOf("H")), 3u);
+  EXPECT_TRUE(q.IsPlain());
+  EXPECT_TRUE(q.IsFull());
+  EXPECT_FALSE(q.HasSelfJoin());
+  EXPECT_EQ(q.ToString(schema), "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+}
+
+TEST(Parser, ParsesSelfJoinAndProjection) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x1,x3) :- R(x1,x2), R(x2,x3), S(x3,x1)");
+  EXPECT_TRUE(q.HasSelfJoin());
+  EXPECT_FALSE(q.IsFull());  // x2 is projected away.
+  EXPECT_EQ(q.NumVars(), 3u);
+}
+
+TEST(Parser, ParsesInequalities) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(
+      schema, "H(x,y,z) <- E(x,y), E(y,z), E(z,x), x != y, y != z, z != x");
+  EXPECT_EQ(q.inequalities().size(), 3u);
+  EXPECT_FALSE(q.IsPlain());
+}
+
+TEST(Parser, ParsesNegatedAtoms) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- E(x,y), E(y,z), !E(z,x)");
+  EXPECT_EQ(q.negated().size(), 1u);
+  EXPECT_EQ(q.body().size(), 2u);
+}
+
+TEST(Parser, ParsesConstants) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x) <- R(x, 7)");
+  ASSERT_EQ(q.body().size(), 1u);
+  EXPECT_TRUE(q.body()[0].terms[1].IsConst());
+  EXPECT_EQ(q.body()[0].terms[1].constant, Value(7));
+  EXPECT_EQ(q.Constants().size(), 1u);
+}
+
+TEST(Parser, ParsesBooleanQuery) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H() <- R(x,x), T(x)");
+  EXPECT_TRUE(q.IsBoolean());
+  EXPECT_FALSE(q.IsFull());
+}
+
+TEST(Parser, SharedSchemaAcrossQueries) {
+  Schema schema;
+  ParseQuery(schema, "H(x,y) <- R(x,y)");
+  const ConjunctiveQuery q2 = ParseQuery(schema, "G(x) <- R(x,x)");
+  EXPECT_EQ(schema.NumRelations(), 3u);  // H, R, G.
+  EXPECT_EQ(q2.body()[0].relation, schema.IdOf("R"));
+}
+
+TEST(Cq, VarSets) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x) <- R(x,y), S(y,z)");
+  EXPECT_EQ(q.BodyVars().size(), 3u);
+  EXPECT_EQ(q.HeadVars().size(), 1u);
+}
+
+TEST(Valuation, ApplyAndRequiredFacts) {
+  Schema schema;
+  ConjunctiveQuery q = ParseQuery(schema, "H(x,z) <- R(x,y), R(y,z)");
+  Valuation v(q.NumVars());
+  v.Bind(q.VarIdOf("x"), Value(1));
+  v.Bind(q.VarIdOf("y"), Value(2));
+  v.Bind(q.VarIdOf("z"), Value(1));
+  EXPECT_TRUE(v.IsTotal());
+  const Instance required = v.RequiredFacts(q);
+  EXPECT_EQ(required.Size(), 2u);
+  EXPECT_TRUE(required.Contains(Fact(schema.IdOf("R"), {1, 2})));
+  EXPECT_TRUE(required.Contains(Fact(schema.IdOf("R"), {2, 1})));
+  EXPECT_EQ(v.ApplyToAtom(q.head()), Fact(schema.IdOf("H"), {1, 1}));
+}
+
+TEST(Valuation, SatisfiesChecksBodyInequalityAndNegation) {
+  Schema schema;
+  ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y) <- E(x,y), !E(y,x), x != y");
+  const RelationId e = schema.IdOf("E");
+  Instance inst;
+  inst.Insert(Fact(e, {1, 2}));
+  inst.Insert(Fact(e, {3, 3}));
+  inst.Insert(Fact(e, {4, 5}));
+  inst.Insert(Fact(e, {5, 4}));
+
+  Valuation good(q.NumVars());
+  good.Bind(q.VarIdOf("x"), Value(1));
+  good.Bind(q.VarIdOf("y"), Value(2));
+  EXPECT_TRUE(good.Satisfies(q, inst));
+
+  Valuation self_loop(q.NumVars());
+  self_loop.Bind(q.VarIdOf("x"), Value(3));
+  self_loop.Bind(q.VarIdOf("y"), Value(3));
+  EXPECT_FALSE(self_loop.Satisfies(q, inst));  // Violates x != y.
+
+  Valuation symmetric(q.NumVars());
+  symmetric.Bind(q.VarIdOf("x"), Value(4));
+  symmetric.Bind(q.VarIdOf("y"), Value(5));
+  EXPECT_FALSE(symmetric.Satisfies(q, inst));  // Negated atom present.
+
+  Valuation missing(q.NumVars());
+  missing.Bind(q.VarIdOf("x"), Value(2));
+  missing.Bind(q.VarIdOf("y"), Value(1));
+  EXPECT_FALSE(missing.Satisfies(q, inst));  // E(2,1) absent.
+}
+
+}  // namespace
+}  // namespace lamp

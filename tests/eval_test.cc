@@ -1,0 +1,208 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cq/eval.h"
+#include "cq/parser.h"
+#include "relational/generators.h"
+
+namespace lamp {
+namespace {
+
+TEST(Eval, BinaryJoin) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z)");
+  const RelationId r = schema.IdOf("R");
+  const RelationId s = schema.IdOf("S");
+  Instance inst;
+  inst.Insert(Fact(r, {1, 2}));
+  inst.Insert(Fact(r, {3, 4}));
+  inst.Insert(Fact(s, {2, 5}));
+  inst.Insert(Fact(s, {2, 6}));
+  const Instance result = Evaluate(q, inst);
+  EXPECT_EQ(result.Size(), 2u);
+  EXPECT_TRUE(result.Contains(Fact(schema.IdOf("H"), {1, 2, 5})));
+  EXPECT_TRUE(result.Contains(Fact(schema.IdOf("H"), {1, 2, 6})));
+}
+
+TEST(Eval, TriangleOnCycleGraphs) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- E(x,y), E(y,z), E(z,x)");
+  const RelationId e = schema.IdOf("E");
+  Instance tri;
+  AddCycleGraph(schema, e, 3, tri);
+  // A directed 3-cycle matches in 3 rotations.
+  EXPECT_EQ(Evaluate(q, tri).Size(), 3u);
+  Instance square;
+  AddCycleGraph(schema, e, 4, square);
+  EXPECT_TRUE(Evaluate(q, square).Empty());
+}
+
+TEST(Eval, SelfJoinRequiresSameRelation) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,z) <- R(x,y), R(y,z)");
+  const RelationId r = schema.IdOf("R");
+  Instance inst;
+  inst.Insert(Fact(r, {1, 2}));
+  inst.Insert(Fact(r, {2, 3}));
+  const Instance result = Evaluate(q, inst);
+  EXPECT_EQ(result.Size(), 1u);
+  EXPECT_TRUE(result.Contains(Fact(schema.IdOf("H"), {1, 3})));
+}
+
+TEST(Eval, RepeatedVariableInsideAtom) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x) <- R(x,x)");
+  const RelationId r = schema.IdOf("R");
+  Instance inst;
+  inst.Insert(Fact(r, {1, 2}));
+  inst.Insert(Fact(r, {3, 3}));
+  const Instance result = Evaluate(q, inst);
+  EXPECT_EQ(result.Size(), 1u);
+  EXPECT_TRUE(result.Contains(Fact(schema.IdOf("H"), {3})));
+}
+
+TEST(Eval, ConstantsInBody) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x) <- R(x, 7)");
+  const RelationId r = schema.IdOf("R");
+  Instance inst;
+  inst.Insert(Fact(r, {1, 7}));
+  inst.Insert(Fact(r, {2, 8}));
+  const Instance result = Evaluate(q, inst);
+  EXPECT_EQ(result.Size(), 1u);
+  EXPECT_TRUE(result.Contains(Fact(schema.IdOf("H"), {1})));
+}
+
+TEST(Eval, InequalitiesPruneDerivations) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y) <- E(x,y), x != y");
+  const RelationId e = schema.IdOf("E");
+  Instance inst;
+  inst.Insert(Fact(e, {1, 1}));
+  inst.Insert(Fact(e, {1, 2}));
+  const Instance result = Evaluate(q, inst);
+  EXPECT_EQ(result.Size(), 1u);
+  EXPECT_TRUE(result.Contains(Fact(schema.IdOf("H"), {1, 2})));
+}
+
+TEST(Eval, OpenTriangleUsesNegation) {
+  Schema schema;
+  // Example 5.1(2) of the paper.
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- E(x,y), E(y,z), !E(z,x)");
+  const RelationId e = schema.IdOf("E");
+  Instance inst;
+  inst.Insert(Fact(e, {1, 2}));
+  inst.Insert(Fact(e, {2, 3}));
+  const Instance result = Evaluate(q, inst);
+  // (1,2,3) is open (E(3,1) missing); also wedges using a fact twice.
+  EXPECT_TRUE(result.Contains(Fact(schema.IdOf("H"), {1, 2, 3})));
+  // Closing the triangle removes it.
+  inst.Insert(Fact(e, {3, 1}));
+  EXPECT_FALSE(
+      Evaluate(q, inst).Contains(Fact(schema.IdOf("H"), {1, 2, 3})));
+}
+
+TEST(Eval, EmptyInstanceYieldsEmptyResult) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x) <- R(x,y)");
+  EXPECT_TRUE(Evaluate(q, Instance()).Empty());
+}
+
+TEST(Eval, BooleanQueryDerivesNullaryFact) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H() <- R(x,x)");
+  const RelationId r = schema.IdOf("R");
+  Instance inst;
+  inst.Insert(Fact(r, {5, 5}));
+  const Instance result = Evaluate(q, inst);
+  EXPECT_EQ(result.Size(), 1u);
+  EXPECT_TRUE(result.Contains(Fact(schema.IdOf("H"), {})));
+}
+
+TEST(Eval, EnumerationVisitsEverySatisfyingValuation) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,y) <- E(x,y)");
+  const RelationId e = schema.IdOf("E");
+  Instance inst;
+  for (int i = 0; i < 5; ++i) inst.Insert(Fact(e, {i, i + 1}));
+  int count = 0;
+  ForEachSatisfyingValuation(q, inst, [&count](const Valuation&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Eval, EnumerationEarlyStop) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,y) <- E(x,y)");
+  const RelationId e = schema.IdOf("E");
+  Instance inst;
+  for (int i = 0; i < 5; ++i) inst.Insert(Fact(e, {i, i + 1}));
+  int count = 0;
+  const bool finished =
+      ForEachSatisfyingValuation(q, inst, [&count](const Valuation&) {
+        return ++count < 2;
+      });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Eval, UnionOfQueries) {
+  Schema schema;
+  std::vector<ConjunctiveQuery> ucq;
+  ucq.push_back(ParseQuery(schema, "H(x) <- R(x,y)"));
+  ucq.push_back(ParseQuery(schema, "H(y) <- R(x,y)"));
+  const RelationId r = schema.IdOf("R");
+  Instance inst;
+  inst.Insert(Fact(r, {1, 2}));
+  const Instance result = EvaluateUnion(ucq, inst);
+  EXPECT_EQ(result.Size(), 2u);
+}
+
+TEST(Eval, UniverseEnumerationCountsAssignments) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,y) <- R(x,y)");
+  const std::vector<Value> universe = {Value(1), Value(2), Value(3)};
+  int count = 0;
+  ForEachValuationOverUniverse(q, universe, [&count](const Valuation& v) {
+    EXPECT_TRUE(v.IsTotal());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 9);
+}
+
+TEST(Eval, AgreesWithNaiveEnumerationOnRandomGraphs) {
+  // Property test: the indexed backtracking evaluator must agree with a
+  // naive evaluator that enumerates all valuations over the active domain.
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,z) <- E(x,y), E(y,z), E(z,x)");
+  const RelationId e = schema.IdOf("E");
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    Instance inst;
+    AddRandomGraph(schema, e, 30, 10, rng, inst);
+    const Instance fast = Evaluate(q, inst);
+
+    Instance naive;
+    const std::set<Value> dom = inst.ActiveDomain();
+    const std::vector<Value> universe(dom.begin(), dom.end());
+    ForEachValuationOverUniverse(
+        q, universe, [&q, &inst, &naive](const Valuation& v) {
+          if (v.Satisfies(q, inst)) naive.Insert(v.ApplyToAtom(q.head()));
+          return true;
+        });
+    EXPECT_EQ(fast, naive) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace lamp

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cq/eval.h"
+#include "cq/parser.h"
+#include "mpc/gym.h"
+#include "relational/generators.h"
+
+namespace lamp {
+namespace {
+
+TEST(Decomposition, SingleAtom) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,y) <- R(x,y)");
+  const TreeDecomposition td = BuildTreeDecomposition(q);
+  EXPECT_TRUE(IsValidDecomposition(q, td));
+  EXPECT_EQ(td.bags.size(), 1u);
+  EXPECT_EQ(td.Width(), 1u);
+}
+
+TEST(Decomposition, PathHasWidthOne) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,w) <- R1(x,y), R2(y,z), R3(z,w)");
+  const TreeDecomposition td = BuildTreeDecomposition(q);
+  EXPECT_TRUE(IsValidDecomposition(q, td));
+  EXPECT_EQ(td.Width(), 1u);
+}
+
+TEST(Decomposition, TriangleHasWidthTwo) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+  const TreeDecomposition td = BuildTreeDecomposition(q);
+  EXPECT_TRUE(IsValidDecomposition(q, td));
+  EXPECT_EQ(td.Width(), 2u);
+}
+
+TEST(Decomposition, FourCycleHasWidthTwo) {
+  // Min-degree elimination is optimal on cycles: width 2, two bags.
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z,w) <- R(x,y), S(y,z), T(z,w), U(w,x)");
+  const TreeDecomposition td = BuildTreeDecomposition(q);
+  EXPECT_TRUE(IsValidDecomposition(q, td));
+  EXPECT_EQ(td.Width(), 2u);
+}
+
+TEST(Decomposition, EveryBagHasAtoms) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(
+      schema, "H(a,b,c,d,e) <- R1(a,b), R2(b,c), R3(c,d), R4(d,e), R5(e,a)");
+  const TreeDecomposition td = BuildTreeDecomposition(q);
+  EXPECT_TRUE(IsValidDecomposition(q, td));
+  for (const auto& bag : td.bags) {
+    EXPECT_FALSE(bag.atom_indices.empty());
+  }
+}
+
+class GymTest : public ::testing::Test {
+ protected:
+  Instance RandomRelations(Schema& schema, const ConjunctiveQuery& q,
+                           std::size_t m, std::size_t domain,
+                           std::uint64_t seed) {
+    Rng rng(seed);
+    Instance db;
+    std::set<RelationId> done;
+    for (const Atom& atom : q.body()) {
+      if (!done.insert(atom.relation).second) continue;
+      AddUniformRelation(schema, atom.relation, m, domain, rng, db);
+    }
+    return db;
+  }
+};
+
+TEST_F(GymTest, TriangleMatchesCentralized) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+  const Instance db = RandomRelations(schema, q, 200, 30, 1);
+  const MpcRunResult result = GymEvaluate(schema, q, db, 8, 3);
+  EXPECT_EQ(result.output, Evaluate(q, db));
+}
+
+TEST_F(GymTest, FourCycleMatchesCentralized) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z,w) <- R(x,y), S(y,z), T(z,w), U(w,x)");
+  const Instance db = RandomRelations(schema, q, 250, 25, 2);
+  const MpcRunResult result = GymEvaluate(schema, q, db, 8, 5);
+  EXPECT_EQ(result.output, Evaluate(q, db));
+}
+
+TEST_F(GymTest, AcyclicChainMatchesCentralized) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z,w) <- R(x,y), S(y,z), T(z,w)");
+  const Instance db = RandomRelations(schema, q, 300, 40, 3);
+  const MpcRunResult result = GymEvaluate(schema, q, db, 6, 7);
+  EXPECT_EQ(result.output, Evaluate(q, db));
+}
+
+TEST_F(GymTest, TriangleWithPendantEdge) {
+  // Cyclic core + acyclic appendix: two bags, both phases exercised.
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(
+      schema, "H(x,y,z,w) <- R(x,y), S(y,z), T(z,x), U(z,w)");
+  const Instance db = RandomRelations(schema, q, 200, 25, 4);
+  const TreeDecomposition td = BuildTreeDecomposition(q);
+  EXPECT_TRUE(IsValidDecomposition(q, td));
+  EXPECT_GE(td.bags.size(), 2u);
+  const MpcRunResult result = GymEvaluate(schema, q, td, db, 8, 9);
+  EXPECT_EQ(result.output, Evaluate(q, db));
+}
+
+TEST_F(GymTest, InequalitiesRespected) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(
+      schema, "H(x,y,z) <- R(x,y), S(y,z), T(z,x), x != z");
+  const Instance db = RandomRelations(schema, q, 150, 15, 5);
+  const MpcRunResult result = GymEvaluate(schema, q, db, 8, 11);
+  EXPECT_EQ(result.output, Evaluate(q, db));
+}
+
+TEST_F(GymTest, ProjectionOntoHead) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x) <- R(x,y), S(y,z), T(z,x)");
+  const Instance db = RandomRelations(schema, q, 200, 25, 6);
+  const MpcRunResult result = GymEvaluate(schema, q, db, 8, 13);
+  EXPECT_EQ(result.output, Evaluate(q, db));
+}
+
+TEST_F(GymTest, DanglingHeavyIntermediatesArePruned) {
+  // GYM's point (Section 3.2): the semijoin phase over the bag tree keeps
+  // intermediates bounded even when a plain cascade would blow up. Bags:
+  // triangle {x,y,z} and pendant {z,w}; the pendant relation U joins
+  // nothing, so the final output is empty and the bag-tree reduction
+  // wipes the triangle bag before the join cascade.
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(
+      schema, "H(x,y,z,w) <- R(x,y), S(y,z), T(z,x), U(z,w)");
+  Instance db;
+  // A dense triangle core on values 0..9 (many triangles)...
+  for (std::int64_t a = 0; a < 10; ++a) {
+    for (std::int64_t b = 0; b < 10; ++b) {
+      db.Insert(Fact(schema.IdOf("R"), {a, b}));
+      db.Insert(Fact(schema.IdOf("S"), {a, b}));
+      db.Insert(Fact(schema.IdOf("T"), {a, b}));
+    }
+  }
+  // ...but U lives on disjoint values: the full join is empty.
+  for (std::int64_t i = 0; i < 10; ++i) {
+    db.Insert(Fact(schema.IdOf("U"), {100 + i, 200 + i}));
+  }
+  const MpcRunResult result = GymEvaluate(schema, q, db, 4, 15);
+  EXPECT_TRUE(result.output.Empty());
+}
+
+}  // namespace
+}  // namespace lamp

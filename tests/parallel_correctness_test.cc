@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cq/parser.h"
+#include "distribution/parallel_correctness.h"
+#include "distribution/policies.h"
+
+namespace lamp {
+namespace {
+
+// Example 4.1 of the paper, with a=0, b=1, c=2.
+class Example41 : public ::testing::Test {
+ protected:
+  Example41() {
+    qe_ = ParseQuery(schema_, "H(x1,x3) <- R(x1,x2), R(x2,x3), S(x3,x1)");
+    r_ = schema_.IdOf("R");
+    s_ = schema_.IdOf("S");
+    ie_.Insert(Fact(r_, {0, 1}));
+    ie_.Insert(Fact(r_, {1, 0}));
+    ie_.Insert(Fact(r_, {1, 2}));
+    ie_.Insert(Fact(s_, {0, 0}));
+    ie_.Insert(Fact(s_, {2, 0}));
+  }
+
+  /// P1: all R-facts on both nodes; S(d1,d2) on node 0 iff d1 == d2.
+  LambdaPolicy MakeP1() const {
+    const RelationId r = r_;
+    return LambdaPolicy(2, MakeUniverse(3),
+                        [r](NodeId node, const Fact& f) {
+                          if (f.relation == r) return true;
+                          return (f.args[0] == f.args[1]) == (node == 0);
+                        });
+  }
+
+  /// P2: all R-facts on node 0, all S-facts on node 1.
+  LambdaPolicy MakeP2() const {
+    const RelationId r = r_;
+    return LambdaPolicy(2, MakeUniverse(3),
+                        [r](NodeId node, const Fact& f) {
+                          return (f.relation == r) == (node == 0);
+                        });
+  }
+
+  Schema schema_;
+  ConjunctiveQuery qe_;
+  RelationId r_ = 0;
+  RelationId s_ = 0;
+  Instance ie_;
+};
+
+TEST_F(Example41, DistributedEvalUnderP1) {
+  const LambdaPolicy p1 = MakeP1();
+  const Instance result = DistributedEval(qe_, p1, ie_);
+  // Node 0 (holding S(a,a)) derives H(a,a) via x2 = b; node 1 (holding
+  // S(c,a)) derives H(a,c). (The paper's rendering "{H(a,b)} u {H(a,c)}"
+  // is a typo for {H(a,a)} u {H(a,c)}: H(a,b) would need S(b,a), which is
+  // not in Ie.)
+  EXPECT_EQ(result.Size(), 2u);
+  EXPECT_TRUE(result.Contains(Fact(schema_.IdOf("H"), {0, 0})));
+  EXPECT_TRUE(result.Contains(Fact(schema_.IdOf("H"), {0, 2})));
+  EXPECT_TRUE(IsParallelCorrectOn(qe_, p1, ie_));
+}
+
+TEST_F(Example41, DistributedEvalUnderP2IsEmpty) {
+  const LambdaPolicy p2 = MakeP2();
+  EXPECT_TRUE(DistributedEval(qe_, p2, ie_).Empty());
+  // Qe(Ie) is nonempty, so P2 is not parallel-correct on Ie.
+  EXPECT_FALSE(IsParallelCorrectOn(qe_, p2, ie_));
+  EXPECT_FALSE(IsParallelCorrect(qe_, p2));
+}
+
+// Example 4.3 of the paper: PC0 fails but the policy is parallel-correct.
+class Example43 : public ::testing::Test {
+ protected:
+  Example43() {
+    q_ = ParseQuery(schema_, "H(x,z) <- R(x,y), R(y,z), R(x,x)");
+    r_ = schema_.IdOf("R");
+  }
+
+  /// P: every fact except R(a,b) on node 0; every fact except R(b,a) on
+  /// node 1 (a=0, b=1).
+  LambdaPolicy MakePolicy() const {
+    const RelationId r = r_;
+    return LambdaPolicy(2, MakeUniverse(2),
+                        [r](NodeId node, const Fact& f) {
+                          const Fact rab(r, {0, 1});
+                          const Fact rba(r, {1, 0});
+                          if (node == 0) return !(f == rab);
+                          return !(f == rba);
+                        });
+  }
+
+  Schema schema_;
+  ConjunctiveQuery q_;
+  RelationId r_ = 0;
+};
+
+TEST_F(Example43, StrongSaturationFailsButPcHolds) {
+  const LambdaPolicy policy = MakePolicy();
+  // The valuation {x->a, y->b, z->a} requires R(a,b) and R(b,a), which
+  // never meet: condition (PC0) fails.
+  EXPECT_FALSE(StronglySaturates(policy, q_));
+  // Yet the policy saturates Q (PC1) and is parallel-correct
+  // (Proposition 4.6 / the paper's argument via R(a,a) or R(b,b)).
+  EXPECT_TRUE(Saturates(policy, q_));
+  EXPECT_TRUE(IsParallelCorrect(q_, policy));
+  // Cross-validate with exhaustive instance search: no counterexample with
+  // up to 4 facts over the 2-value universe (the full fact space).
+  EXPECT_FALSE(FindPcCounterexample(schema_, q_, policy, 4).has_value());
+}
+
+TEST(ParallelCorrectness, BroadcastPolicyAlwaysCorrect) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,z) <- R(x,y), S(y,z)");
+  const LambdaPolicy broadcast(3, MakeUniverse(3),
+                               [](NodeId, const Fact&) { return true; });
+  EXPECT_TRUE(StronglySaturates(broadcast, q));
+  EXPECT_TRUE(IsParallelCorrect(q, broadcast));
+}
+
+TEST(ParallelCorrectness, SplitJoinColumnsAreIncorrect) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,z) <- R(x,y), S(y,z)");
+  const RelationId r = schema.IdOf("R");
+  // R-facts on node 0, S-facts on node 1: the join never meets.
+  const LambdaPolicy split(2, MakeUniverse(2),
+                           [r](NodeId node, const Fact& f) {
+                             return (f.relation == r) == (node == 0);
+                           });
+  EXPECT_FALSE(IsParallelCorrect(q, split));
+  // And an actual counterexample instance exists (PCI view).
+  const auto witness = FindPcCounterexample(schema, q, split, 2);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(IsParallelCorrectOn(q, split, *witness));
+}
+
+TEST(ParallelCorrectness, CharacterizationAgreesWithSearchOnRandomPolicies) {
+  // Property test for Proposition 4.6: the minimal-valuation decider and
+  // the exhaustive instance search must agree on random finite policies.
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,z) <- R(x,y), R(y,z)");
+  const RelationId r = schema.IdOf("R");
+  Rng rng(99);
+  int correct_count = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    FinitePolicy policy(2, MakeUniverse(2));
+    for (std::int64_t a = 0; a < 2; ++a) {
+      for (std::int64_t b = 0; b < 2; ++b) {
+        for (NodeId node = 0; node < 2; ++node) {
+          if (rng.Bernoulli(0.7)) policy.Assign(node, Fact(r, {a, b}));
+        }
+      }
+    }
+    const bool by_characterization = IsParallelCorrect(q, policy);
+    const bool by_search =
+        !FindPcCounterexample(schema, q, policy, 4).has_value();
+    EXPECT_EQ(by_characterization, by_search) << "trial " << trial;
+    correct_count += by_characterization ? 1 : 0;
+  }
+  // Sanity: the sample contains both correct and incorrect policies.
+  EXPECT_GT(correct_count, 0);
+  EXPECT_LT(correct_count, 40);
+}
+
+TEST(ParallelCorrectness, UnionMinimalityAcrossDisjuncts) {
+  Schema schema;
+  std::vector<ConjunctiveQuery> ucq;
+  // Q1: H(x,z) <- R(x,y), R(y,z); Q2: H(x,x) <- R(x,x).
+  ucq.push_back(ParseQuery(schema, "H(x,z) <- R(x,y), R(y,z)"));
+  ucq.push_back(ParseQuery(schema, "H(x,x) <- R(x,x)"));
+
+  // Valuation {x->a, y->a, z->a} of Q1 requires {R(a,a)} and derives
+  // H(a,a); Q2 derives the same from the same single fact — not smaller,
+  // so it is still minimal.
+  Valuation v(ucq[0].NumVars());
+  v.Bind(ucq[0].FindVar("x"), Value(0));
+  v.Bind(ucq[0].FindVar("y"), Value(0));
+  v.Bind(ucq[0].FindVar("z"), Value(0));
+  EXPECT_TRUE(IsMinimalForUnion(ucq, 0, v));
+
+  // Valuation {x->a, y->b, z->a} requires 2 facts to derive H(a,a)...
+  Valuation w(ucq[0].NumVars());
+  w.Bind(ucq[0].FindVar("x"), Value(0));
+  w.Bind(ucq[0].FindVar("y"), Value(1));
+  w.Bind(ucq[0].FindVar("z"), Value(0));
+  // ...and within Q1 alone it is minimal (no 1-fact derivation of H(0,0)
+  // inside {R(0,1), R(1,0)}), and Q2 needs R(0,0) which is absent: minimal.
+  EXPECT_TRUE(IsMinimalForUnion(ucq, 0, w));
+}
+
+TEST(ParallelCorrectness, UnionPcDecider) {
+  Schema schema;
+  std::vector<ConjunctiveQuery> ucq;
+  ucq.push_back(ParseQuery(schema, "H(x) <- R(x,y)"));
+  ucq.push_back(ParseQuery(schema, "H(y) <- R(x,y)"));
+  const LambdaPolicy broadcast(2, MakeUniverse(2),
+                               [](NodeId, const Fact&) { return true; });
+  EXPECT_TRUE(IsParallelCorrectUnion(ucq, broadcast));
+
+  const RelationId r = schema.IdOf("R");
+  // Nothing assigned to any node: single-atom minimal valuations fail.
+  const LambdaPolicy empty(2, MakeUniverse(2),
+                           [](NodeId, const Fact&) { return false; });
+  EXPECT_FALSE(IsParallelCorrectUnion(ucq, empty));
+  (void)r;
+}
+
+TEST(ParallelCorrectness, NegationSoundnessVsCompleteness) {
+  Schema schema;
+  // Open-wedge query with negation (cf. Example 5.1(2)).
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,z) <- E(x,y), E(y,z), !E(z,x)");
+  const RelationId e = schema.IdOf("E");
+
+  // Split policy: E-facts with even first component on node 0, odd on 1.
+  const LambdaPolicy split(2, MakeUniverse(3),
+                           [](NodeId node, const Fact& f) {
+                             return (f.args[0].v % 2) ==
+                                    static_cast<std::int64_t>(node);
+                           });
+  // Instance where a node derives an open wedge that is globally closed:
+  // parallel-soundness fails.
+  Instance inst;
+  inst.Insert(Fact(e, {0, 1}));
+  inst.Insert(Fact(e, {1, 2}));
+  inst.Insert(Fact(e, {2, 0}));
+  EXPECT_FALSE(IsParallelSoundOn(q, split, inst));
+  EXPECT_FALSE(IsParallelCorrectOn(q, split, inst));
+
+  // Broadcast is both sound and complete for any query.
+  const LambdaPolicy broadcast(2, MakeUniverse(3),
+                               [](NodeId, const Fact&) { return true; });
+  EXPECT_TRUE(IsParallelSoundOn(q, broadcast, inst));
+  EXPECT_TRUE(IsParallelCompleteOn(q, broadcast, inst));
+  EXPECT_TRUE(IsParallelCorrectOn(q, broadcast, inst));
+}
+
+}  // namespace
+}  // namespace lamp

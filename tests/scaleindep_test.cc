@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cq/eval.h"
+#include "cq/parser.h"
+#include "relational/generators.h"
+#include "scaleindep/access.h"
+
+namespace lamp {
+namespace {
+
+// A social-network-flavoured schema:
+//   Person(id)               with Person(id -> 1)
+//   Friend(id, friend_id)    with Friend(id -> k)    (bounded out-degree)
+//   City(id, city)           with City(id -> 1)      (one city per person)
+class ScaleIndepTest : public ::testing::Test {
+ protected:
+  ScaleIndepTest() {
+    person_ = schema_.AddRelation("Person", 1);
+    friend_ = schema_.AddRelation("Friend", 2);
+    city_ = schema_.AddRelation("City", 2);
+    access_.Add({person_, {0}, 1});
+    access_.Add({friend_, {0}, kDegree});
+    access_.Add({city_, {0}, 1});
+  }
+
+  /// Population of n people in a ring of friendships, one city each.
+  Instance Population(std::size_t n) {
+    Instance db;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<std::int64_t>(i);
+      db.Insert(Fact(person_, {id}));
+      for (std::size_t d = 1; d <= kDegree; ++d) {
+        db.Insert(Fact(friend_, {id, static_cast<std::int64_t>((i + d) % n)}));
+      }
+      db.Insert(Fact(city_, {id, 1000 + id % 7}));
+    }
+    return db;
+  }
+
+  static constexpr std::size_t kDegree = 3;
+
+  Schema schema_;
+  RelationId person_ = 0, friend_ = 0, city_ = 0;
+  AccessSchema access_;
+};
+
+TEST_F(ScaleIndepTest, ParameterizedQueryIsBounded) {
+  // "Cities of the friends of person 5": reachable from the constant 5
+  // through constrained accesses only.
+  const ConjunctiveQuery q =
+      ParseQuery(schema_, "H(f,c) <- Friend(5, f), City(f, c)");
+  const BoundedPlan plan = PlanBoundedEvaluation(q, access_);
+  ASSERT_TRUE(plan.bounded);
+  EXPECT_EQ(plan.steps.size(), 2u);
+  // Fan-out: kDegree friend fetches + kDegree*1 city fetches.
+  EXPECT_DOUBLE_EQ(plan.worst_case_fetches, kDegree + kDegree * 1.0);
+}
+
+TEST_F(ScaleIndepTest, UnanchoredQueryIsNotBounded) {
+  // No constant to start from: every access needs an input value.
+  const ConjunctiveQuery q =
+      ParseQuery(schema_, "H(p,f) <- Friend(p, f), City(f, c)");
+  EXPECT_FALSE(PlanBoundedEvaluation(q, access_).bounded);
+}
+
+TEST_F(ScaleIndepTest, FullScanConstraintMakesItBounded) {
+  // Adding a bounded-scan constraint on Friend (a small relation promise)
+  // anchors the unanchored query.
+  AccessSchema extended = access_;
+  extended.Add({friend_, {}, 1000});
+  const ConjunctiveQuery q =
+      ParseQuery(schema_, "H(p,f) <- Friend(p, f), City(f, c)");
+  const BoundedPlan plan = PlanBoundedEvaluation(q, extended);
+  EXPECT_TRUE(plan.bounded);
+}
+
+TEST_F(ScaleIndepTest, BoundedEvaluationMatchesFullEvaluation) {
+  const ConjunctiveQuery q =
+      ParseQuery(schema_, "H(f,c) <- Friend(5, f), City(f, c)");
+  const BoundedPlan plan = PlanBoundedEvaluation(q, access_);
+  ASSERT_TRUE(plan.bounded);
+  const Instance db = Population(500);
+  const BoundedEvalResult result = BoundedEvaluate(q, plan, db);
+  EXPECT_EQ(result.output, Evaluate(q, db));
+  EXPECT_EQ(result.output.Size(), kDegree);
+}
+
+TEST_F(ScaleIndepTest, FetchesAreScaleIndependent) {
+  // The headline property: tuples fetched do not grow with |I|.
+  const ConjunctiveQuery q = ParseQuery(
+      schema_, "H(f,g,c) <- Friend(5, f), Friend(f, g), City(g, c)");
+  const BoundedPlan plan = PlanBoundedEvaluation(q, access_);
+  ASSERT_TRUE(plan.bounded);
+
+  std::size_t fetched_small = 0;
+  std::size_t fetched_large = 0;
+  {
+    const Instance db = Population(100);
+    const BoundedEvalResult r = BoundedEvaluate(q, plan, db);
+    EXPECT_EQ(r.output, Evaluate(q, db));
+    fetched_small = r.tuples_fetched;
+  }
+  {
+    const Instance db = Population(10000);
+    const BoundedEvalResult r = BoundedEvaluate(q, plan, db);
+    EXPECT_EQ(r.output, Evaluate(q, db));
+    fetched_large = r.tuples_fetched;
+  }
+  EXPECT_EQ(fetched_small, fetched_large);
+  // And bounded by the plan's worst case (k + k*k + k*k*1).
+  EXPECT_LE(static_cast<double>(fetched_large), plan.worst_case_fetches);
+}
+
+TEST_F(ScaleIndepTest, ConstraintViolationIsDetected) {
+  const ConjunctiveQuery q =
+      ParseQuery(schema_, "H(f,c) <- Friend(5, f), City(f, c)");
+  const BoundedPlan plan = PlanBoundedEvaluation(q, access_);
+  Instance db = Population(50);
+  // Person 5 suddenly has many more friends than the constraint allows.
+  for (std::int64_t extra = 0; extra < 10; ++extra) {
+    db.Insert(Fact(friend_, {5, 30 + extra}));
+  }
+  EXPECT_DEATH(BoundedEvaluate(q, plan, db), "access constraint");
+}
+
+TEST_F(ScaleIndepTest, GreedyPrefersTighterConstraints) {
+  // Two constraints on Friend: choose the 1-bounded one when available.
+  AccessSchema extended = access_;
+  extended.Add({friend_, {0, 1}, 1});  // Membership probe.
+  const ConjunctiveQuery q =
+      ParseQuery(schema_, "H() <- Friend(5, 6)");
+  const BoundedPlan plan = PlanBoundedEvaluation(q, extended);
+  ASSERT_TRUE(plan.bounded);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].constraint.bound, 1u);
+  EXPECT_EQ(plan.steps[0].constraint.input_positions.size(), 2u);
+}
+
+TEST_F(ScaleIndepTest, InequalitiesApplied) {
+  const ConjunctiveQuery q = ParseQuery(
+      schema_, "H(f,g) <- Friend(5, f), Friend(5, g), f != g");
+  const BoundedPlan plan = PlanBoundedEvaluation(q, access_);
+  ASSERT_TRUE(plan.bounded);
+  const Instance db = Population(100);
+  const BoundedEvalResult result = BoundedEvaluate(q, plan, db);
+  EXPECT_EQ(result.output, Evaluate(q, db));
+  for (const Fact& f : result.output.AllFacts()) {
+    EXPECT_FALSE(f.args[0] == f.args[1]);
+  }
+}
+
+}  // namespace
+}  // namespace lamp

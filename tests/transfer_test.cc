@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "cq/containment.h"
+#include "common/rng.h"
+#include "cq/parser.h"
+#include "distribution/parallel_correctness.h"
+#include "distribution/policies.h"
+#include "distribution/transfer.h"
+
+namespace lamp {
+namespace {
+
+// Example 4.11 / Figure 1 of the paper:
+//   Q1: H() <- S(x), R(x,x), T(x)
+//   Q2: H() <- R(x,x), T(x)
+//   Q3: H() <- S(x), R(x,y), T(y)
+//   Q4: H() <- R(x,y), T(y)
+class Figure1Transfer : public ::testing::Test {
+ protected:
+  Figure1Transfer() {
+    q1_ = ParseQuery(schema_, "H() <- S(x), R(x,x), T(x)");
+    q2_ = ParseQuery(schema_, "H() <- R(x,x), T(x)");
+    q3_ = ParseQuery(schema_, "H() <- S(x), R(x,y), T(y)");
+    q4_ = ParseQuery(schema_, "H() <- R(x,y), T(y)");
+  }
+
+  Schema schema_;
+  ConjunctiveQuery q1_, q2_, q3_, q4_;
+};
+
+TEST_F(Figure1Transfer, TransferIsReflexive) {
+  for (const ConjunctiveQuery* q : {&q1_, &q2_, &q3_, &q4_}) {
+    EXPECT_TRUE(ParallelCorrectnessTransfersTo(*q, *q));
+  }
+}
+
+TEST_F(Figure1Transfer, TransferMatrixMatchesFigure1a) {
+  // Positive arrows: Q3 -> {Q1, Q2, Q4}, Q4 -> Q2, Q1 -> Q2.
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(q3_, q1_));  // Stated in text.
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(q3_, q2_));
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(q3_, q4_));
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(q4_, q2_));
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(q1_, q2_));
+
+  // All remaining pairs do not transfer.
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(q1_, q3_));
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(q1_, q4_));
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(q2_, q1_));
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(q2_, q3_));
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(q2_, q4_));
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(q4_, q1_));
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(q4_, q3_));
+}
+
+TEST_F(Figure1Transfer, TransferOrthogonalToContainment) {
+  // The four comparisons called out in the paper's text:
+  // (Q3 vs Q4): both containment and transfer hold.
+  EXPECT_TRUE(IsContainedIn(q3_, q4_));
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(q3_, q4_));
+  // (Q4 vs Q2): they hold in opposite directions.
+  EXPECT_TRUE(IsContainedIn(q2_, q4_));
+  EXPECT_FALSE(IsContainedIn(q4_, q2_));
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(q4_, q2_));
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(q2_, q4_));
+  // (Q3 vs Q2): transfer without containment.
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(q3_, q2_));
+  EXPECT_FALSE(IsContainedIn(q3_, q2_));
+  EXPECT_FALSE(IsContainedIn(q2_, q3_));
+  // (Q1 vs Q4): containment without transfer.
+  EXPECT_TRUE(IsContainedIn(q1_, q4_));
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(q1_, q4_));
+}
+
+TEST_F(Figure1Transfer, TransferSemanticsOnConcretePolicies) {
+  // Definition 4.10 made concrete: build finite policies over a 2-value
+  // universe; whenever Q3 is parallel-correct under a policy, so must be
+  // Q1 (since Q3 ->pc Q1). Cross-validated by direct PC checks.
+  const RelationId r = schema_.IdOf("R");
+  const RelationId s = schema_.IdOf("S");
+  const RelationId t = schema_.IdOf("T");
+  Rng rng(123);
+  int q3_correct = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    FinitePolicy policy(2, MakeUniverse(2));
+    for (std::int64_t a = 0; a < 2; ++a) {
+      for (NodeId node = 0; node < 2; ++node) {
+        if (rng.Bernoulli(0.6)) policy.Assign(node, Fact(s, {a}));
+        if (rng.Bernoulli(0.6)) policy.Assign(node, Fact(t, {a}));
+        for (std::int64_t b = 0; b < 2; ++b) {
+          if (rng.Bernoulli(0.6)) policy.Assign(node, Fact(r, {a, b}));
+        }
+      }
+    }
+    if (IsParallelCorrect(q3_, policy)) {
+      ++q3_correct;
+      EXPECT_TRUE(IsParallelCorrect(q1_, policy)) << "trial " << trial;
+      EXPECT_TRUE(IsParallelCorrect(q2_, policy)) << "trial " << trial;
+      EXPECT_TRUE(IsParallelCorrect(q4_, policy)) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(q3_correct, 0);  // The property was exercised.
+}
+
+TEST(Transfer, WitnessPolicyForNonTransfer) {
+  // Q1 -/-> Q4: exhibit a policy where Q1 is parallel-correct but Q4 is
+  // not (the converse of Definition 4.10).
+  Schema schema;
+  const ConjunctiveQuery q1 =
+      ParseQuery(schema, "H() <- S(x), R(x,x), T(x)");
+  const ConjunctiveQuery q4 = ParseQuery(schema, "H() <- R(x,y), T(y)");
+  const RelationId r = schema.IdOf("R");
+  const RelationId t = schema.IdOf("T");
+
+  // Policy: node 0 gets S-facts, T-facts and *diagonal* R-facts; node 1
+  // gets off-diagonal R-facts. Q1's minimal valuations only need diagonal
+  // R-facts -> correct. Q4 needs R(a,b) with T(b) together -> fails.
+  const LambdaPolicy policy(
+      2, MakeUniverse(2), [r](NodeId node, const Fact& f) {
+        const bool off_diagonal_r =
+            f.relation == r && !(f.args[0] == f.args[1]);
+        if (node == 0) return !off_diagonal_r;
+        return off_diagonal_r;
+      });
+  EXPECT_TRUE(IsParallelCorrect(q1, policy));
+  EXPECT_FALSE(IsParallelCorrect(q4, policy));
+  (void)t;
+}
+
+TEST(Transfer, FullQueriesTransferByBodyInclusion) {
+  // For full CQs every valuation is minimal, so Q covers Q' reduces to:
+  // the body facts of any valuation of Q' appear among those of some
+  // valuation of Q. Identical bodies -> transfer in both directions.
+  Schema schema;
+  const ConjunctiveQuery a =
+      ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z)");
+  const ConjunctiveQuery b = ParseQuery(schema, "G(z,x,y) <- R(x,y), S(y,z)");
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(a, b));
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(b, a));
+}
+
+TEST(Transfer, SubBodyTransfers) {
+  // Q with a larger body covers the query with a sub-body.
+  Schema schema;
+  const ConjunctiveQuery big =
+      ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+  const ConjunctiveQuery small =
+      ParseQuery(schema, "G(x,y) <- R(x,y)");
+  EXPECT_TRUE(ParallelCorrectnessTransfersTo(big, small));
+  EXPECT_FALSE(ParallelCorrectnessTransfersTo(small, big));
+}
+
+}  // namespace
+}  // namespace lamp

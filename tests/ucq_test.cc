@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "cq/parser.h"
+#include "cq/containment.h"
+#include "cq/ucq.h"
+#include "relational/generators.h"
+
+namespace lamp {
+namespace {
+
+class UcqTest : public ::testing::Test {
+ protected:
+  UcqTest() { e_ = schema_.AddRelation("E", 2); }
+
+  Schema schema_;
+  RelationId e_ = 0;
+};
+
+TEST_F(UcqTest, EvaluationIsUnionOfDisjuncts) {
+  UnionQuery u;
+  u.AddDisjunct(ParseQuery(schema_, "H(x) <- E(x,y)"));
+  u.AddDisjunct(ParseQuery(schema_, "H(y) <- E(x,y)"));
+  Instance inst;
+  inst.Insert(Fact(e_, {1, 2}));
+  inst.Insert(Fact(e_, {3, 4}));
+  const Instance result = u.Evaluate(inst);
+  EXPECT_EQ(result.Size(), 4u);
+  EXPECT_TRUE(result.Contains(Fact(schema_.IdOf("H"), {2})));
+}
+
+TEST_F(UcqTest, DisjunctContainedInItsUnion) {
+  const ConjunctiveQuery q1 = ParseQuery(schema_, "H(x) <- E(x,y)");
+  UnionQuery u;
+  u.AddDisjunct(ParseQuery(schema_, "H(x) <- E(x,y)"));
+  u.AddDisjunct(ParseQuery(schema_, "H(y) <- E(x,y)"));
+  EXPECT_TRUE(IsContainedIn(q1, u));
+  // The union is not contained in a single disjunct.
+  EXPECT_FALSE(IsContainedIn(u, q1));
+}
+
+TEST_F(UcqTest, CaseSplitContainment) {
+  // The classic UCQ phenomenon: "E(x,y) with x = y or x != y" is
+  // equivalent to plain E(x,y), but neither disjunct alone contains it.
+  UnionQuery split;
+  split.AddDisjunct(ParseQuery(schema_, "H(x,x) <- E(x,x)"));
+  split.AddDisjunct(ParseQuery(schema_, "H(x,y) <- E(x,y), x != y"));
+  const ConjunctiveQuery plain = ParseQuery(schema_, "H(x,y) <- E(x,y)");
+  EXPECT_TRUE(IsContainedIn(plain, split));
+  EXPECT_TRUE(IsContainedIn(split, plain));
+  for (const ConjunctiveQuery& disjunct : split.disjuncts()) {
+    EXPECT_FALSE(IsContainedIn(plain, disjunct));
+  }
+}
+
+TEST_F(UcqTest, UnionContainmentIsPerDisjunct) {
+  UnionQuery u1;
+  u1.AddDisjunct(ParseQuery(schema_, "H() <- E(x,x)"));
+  u1.AddDisjunct(ParseQuery(schema_, "H() <- E(x,y), E(y,x)"));
+  UnionQuery u2;
+  u2.AddDisjunct(ParseQuery(schema_, "H() <- E(x,y), E(y,x)"));
+  // E(x,x) instantiates E(x,y), E(y,x) with x=y: u1 subseteq u2.
+  EXPECT_TRUE(IsContainedIn(u1, u2));
+  EXPECT_TRUE(IsContainedIn(u2, u1));
+}
+
+TEST_F(UcqTest, NonContainmentDetected) {
+  UnionQuery u1;
+  u1.AddDisjunct(ParseQuery(schema_, "H(x,y) <- E(x,y)"));
+  UnionQuery u2;
+  u2.AddDisjunct(ParseQuery(schema_, "H(x,y) <- E(y,x)"));
+  EXPECT_FALSE(IsContainedIn(u1, u2));
+}
+
+TEST_F(UcqTest, ToStringJoinsDisjuncts) {
+  UnionQuery u;
+  u.AddDisjunct(ParseQuery(schema_, "H(x) <- E(x,y)"));
+  u.AddDisjunct(ParseQuery(schema_, "H(y) <- E(x,y)"));
+  const std::string s = u.ToString(schema_);
+  EXPECT_NE(s.find("|"), std::string::npos);
+  EXPECT_TRUE(u.IsNegationFree());
+}
+
+}  // namespace
+}  // namespace lamp
