@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_broadcast_economy.dir/bench_broadcast_economy.cc.o"
+  "CMakeFiles/bench_broadcast_economy.dir/bench_broadcast_economy.cc.o.d"
+  "bench_broadcast_economy"
+  "bench_broadcast_economy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_broadcast_economy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calm_convergence.dir/bench_calm_convergence.cc.o"
+  "CMakeFiles/bench_calm_convergence.dir/bench_calm_convergence.cc.o.d"
+  "bench_calm_convergence"
+  "bench_calm_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calm_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datalog_eval.dir/bench_datalog_eval.cc.o"
+  "CMakeFiles/bench_datalog_eval.dir/bench_datalog_eval.cc.o.d"
+  "bench_datalog_eval"
+  "bench_datalog_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datalog_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_transfer_vs_containment.dir/bench_fig1_transfer_vs_containment.cc.o"
+  "CMakeFiles/bench_fig1_transfer_vs_containment.dir/bench_fig1_transfer_vs_containment.cc.o.d"
+  "bench_fig1_transfer_vs_containment"
+  "bench_fig1_transfer_vs_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_transfer_vs_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_transfer_vs_containment.
+# This may be replaced when dependencies are built.

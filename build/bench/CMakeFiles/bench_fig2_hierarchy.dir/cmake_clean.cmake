@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hierarchy.dir/bench_fig2_hierarchy.cc.o"
+  "CMakeFiles/bench_fig2_hierarchy.dir/bench_fig2_hierarchy.cc.o.d"
+  "bench_fig2_hierarchy"
+  "bench_fig2_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gym_ablation.dir/bench_gym_ablation.cc.o"
+  "CMakeFiles/bench_gym_ablation.dir/bench_gym_ablation.cc.o.d"
+  "bench_gym_ablation"
+  "bench_gym_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gym_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

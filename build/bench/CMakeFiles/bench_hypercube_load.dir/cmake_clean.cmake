@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypercube_load.dir/bench_hypercube_load.cc.o"
+  "CMakeFiles/bench_hypercube_load.dir/bench_hypercube_load.cc.o.d"
+  "bench_hypercube_load"
+  "bench_hypercube_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypercube_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

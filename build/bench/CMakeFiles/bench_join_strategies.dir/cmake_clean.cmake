@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_strategies.dir/bench_join_strategies.cc.o"
+  "CMakeFiles/bench_join_strategies.dir/bench_join_strategies.cc.o.d"
+  "bench_join_strategies"
+  "bench_join_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

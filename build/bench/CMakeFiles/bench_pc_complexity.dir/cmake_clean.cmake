@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pc_complexity.dir/bench_pc_complexity.cc.o"
+  "CMakeFiles/bench_pc_complexity.dir/bench_pc_complexity.cc.o.d"
+  "bench_pc_complexity"
+  "bench_pc_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pc_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaleindep.dir/bench_scaleindep.cc.o"
+  "CMakeFiles/bench_scaleindep.dir/bench_scaleindep.cc.o.d"
+  "bench_scaleindep"
+  "bench_scaleindep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaleindep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

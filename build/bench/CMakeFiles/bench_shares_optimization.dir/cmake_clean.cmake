@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shares_optimization.dir/bench_shares_optimization.cc.o"
+  "CMakeFiles/bench_shares_optimization.dir/bench_shares_optimization.cc.o.d"
+  "bench_shares_optimization"
+  "bench_shares_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shares_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

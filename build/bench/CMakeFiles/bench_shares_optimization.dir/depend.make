@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_shares_optimization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tc_mapreduce.cc" "bench/CMakeFiles/bench_tc_mapreduce.dir/bench_tc_mapreduce.cc.o" "gcc" "bench/CMakeFiles/bench_tc_mapreduce.dir/bench_tc_mapreduce.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/lamp_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/lamp_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lamp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/lamp_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/distribution/CMakeFiles/lamp_distribution.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/lamp_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/lamp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lamp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tc_mapreduce.dir/bench_tc_mapreduce.cc.o"
+  "CMakeFiles/bench_tc_mapreduce.dir/bench_tc_mapreduce.cc.o.d"
+  "bench_tc_mapreduce"
+  "bench_tc_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tc_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_triangle_rounds.dir/bench_triangle_rounds.cc.o"
+  "CMakeFiles/bench_triangle_rounds.dir/bench_triangle_rounds.cc.o.d"
+  "bench_triangle_rounds"
+  "bench_triangle_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_triangle_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

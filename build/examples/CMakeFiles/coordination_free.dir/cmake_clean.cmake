@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordination_free.dir/coordination_free.cpp.o"
+  "CMakeFiles/coordination_free.dir/coordination_free.cpp.o.d"
+  "coordination_free"
+  "coordination_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordination_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for coordination_free.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_queries.dir/datalog_queries.cpp.o"
+  "CMakeFiles/datalog_queries.dir/datalog_queries.cpp.o.d"
+  "datalog_queries"
+  "datalog_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

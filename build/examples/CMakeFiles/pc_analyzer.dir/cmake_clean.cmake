@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_analyzer.dir/pc_analyzer.cpp.o"
+  "CMakeFiles/pc_analyzer.dir/pc_analyzer.cpp.o.d"
+  "pc_analyzer"
+  "pc_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_mpc.dir/triangle_mpc.cpp.o"
+  "CMakeFiles/triangle_mpc.dir/triangle_mpc.cpp.o.d"
+  "triangle_mpc"
+  "triangle_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for triangle_mpc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_automata.dir/register_automaton.cc.o"
+  "CMakeFiles/lamp_automata.dir/register_automaton.cc.o.d"
+  "CMakeFiles/lamp_automata.dir/streaming_ops.cc.o"
+  "CMakeFiles/lamp_automata.dir/streaming_ops.cc.o.d"
+  "liblamp_automata.a"
+  "liblamp_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblamp_automata.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_common.dir/interner.cc.o"
+  "CMakeFiles/lamp_common.dir/interner.cc.o.d"
+  "CMakeFiles/lamp_common.dir/rng.cc.o"
+  "CMakeFiles/lamp_common.dir/rng.cc.o.d"
+  "liblamp_common.a"
+  "liblamp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cq/acyclic.cc" "src/cq/CMakeFiles/lamp_cq.dir/acyclic.cc.o" "gcc" "src/cq/CMakeFiles/lamp_cq.dir/acyclic.cc.o.d"
+  "/root/repo/src/cq/containment.cc" "src/cq/CMakeFiles/lamp_cq.dir/containment.cc.o" "gcc" "src/cq/CMakeFiles/lamp_cq.dir/containment.cc.o.d"
+  "/root/repo/src/cq/cq.cc" "src/cq/CMakeFiles/lamp_cq.dir/cq.cc.o" "gcc" "src/cq/CMakeFiles/lamp_cq.dir/cq.cc.o.d"
+  "/root/repo/src/cq/eval.cc" "src/cq/CMakeFiles/lamp_cq.dir/eval.cc.o" "gcc" "src/cq/CMakeFiles/lamp_cq.dir/eval.cc.o.d"
+  "/root/repo/src/cq/minimal.cc" "src/cq/CMakeFiles/lamp_cq.dir/minimal.cc.o" "gcc" "src/cq/CMakeFiles/lamp_cq.dir/minimal.cc.o.d"
+  "/root/repo/src/cq/parser.cc" "src/cq/CMakeFiles/lamp_cq.dir/parser.cc.o" "gcc" "src/cq/CMakeFiles/lamp_cq.dir/parser.cc.o.d"
+  "/root/repo/src/cq/ucq.cc" "src/cq/CMakeFiles/lamp_cq.dir/ucq.cc.o" "gcc" "src/cq/CMakeFiles/lamp_cq.dir/ucq.cc.o.d"
+  "/root/repo/src/cq/valuation.cc" "src/cq/CMakeFiles/lamp_cq.dir/valuation.cc.o" "gcc" "src/cq/CMakeFiles/lamp_cq.dir/valuation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/lamp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lamp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

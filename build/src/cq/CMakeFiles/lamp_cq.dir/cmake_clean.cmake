@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_cq.dir/acyclic.cc.o"
+  "CMakeFiles/lamp_cq.dir/acyclic.cc.o.d"
+  "CMakeFiles/lamp_cq.dir/containment.cc.o"
+  "CMakeFiles/lamp_cq.dir/containment.cc.o.d"
+  "CMakeFiles/lamp_cq.dir/cq.cc.o"
+  "CMakeFiles/lamp_cq.dir/cq.cc.o.d"
+  "CMakeFiles/lamp_cq.dir/eval.cc.o"
+  "CMakeFiles/lamp_cq.dir/eval.cc.o.d"
+  "CMakeFiles/lamp_cq.dir/minimal.cc.o"
+  "CMakeFiles/lamp_cq.dir/minimal.cc.o.d"
+  "CMakeFiles/lamp_cq.dir/parser.cc.o"
+  "CMakeFiles/lamp_cq.dir/parser.cc.o.d"
+  "CMakeFiles/lamp_cq.dir/ucq.cc.o"
+  "CMakeFiles/lamp_cq.dir/ucq.cc.o.d"
+  "CMakeFiles/lamp_cq.dir/valuation.cc.o"
+  "CMakeFiles/lamp_cq.dir/valuation.cc.o.d"
+  "liblamp_cq.a"
+  "liblamp_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

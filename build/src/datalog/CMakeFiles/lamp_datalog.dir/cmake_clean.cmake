@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_datalog.dir/components.cc.o"
+  "CMakeFiles/lamp_datalog.dir/components.cc.o.d"
+  "CMakeFiles/lamp_datalog.dir/eval.cc.o"
+  "CMakeFiles/lamp_datalog.dir/eval.cc.o.d"
+  "CMakeFiles/lamp_datalog.dir/monotone.cc.o"
+  "CMakeFiles/lamp_datalog.dir/monotone.cc.o.d"
+  "CMakeFiles/lamp_datalog.dir/program.cc.o"
+  "CMakeFiles/lamp_datalog.dir/program.cc.o.d"
+  "CMakeFiles/lamp_datalog.dir/wellfounded.cc.o"
+  "CMakeFiles/lamp_datalog.dir/wellfounded.cc.o.d"
+  "liblamp_datalog.a"
+  "liblamp_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lamp_datalog.
+# This may be replaced when dependencies are built.

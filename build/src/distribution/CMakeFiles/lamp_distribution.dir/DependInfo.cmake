@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distribution/domain_guided.cc" "src/distribution/CMakeFiles/lamp_distribution.dir/domain_guided.cc.o" "gcc" "src/distribution/CMakeFiles/lamp_distribution.dir/domain_guided.cc.o.d"
+  "/root/repo/src/distribution/hypercube.cc" "src/distribution/CMakeFiles/lamp_distribution.dir/hypercube.cc.o" "gcc" "src/distribution/CMakeFiles/lamp_distribution.dir/hypercube.cc.o.d"
+  "/root/repo/src/distribution/parallel_correctness.cc" "src/distribution/CMakeFiles/lamp_distribution.dir/parallel_correctness.cc.o" "gcc" "src/distribution/CMakeFiles/lamp_distribution.dir/parallel_correctness.cc.o.d"
+  "/root/repo/src/distribution/policies.cc" "src/distribution/CMakeFiles/lamp_distribution.dir/policies.cc.o" "gcc" "src/distribution/CMakeFiles/lamp_distribution.dir/policies.cc.o.d"
+  "/root/repo/src/distribution/policy.cc" "src/distribution/CMakeFiles/lamp_distribution.dir/policy.cc.o" "gcc" "src/distribution/CMakeFiles/lamp_distribution.dir/policy.cc.o.d"
+  "/root/repo/src/distribution/transfer.cc" "src/distribution/CMakeFiles/lamp_distribution.dir/transfer.cc.o" "gcc" "src/distribution/CMakeFiles/lamp_distribution.dir/transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cq/CMakeFiles/lamp_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/lamp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lamp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_distribution.dir/domain_guided.cc.o"
+  "CMakeFiles/lamp_distribution.dir/domain_guided.cc.o.d"
+  "CMakeFiles/lamp_distribution.dir/hypercube.cc.o"
+  "CMakeFiles/lamp_distribution.dir/hypercube.cc.o.d"
+  "CMakeFiles/lamp_distribution.dir/parallel_correctness.cc.o"
+  "CMakeFiles/lamp_distribution.dir/parallel_correctness.cc.o.d"
+  "CMakeFiles/lamp_distribution.dir/policies.cc.o"
+  "CMakeFiles/lamp_distribution.dir/policies.cc.o.d"
+  "CMakeFiles/lamp_distribution.dir/policy.cc.o"
+  "CMakeFiles/lamp_distribution.dir/policy.cc.o.d"
+  "CMakeFiles/lamp_distribution.dir/transfer.cc.o"
+  "CMakeFiles/lamp_distribution.dir/transfer.cc.o.d"
+  "liblamp_distribution.a"
+  "liblamp_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_lp.dir/edge_packing.cc.o"
+  "CMakeFiles/lamp_lp.dir/edge_packing.cc.o.d"
+  "CMakeFiles/lamp_lp.dir/simplex.cc.o"
+  "CMakeFiles/lamp_lp.dir/simplex.cc.o.d"
+  "liblamp_lp.a"
+  "liblamp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_mapreduce.dir/mapreduce.cc.o"
+  "CMakeFiles/lamp_mapreduce.dir/mapreduce.cc.o.d"
+  "CMakeFiles/lamp_mapreduce.dir/recursive.cc.o"
+  "CMakeFiles/lamp_mapreduce.dir/recursive.cc.o.d"
+  "CMakeFiles/lamp_mapreduce.dir/relational_jobs.cc.o"
+  "CMakeFiles/lamp_mapreduce.dir/relational_jobs.cc.o.d"
+  "liblamp_mapreduce.a"
+  "liblamp_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/cascade.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/cascade.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/cascade.cc.o.d"
+  "/root/repo/src/mpc/decomposition.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/decomposition.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/decomposition.cc.o.d"
+  "/root/repo/src/mpc/gym.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/gym.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/gym.cc.o.d"
+  "/root/repo/src/mpc/heavy_hitters.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/heavy_hitters.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/heavy_hitters.cc.o.d"
+  "/root/repo/src/mpc/hypercube_run.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/hypercube_run.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/hypercube_run.cc.o.d"
+  "/root/repo/src/mpc/join_strategies.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/join_strategies.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/join_strategies.cc.o.d"
+  "/root/repo/src/mpc/shares_skew.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/shares_skew.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/shares_skew.cc.o.d"
+  "/root/repo/src/mpc/simulator.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/simulator.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/simulator.cc.o.d"
+  "/root/repo/src/mpc/skew.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/skew.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/skew.cc.o.d"
+  "/root/repo/src/mpc/stats.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/stats.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/stats.cc.o.d"
+  "/root/repo/src/mpc/yannakakis.cc" "src/mpc/CMakeFiles/lamp_mpc.dir/yannakakis.cc.o" "gcc" "src/mpc/CMakeFiles/lamp_mpc.dir/yannakakis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/distribution/CMakeFiles/lamp_distribution.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lamp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/lamp_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/lamp_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lamp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

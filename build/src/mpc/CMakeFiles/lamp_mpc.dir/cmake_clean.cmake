@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_mpc.dir/cascade.cc.o"
+  "CMakeFiles/lamp_mpc.dir/cascade.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/decomposition.cc.o"
+  "CMakeFiles/lamp_mpc.dir/decomposition.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/gym.cc.o"
+  "CMakeFiles/lamp_mpc.dir/gym.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/heavy_hitters.cc.o"
+  "CMakeFiles/lamp_mpc.dir/heavy_hitters.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/hypercube_run.cc.o"
+  "CMakeFiles/lamp_mpc.dir/hypercube_run.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/join_strategies.cc.o"
+  "CMakeFiles/lamp_mpc.dir/join_strategies.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/shares_skew.cc.o"
+  "CMakeFiles/lamp_mpc.dir/shares_skew.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/simulator.cc.o"
+  "CMakeFiles/lamp_mpc.dir/simulator.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/skew.cc.o"
+  "CMakeFiles/lamp_mpc.dir/skew.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/stats.cc.o"
+  "CMakeFiles/lamp_mpc.dir/stats.cc.o.d"
+  "CMakeFiles/lamp_mpc.dir/yannakakis.cc.o"
+  "CMakeFiles/lamp_mpc.dir/yannakakis.cc.o.d"
+  "liblamp_mpc.a"
+  "liblamp_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

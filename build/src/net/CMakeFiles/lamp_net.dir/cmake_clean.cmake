@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_net.dir/consistency.cc.o"
+  "CMakeFiles/lamp_net.dir/consistency.cc.o.d"
+  "CMakeFiles/lamp_net.dir/datalog_program.cc.o"
+  "CMakeFiles/lamp_net.dir/datalog_program.cc.o.d"
+  "CMakeFiles/lamp_net.dir/network.cc.o"
+  "CMakeFiles/lamp_net.dir/network.cc.o.d"
+  "CMakeFiles/lamp_net.dir/programs.cc.o"
+  "CMakeFiles/lamp_net.dir/programs.cc.o.d"
+  "liblamp_net.a"
+  "liblamp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/fact.cc" "src/relational/CMakeFiles/lamp_relational.dir/fact.cc.o" "gcc" "src/relational/CMakeFiles/lamp_relational.dir/fact.cc.o.d"
+  "/root/repo/src/relational/generators.cc" "src/relational/CMakeFiles/lamp_relational.dir/generators.cc.o" "gcc" "src/relational/CMakeFiles/lamp_relational.dir/generators.cc.o.d"
+  "/root/repo/src/relational/instance.cc" "src/relational/CMakeFiles/lamp_relational.dir/instance.cc.o" "gcc" "src/relational/CMakeFiles/lamp_relational.dir/instance.cc.o.d"
+  "/root/repo/src/relational/io.cc" "src/relational/CMakeFiles/lamp_relational.dir/io.cc.o" "gcc" "src/relational/CMakeFiles/lamp_relational.dir/io.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/lamp_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/lamp_relational.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lamp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

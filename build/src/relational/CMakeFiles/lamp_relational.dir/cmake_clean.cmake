@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_relational.dir/fact.cc.o"
+  "CMakeFiles/lamp_relational.dir/fact.cc.o.d"
+  "CMakeFiles/lamp_relational.dir/generators.cc.o"
+  "CMakeFiles/lamp_relational.dir/generators.cc.o.d"
+  "CMakeFiles/lamp_relational.dir/instance.cc.o"
+  "CMakeFiles/lamp_relational.dir/instance.cc.o.d"
+  "CMakeFiles/lamp_relational.dir/io.cc.o"
+  "CMakeFiles/lamp_relational.dir/io.cc.o.d"
+  "CMakeFiles/lamp_relational.dir/schema.cc.o"
+  "CMakeFiles/lamp_relational.dir/schema.cc.o.d"
+  "liblamp_relational.a"
+  "liblamp_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lamp_relational.
+# This may be replaced when dependencies are built.

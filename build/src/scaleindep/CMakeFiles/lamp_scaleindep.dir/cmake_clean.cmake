@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamp_scaleindep.dir/access.cc.o"
+  "CMakeFiles/lamp_scaleindep.dir/access.cc.o.d"
+  "liblamp_scaleindep.a"
+  "liblamp_scaleindep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamp_scaleindep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/components_test.dir/components_test.cc.o"
+  "CMakeFiles/components_test.dir/components_test.cc.o.d"
+  "components_test"
+  "components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

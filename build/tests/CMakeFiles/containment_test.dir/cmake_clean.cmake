@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_test.dir/containment_test.cc.o"
+  "CMakeFiles/containment_test.dir/containment_test.cc.o.d"
+  "containment_test"
+  "containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

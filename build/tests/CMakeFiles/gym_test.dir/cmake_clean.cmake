@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gym_test.dir/gym_test.cc.o"
+  "CMakeFiles/gym_test.dir/gym_test.cc.o.d"
+  "gym_test"
+  "gym_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gym_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercube_test.dir/hypercube_test.cc.o"
+  "CMakeFiles/hypercube_test.dir/hypercube_test.cc.o.d"
+  "hypercube_test"
+  "hypercube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_test.dir/mapreduce_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce_test.cc.o.d"
+  "mapreduce_test"
+  "mapreduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimal_test.dir/minimal_test.cc.o"
+  "CMakeFiles/minimal_test.dir/minimal_test.cc.o.d"
+  "minimal_test"
+  "minimal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotone_test.dir/monotone_test.cc.o"
+  "CMakeFiles/monotone_test.dir/monotone_test.cc.o.d"
+  "monotone_test"
+  "monotone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

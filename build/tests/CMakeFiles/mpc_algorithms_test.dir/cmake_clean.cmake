@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_algorithms_test.dir/mpc_algorithms_test.cc.o"
+  "CMakeFiles/mpc_algorithms_test.dir/mpc_algorithms_test.cc.o.d"
+  "mpc_algorithms_test"
+  "mpc_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_simulator_test.dir/mpc_simulator_test.cc.o"
+  "CMakeFiles/mpc_simulator_test.dir/mpc_simulator_test.cc.o.d"
+  "mpc_simulator_test"
+  "mpc_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_correctness_test.dir/parallel_correctness_test.cc.o"
+  "CMakeFiles/parallel_correctness_test.dir/parallel_correctness_test.cc.o.d"
+  "parallel_correctness_test"
+  "parallel_correctness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleindep_test.dir/scaleindep_test.cc.o"
+  "CMakeFiles/scaleindep_test.dir/scaleindep_test.cc.o.d"
+  "scaleindep_test"
+  "scaleindep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleindep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_test.dir/transfer_test.cc.o"
+  "CMakeFiles/transfer_test.dir/transfer_test.cc.o.d"
+  "transfer_test"
+  "transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

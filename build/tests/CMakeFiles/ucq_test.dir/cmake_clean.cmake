@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucq_test.dir/ucq_test.cc.o"
+  "CMakeFiles/ucq_test.dir/ucq_test.cc.o.d"
+  "ucq_test"
+  "ucq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
