@@ -16,6 +16,7 @@
 #include "net/consistency.h"
 #include "net/network.h"
 #include "net/programs.h"
+#include "obs/bench_report.h"
 #include "relational/generators.h"
 
 namespace {
@@ -56,12 +57,14 @@ struct Setup {
 
 void PrintTable() {
   Setup setup;
+  obs::BenchReporter reporter("broadcast_economy");
   std::printf(
       "# C3: economical broadcasting (Ketsman-Neven)\n"
       "# columns: irrelevant-fraction  naive-facts  economical-facts  "
       "saving  same-answer\n");
   const std::size_t relevant = 200;
   for (std::size_t irrelevant : {0u, 200u, 600u, 1800u}) {
+    obs::WallTimer timer;
     Instance db = setup.MakeInput(relevant, irrelevant, 3);
     const Instance expected = Evaluate(setup.query, db);
     const auto locals = DistributeRoundRobin(db, 4);
@@ -81,15 +84,28 @@ void PrintTable() {
         static_cast<double>(2 * irrelevant) /
         static_cast<double>(2 * relevant + 2 * irrelevant);
     std::printf("%18.2f %12zu %17zu %7.1f%% %12s\n", frac,
-                naive_run.facts_transferred, econ_run.facts_transferred,
+                naive_run.facts_transferred(), econ_run.facts_transferred(),
                 100.0 * (1.0 - static_cast<double>(
-                                   econ_run.facts_transferred) /
+                                   econ_run.facts_transferred()) /
                                    static_cast<double>(std::max<std::size_t>(
-                                       1, naive_run.facts_transferred))),
+                                       1, naive_run.facts_transferred()))),
                 (naive_run.output == expected &&
                  econ_run.output == expected)
                     ? "yes"
                     : "NO");
+    reporter.NewRecord()
+        .Param("relevant", relevant)
+        .Param("irrelevant", irrelevant)
+        .Param("nodes", std::size_t{4})
+        .Param("irrelevant_fraction", frac)
+        .Metric("naive.net.facts_transferred", naive_run.facts_transferred())
+        .Metric("economical.net.facts_transferred",
+                econ_run.facts_transferred())
+        .Metric("naive.net.messages_sent", naive_run.messages_sent())
+        .Metric("economical.net.messages_sent", econ_run.messages_sent())
+        .Metric("same_answer", naive_run.output == expected &&
+                                   econ_run.output == expected)
+        .WallMs(timer.ElapsedMs());
   }
   std::printf(
       "# shape check: saving grows with the irrelevant fraction; answers "

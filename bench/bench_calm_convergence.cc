@@ -15,6 +15,7 @@
 #include "cq/parser.h"
 #include "net/consistency.h"
 #include "net/programs.h"
+#include "obs/bench_report.h"
 #include "relational/generators.h"
 
 namespace {
@@ -46,11 +47,13 @@ void PrintTable() {
     return [&q](const Instance& i) { return Evaluate(q, i); };
   };
 
+  obs::BenchReporter reporter("calm_convergence");
   std::printf(
       "# C1: CALM theorem — consistency of the naive broadcast strategy\n"
       "# columns: query  nodes  runs  correct-runs  coordination-free\n");
   for (std::size_t n : {2, 4, 8}) {
     for (const bool monotone_query : {true, false}) {
+      obs::WallTimer timer;
       const ConjunctiveQuery& q =
           monotone_query ? w.triangle : w.open_triangle;
       const Instance expected = Evaluate(q, w.graph);
@@ -60,11 +63,20 @@ void PrintTable() {
           DistributeReplicated(w.graph, n)};
       std::size_t correct = 0;
       std::size_t runs = 0;
+      obs::MetricsRegistry registry;
       for (const auto& locals : distributions) {
         for (std::uint64_t seed = 0; seed < 10; ++seed) {
           TransducerNetwork net(locals, program, nullptr, false);
           ++runs;
-          if (net.Run(seed).output == expected) ++correct;
+          const NetworkRunResult result = net.Run(seed);
+          if (result.output == expected) ++correct;
+          registry.GetCounter(obs::kNetMessagesSent)
+              .Add(result.messages_sent());
+          registry.GetCounter(obs::kNetFactsTransferred)
+              .Add(result.facts_transferred());
+          registry.GetCounter(obs::kNetTransitions).Add(result.transitions());
+          registry.GetHistogram("net.run.transitions")
+              .Observe(static_cast<double>(result.transitions()));
         }
       }
       // Coordination-freeness presupposes the program computes the query
@@ -78,6 +90,15 @@ void PrintTable() {
                   correct,
                   correct == runs ? (cf ? "yes" : "no")
                                   : "n/a (not consistent)");
+      reporter.NewRecord()
+          .Param("query", monotone_query ? "triangle" : "open-triangle")
+          .Param("monotone", monotone_query)
+          .Param("nodes", n)
+          .Param("runs", runs)
+          .Metrics(registry)
+          .Metric("correct_runs", correct)
+          .Metric("coordination_free", correct == runs && cf)
+          .WallMs(timer.ElapsedMs());
     }
   }
   std::printf(

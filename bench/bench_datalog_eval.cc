@@ -11,6 +11,7 @@
 #include "datalog/eval.h"
 #include "datalog/program.h"
 #include "datalog/wellfounded.h"
+#include "obs/bench_report.h"
 #include "relational/generators.h"
 
 namespace {
@@ -41,17 +42,28 @@ void PrintTable() {
       {"TC-nonlinear", kTcNonLinear, 64},
       {"not-TC", kNotTc, 24},
   };
+  obs::BenchReporter reporter("datalog_eval");
   for (const Case& c : cases) {
+    obs::WallTimer timer;
     Schema schema;
     DatalogProgram program = ParseProgram(schema, c.program);
     Instance edb;
     AddPathGraph(schema, schema.IdOf("E"), c.path_len, edb);
     DatalogStats semi;
     DatalogStats naive;
-    EvaluateProgram(schema, program, edb, &semi);
+    obs::MetricsRegistry registry;
+    EvaluateProgram(schema, program, edb, &semi, &registry);
     EvaluateProgramNaive(schema, program, edb, &naive);
     std::printf("%-13s path-%zu %10zu %14zu %12zu\n", c.name, c.path_len,
                 semi.facts_derived, semi.iterations, naive.iterations);
+    reporter.NewRecord()
+        .Param("program", c.name)
+        .Param("input", "path")
+        .Param("path_len", c.path_len)
+        .Metrics(registry)
+        .Metric("naive.iterations", naive.iterations)
+        .Metric("naive.facts_derived", naive.facts_derived)
+        .WallMs(timer.ElapsedMs());
   }
 
   // Structural analysis summary (the Figure 2 syntax side).

@@ -26,6 +26,7 @@
 #include "distribution/policies.h"
 #include "net/consistency.h"
 #include "net/programs.h"
+#include "obs/bench_report.h"
 #include "relational/generators.h"
 
 namespace {
@@ -111,16 +112,26 @@ void PrintHierarchyTable() {
       {"not-TC", &w.q_not_tc, &w.dl_schema, w.dl_schema.IdOf("E"), 2, 1, 2},
       {"no-triangle", &w.q_no_triangle, &w.schema, w.e, 1, 3, 3},
   };
+  obs::BenchReporter reporter("fig2_hierarchy");
   for (const Row& row : rows) {
-    std::printf("%-14s %3s %9s %10s\n", row.name,
-                InClass(*row.schema, row.e, *row.q, MonotonicityKind::kPlain,
-                        row.dom, row.extra, row.max),
-                InClass(*row.schema, row.e, *row.q,
-                        MonotonicityKind::kDomainDistinct, row.dom, row.extra,
-                        row.max),
-                InClass(*row.schema, row.e, *row.q,
-                        MonotonicityKind::kDomainDisjoint, row.dom, row.extra,
-                        row.max));
+    obs::WallTimer timer;
+    const char* plain =
+        InClass(*row.schema, row.e, *row.q, MonotonicityKind::kPlain,
+                row.dom, row.extra, row.max);
+    const char* distinct =
+        InClass(*row.schema, row.e, *row.q, MonotonicityKind::kDomainDistinct,
+                row.dom, row.extra, row.max);
+    const char* disjoint =
+        InClass(*row.schema, row.e, *row.q, MonotonicityKind::kDomainDisjoint,
+                row.dom, row.extra, row.max);
+    std::printf("%-14s %3s %9s %10s\n", row.name, plain, distinct, disjoint);
+    reporter.NewRecord()
+        .Param("part", "hierarchy")
+        .Param("query", row.name)
+        .Metric("in_M", std::string_view(plain) == "yes")
+        .Metric("in_M_distinct", std::string_view(distinct) == "yes")
+        .Metric("in_M_disjoint", std::string_view(disjoint) == "yes")
+        .WallMs(timer.ElapsedMs());
   }
   std::printf(
       "# expected: yes/yes/yes; no/yes/yes; no/no/yes; no/no/no — the "
@@ -142,8 +153,21 @@ void PrintStrategyTable() {
   std::printf(
       "# C2 part 2: strategy tiers (operational F0/F1/F2)\n"
       "# columns: query  strategy  runs  all-consistent\n");
+  obs::BenchReporter reporter("fig2_hierarchy");
+  auto report = [&reporter](const char* query, const char* strategy,
+                            const ConsistencySweep& sweep, double wall_ms) {
+    reporter.NewRecord()
+        .Param("part", "strategy")
+        .Param("query", query)
+        .Param("strategy", strategy)
+        .Param("runs", sweep.runs)
+        .Metric("all_runs_correct", sweep.all_runs_correct)
+        .Metric("net.facts_transferred", sweep.total_facts_transferred)
+        .WallMs(wall_ms);
+  };
 
   {
+    obs::WallTimer timer;
     NetQueryFunction q = [&w](const Instance& i) {
       return Evaluate(w.triangle, i);
     };
@@ -152,15 +176,19 @@ void PrintStrategyTable() {
         program, dist, Evaluate(w.triangle, graph), 8, nullptr, false);
     std::printf("%-14s %-14s %4zu %8s\n", "triangle", "broadcast",
                 sweep.runs, sweep.all_runs_correct ? "yes" : "NO");
+    report("triangle", "broadcast", sweep, timer.ElapsedMs());
   }
   {
+    obs::WallTimer timer;
     PolicyAwareNegationProgram program(w.open_triangle);
     const auto sweep = CheckEventualConsistency(
         program, dist, Evaluate(w.open_triangle, graph), 8, &policy, false);
     std::printf("%-14s %-14s %4zu %8s\n", "open-triangle", "policy-aware",
                 sweep.runs, sweep.all_runs_correct ? "yes" : "NO");
+    report("open-triangle", "policy-aware", sweep, timer.ElapsedMs());
   }
   {
+    obs::WallTimer timer;
     // not-TC on a multi-component instance, per-component strategy.
     Instance edb;
     const RelationId e = w.dl_schema.IdOf("E");
@@ -176,6 +204,7 @@ void PrintStrategyTable() {
         &dl_policy, false);
     std::printf("%-14s %-14s %4zu %8s\n", "not-TC", "per-component",
                 sweep.runs, sweep.all_runs_correct ? "yes" : "NO");
+    report("not-TC", "per-component", sweep, timer.ElapsedMs());
   }
   std::printf("\n");
 }

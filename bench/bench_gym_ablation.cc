@@ -23,6 +23,7 @@
 #include "mpc/gym.h"
 #include "mpc/hypercube_run.h"
 #include "mpc/yannakakis.h"
+#include "obs/bench_report.h"
 #include "relational/generators.h"
 
 namespace {
@@ -52,31 +53,49 @@ void PrintTable() {
       "# GYM ablation: strategies on the dangling-blowup chain "
       "R1(x,y), R2(y,z), R3(z,w) (output empty by construction)\n"
       "# columns: blowup  strategy  rounds  max-load  total-comm\n");
+  obs::BenchReporter reporter("gym_ablation");
   for (std::size_t blowup : {50u, 100u, 200u}) {
     Schema schema;
     const ConjunctiveQuery chain =
         ParseQuery(schema, "H(x,y,z,w) <- R1(x,y), R2(y,z), R3(z,w)");
     const Instance db = DanglingChain(schema, blowup);
 
+    obs::WallTimer timer;
     Schema s1 = schema;
     const MpcRunResult hypercube = RunHyperCubeLpShares(chain, db, 16, 3);
+    const double hypercube_ms = timer.ElapsedMs();
+    timer.Restart();
     const MpcRunResult cascade = CascadeJoin(s1, chain, db, 16, 3);
+    const double cascade_ms = timer.ElapsedMs();
+    timer.Restart();
     Schema s2 = schema;
     const MpcRunResult yannakakis = YannakakisMpc(s2, chain, db, 16, 3);
+    const double yannakakis_ms = timer.ElapsedMs();
+    timer.Restart();
     Schema s3 = schema;
     const MpcRunResult gym = GymEvaluate(s3, chain, db, 16, 3);
+    const double gym_ms = timer.ElapsedMs();
 
     const struct {
       const char* name;
       const MpcRunResult* run;
-    } rows[] = {{"hypercube", &hypercube},
-                {"cascade", &cascade},
-                {"yannakakis", &yannakakis},
-                {"gym", &gym}};
+      double wall_ms;
+    } rows[] = {{"hypercube", &hypercube, hypercube_ms},
+                {"cascade", &cascade, cascade_ms},
+                {"yannakakis", &yannakakis, yannakakis_ms},
+                {"gym", &gym, gym_ms}};
     for (const auto& row : rows) {
       std::printf("%8zu %-11s %6zu %9zu %11zu\n", blowup, row.name,
                   row.run->stats.NumRounds(), row.run->stats.MaxLoad(),
                   row.run->stats.TotalCommunication());
+      obs::MetricsRegistry registry;
+      row.run->stats.ToMetrics(registry);
+      reporter.NewRecord()
+          .Param("blowup", blowup)
+          .Param("strategy", row.name)
+          .Param("p", std::size_t{16})
+          .Metrics(registry)
+          .WallMs(row.wall_ms);
     }
   }
   std::printf(

@@ -16,6 +16,8 @@
 #include "cq/parser.h"
 #include "lp/edge_packing.h"
 #include "mpc/hypercube_run.h"
+#include "obs/bench_report.h"
+#include "obs/trace.h"
 #include "relational/generators.h"
 
 namespace {
@@ -53,6 +55,7 @@ Instance MatchingInput(Schema& schema, const ConjunctiveQuery& q,
 
 void PrintTable() {
   const std::size_t m = 20000;
+  obs::BenchReporter reporter("hypercube_load");
   std::printf(
       "# E3: HyperCube load vs p on skew-free (matching) data, m=%zu\n"
       "# columns: query  tau*  p  shares  max-load  k*m/p^(1/tau*)  "
@@ -65,6 +68,7 @@ void PrintTable() {
     Instance db = MatchingInput(schema, q, m);
     const double k = static_cast<double>(q.body().size());
     for (std::size_t p : {16, 64, 256}) {
+      obs::WallTimer timer;
       const Shares shares = LpRoundedShares(q, p);
       const MpcRunResult run = RunHyperCube(q, db, shares);
       std::size_t actual_p = 1;
@@ -75,6 +79,17 @@ void PrintTable() {
       std::printf("%-9s %5.2f %6zu %8zu %10zu %14.0f %8.2f\n", spec.name,
                   tau, p, actual_p, run.stats.MaxLoad(), predicted,
                   static_cast<double>(run.stats.MaxLoad()) / predicted);
+      obs::MetricsRegistry registry;
+      run.stats.ToMetrics(registry);
+      reporter.NewRecord()
+          .Param("query", spec.name)
+          .Param("tau_star", tau)
+          .Param("p", p)
+          .Param("actual_p", actual_p)
+          .Param("m", m)
+          .Metrics(registry)
+          .Metric("predicted_max_load", predicted)
+          .WallMs(timer.ElapsedMs());
     }
   }
   std::printf(
@@ -92,6 +107,22 @@ void BM_HyperCubeTriangle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HyperCubeTriangle)->Arg(5000)->Arg(20000);
+
+// Null-sink overhead check: the same instrumented RunRound path, with and
+// without a tracer installed. The no-sink run must be within noise of the
+// pre-instrumentation baseline (one pointer load + branch per phase).
+void BM_HyperCubeTriangleTraced(benchmark::State& state) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- R0(x,y), R1(y,z), R2(z,x)");
+  Instance db = MatchingInput(schema, q, static_cast<std::size_t>(state.range(0)));
+  obs::Tracer tracer;
+  obs::ScopedTracer install(tracer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunHyperCubeUniform(q, db, 64));
+  }
+}
+BENCHMARK(BM_HyperCubeTriangleTraced)->Arg(5000)->Arg(20000);
 
 void BM_ShareOptimizationLp(benchmark::State& state) {
   Schema schema;

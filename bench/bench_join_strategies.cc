@@ -19,6 +19,7 @@
 #include "cq/parser.h"
 #include "mpc/join_strategies.h"
 #include "mpc/shares_skew.h"
+#include "obs/bench_report.h"
 #include "relational/generators.h"
 
 namespace {
@@ -63,7 +64,9 @@ void PrintTable() {
       "# columns: p  repart(skew-free)  m/p  repart(skewed)  "
       "fragrep(skewed)  m/sqrt(p)  shares-skew(skewed)\n",
       m);
+  obs::BenchReporter reporter("join_strategies");
   for (std::size_t p : {4, 16, 64, 256}) {
+    obs::WallTimer timer;
     const auto repart_free = RepartitionJoin(w.query, w.skew_free, p, 7);
     const auto repart_skew = RepartitionJoin(w.query, w.skewed, p, 7);
     const auto fragrep_skew = FragmentReplicateJoin(w.query, w.skewed, p, 7);
@@ -75,6 +78,18 @@ void PrintTable() {
                 2.0 * static_cast<double>(m) /
                     std::sqrt(static_cast<double>(p)),
                 shares_skew.stats.MaxLoad());
+    reporter.NewRecord()
+        .Param("p", p)
+        .Param("m", m)
+        .Metric("repartition.skew_free.mpc.max_load",
+                repart_free.stats.MaxLoad())
+        .Metric("repartition.skewed.mpc.max_load",
+                repart_skew.stats.MaxLoad())
+        .Metric("fragment_replicate.skewed.mpc.max_load",
+                fragrep_skew.stats.MaxLoad())
+        .Metric("shares_skew.skewed.mpc.max_load",
+                shares_skew.stats.MaxLoad())
+        .WallMs(timer.ElapsedMs());
   }
   std::printf(
       "# shape check: column 2 tracks column 3; column 4 stays ~m/2 "

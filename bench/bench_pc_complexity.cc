@@ -22,6 +22,7 @@
 #include "distribution/parallel_correctness.h"
 #include "distribution/policies.h"
 #include "distribution/transfer.h"
+#include "obs/bench_report.h"
 
 namespace {
 
@@ -64,13 +65,28 @@ void PrintTable() {
   std::printf(
       "# T1/T2: decider outputs on the scaled family (timings below)\n"
       "# columns: atoms  vars  |U|  parallel-correct  transfers-to-self\n");
+  obs::BenchReporter reporter("pc_complexity");
   for (std::size_t k : {1, 2, 3}) {
     Schema schema;
     const ConjunctiveQuery q = ParseQuery(schema, PathQueryText(k));
     const LambdaPolicy policy = EvenOddPolicy(3);
+    obs::WallTimer timer;
+    const bool pc = IsParallelCorrect(q, policy);
+    const double pc_ms = timer.ElapsedMs();
+    timer.Restart();
+    const bool transfers = ParallelCorrectnessTransfersTo(q, q);
+    const double transfer_ms = timer.ElapsedMs();
     std::printf("%6zu %5zu %4d %17s %18s\n", k, k + 1, 3,
-                IsParallelCorrect(q, policy) ? "yes" : "no",
-                ParallelCorrectnessTransfersTo(q, q) ? "yes" : "no");
+                pc ? "yes" : "no", transfers ? "yes" : "no");
+    reporter.NewRecord()
+        .Param("atoms", k)
+        .Param("vars", k + 1)
+        .Param("universe", std::size_t{3})
+        .Metric("parallel_correct", pc)
+        .Metric("transfers_to_self", transfers)
+        .Metric("pc_decider_ms", pc_ms)
+        .Metric("transfer_decider_ms", transfer_ms)
+        .WallMs(pc_ms + transfer_ms);
   }
   std::printf("\n");
 }

@@ -11,6 +11,7 @@
 
 #include "cq/eval.h"
 #include "cq/parser.h"
+#include "obs/bench_report.h"
 #include "relational/instance.h"
 #include "scaleindep/access.h"
 
@@ -56,11 +57,21 @@ void PrintTable() {
       "# plan bounded=%s worst-case fetches=%.0f\n"
       "# columns: |I|  bounded-fetches  |output|  full-eval-facts-visible\n",
       plan.bounded ? "yes" : "no", plan.worst_case_fetches);
+  obs::BenchReporter reporter("scaleindep");
   for (std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+    obs::WallTimer timer;
     const Instance db = w.Population(n);
     const BoundedEvalResult r = BoundedEvaluate(w.query, plan, db);
     std::printf("%8zu %14zu %9zu %24zu\n", db.Size(), r.tuples_fetched,
                 r.output.Size(), db.Size());
+    reporter.NewRecord()
+        .Param("population", n)
+        .Param("instance_size", db.Size())
+        .Param("plan_bounded", plan.bounded)
+        .Param("worst_case_fetches", plan.worst_case_fetches)
+        .Metric("scaleindep.tuples_fetched", r.tuples_fetched)
+        .Metric("output_size", r.output.Size())
+        .WallMs(timer.ElapsedMs());
   }
   std::printf(
       "# shape check: the bounded-fetches column is flat while |I| grows "

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "cq/parser.h"
 #include "mpc/hypercube_run.h"
+#include "obs/bench_report.h"
 #include "relational/generators.h"
 
 namespace {
@@ -22,6 +23,7 @@ namespace {
 using namespace lamp;
 
 void PrintTable() {
+  obs::BenchReporter reporter("shares_optimization");
   std::printf(
       "# E4: Shares total-communication optimization (Afrati-Ullman)\n"
       "# columns: workload  p  comm(uniform)  comm(optimized)  saving\n");
@@ -50,6 +52,7 @@ void PrintTable() {
     }
     std::vector<double> sizes(c.sizes.begin(), c.sizes.end());
     for (std::size_t p : {27, 64}) {
+      obs::WallTimer timer;
       const Shares uniform = UniformShares(q, p);
       const Shares optimized = OptimizeIntegerSharesTotalComm(q, p, sizes);
       const auto run_uniform = RunHyperCube(q, db, uniform, 5);
@@ -62,6 +65,15 @@ void PrintTable() {
       std::printf("%-10s %4zu %14zu %16zu %8.1f%%\n", c.name, p,
                   run_uniform.stats.TotalCommunication(),
                   run_optimized.stats.TotalCommunication(), 100.0 * saving);
+      reporter.NewRecord()
+          .Param("workload", c.name)
+          .Param("p", p)
+          .Metric("uniform.mpc.total_communication",
+                  run_uniform.stats.TotalCommunication())
+          .Metric("optimized.mpc.total_communication",
+                  run_optimized.stats.TotalCommunication())
+          .Metric("saving", saving)
+          .WallMs(timer.ElapsedMs());
     }
   }
   std::printf(

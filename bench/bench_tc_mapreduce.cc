@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "mapreduce/recursive.h"
+#include "obs/bench_report.h"
 #include "relational/generators.h"
 
 namespace {
@@ -21,7 +22,9 @@ void PrintTable() {
       "# D2: transitive closure in MapReduce (Afrati-Ullman)\n"
       "# columns: diameter  linear-jobs  doubling-jobs  linear-pairs  "
       "doubling-pairs\n");
+  obs::BenchReporter reporter("tc_mapreduce");
   for (std::size_t n : {9u, 17u, 33u, 65u}) {
+    obs::WallTimer timer;
     Schema schema;
     const RelationId e = schema.AddRelation("E", 2);
     const RelationId tc = schema.AddRelation("TC", 2);
@@ -34,6 +37,13 @@ void PrintTable() {
     std::printf("%9zu %12zu %14zu %13zu %15zu\n", n - 1, linear.jobs,
                 doubling.jobs, linear.pairs_shuffled,
                 doubling.pairs_shuffled);
+    reporter.NewRecord()
+        .Param("diameter", n - 1)
+        .Metric("linear.jobs", linear.jobs)
+        .Metric("doubling.jobs", doubling.jobs)
+        .Metric("linear.pairs_shuffled", linear.pairs_shuffled)
+        .Metric("doubling.pairs_shuffled", doubling.pairs_shuffled)
+        .WallMs(timer.ElapsedMs());
   }
   std::printf(
       "# shape check: linear jobs grow linearly with the diameter, "

@@ -17,6 +17,7 @@
 #include "cq/parser.h"
 #include "mpc/hypercube_run.h"
 #include "mpc/skew.h"
+#include "obs/bench_report.h"
 #include "relational/generators.h"
 
 namespace {
@@ -60,7 +61,9 @@ void PrintTable() {
       "# columns: p  1rnd(skew-free)  m/p^(2/3)  1rnd(skewed)  "
       "2rnd(skewed)\n",
       m);
+  obs::BenchReporter reporter("triangle_rounds");
   for (std::size_t p : {8, 27, 64, 216}) {
+    obs::WallTimer timer;
     const auto one_free = RunHyperCubeUniform(w.triangle, w.skew_free, p, 9);
     const auto one_skew = RunHyperCubeUniform(w.triangle, w.skewed, p, 9);
     const auto two_skew = SkewResilientTriangle(w.triangle, w.skewed, p, 9);
@@ -69,6 +72,14 @@ void PrintTable() {
                 3.0 * static_cast<double>(m) /
                     std::pow(static_cast<double>(p), 2.0 / 3.0),
                 one_skew.stats.MaxLoad(), two_skew.stats.MaxLoad());
+    reporter.NewRecord()
+        .Param("p", p)
+        .Param("m", m)
+        .Metric("one_round.skew_free.mpc.max_load", one_free.stats.MaxLoad())
+        .Metric("one_round.skewed.mpc.max_load", one_skew.stats.MaxLoad())
+        .Metric("two_round.skewed.mpc.max_load", two_skew.stats.MaxLoad())
+        .Metric("two_round.skewed.mpc.rounds", two_skew.stats.NumRounds())
+        .WallMs(timer.ElapsedMs());
   }
   std::printf(
       "# shape check: column 2 tracks column 3; column 4 >> column 5; "

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "cq/eval.h"
+#include "obs/trace.h"
 
 namespace lamp {
 
@@ -22,10 +23,28 @@ void PopulateADom(const Schema& schema, const Instance& edb, Instance& out) {
   }
 }
 
+/// One semi-naive/naive iteration's bookkeeping: trace event + histogram.
+void RecordIteration(std::size_t stratum, std::size_t iteration,
+                     std::size_t delta_size, obs::MetricsRegistry* metrics) {
+  obs::Emit(obs::EventKind::kDatalogIteration,
+            static_cast<std::uint32_t>(stratum),
+            static_cast<std::uint32_t>(iteration), delta_size);
+  if (metrics != nullptr) {
+    metrics->GetHistogram(obs::kDatalogDeltaSize)
+        .Observe(static_cast<double>(delta_size));
+  }
+}
+
 }  // namespace
 
+void DatalogStats::ToMetrics(obs::MetricsRegistry& registry) const {
+  registry.GetCounter(obs::kDatalogIterations).Add(iterations);
+  registry.GetCounter(obs::kDatalogFactsDerived).Add(facts_derived);
+}
+
 Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
-                         const Instance& edb, DatalogStats* stats) {
+                         const Instance& edb, DatalogStats* stats,
+                         obs::MetricsRegistry* metrics) {
   const auto strata = program.Stratify();
   LAMP_CHECK_MSG(strata.has_value(),
                  "program does not stratify; use well-founded evaluation");
@@ -36,6 +55,9 @@ Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
   DatalogStats local_stats;
 
   for (const std::vector<std::size_t>& stratum : *strata) {
+    const std::size_t stratum_idx =
+        static_cast<std::size_t>(&stratum - &(*strata)[0]);
+    std::size_t iteration_idx = 0;
     // Recursive predicates of this stratum and their delta relations.
     std::set<RelationId> recursive;
     for (std::size_t idx : stratum) {
@@ -75,6 +97,7 @@ Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
       }
     }
     ++local_stats.iterations;
+    RecordIteration(stratum_idx, iteration_idx++, delta.Size(), metrics);
 
     while (!delta.Empty()) {
       local_stats.facts_derived += delta.Size();
@@ -94,15 +117,18 @@ Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
       }
       delta = std::move(next_delta);
       ++local_stats.iterations;
+      RecordIteration(stratum_idx, iteration_idx++, delta.Size(), metrics);
     }
   }
 
   if (stats != nullptr) *stats = local_stats;
+  if (metrics != nullptr) local_stats.ToMetrics(*metrics);
   return current;
 }
 
 Instance EvaluateProgramNaive(Schema& schema, const DatalogProgram& program,
-                              const Instance& edb, DatalogStats* stats) {
+                              const Instance& edb, DatalogStats* stats,
+                              obs::MetricsRegistry* metrics) {
   const auto strata = program.Stratify();
   LAMP_CHECK_MSG(strata.has_value(),
                  "program does not stratify; use well-founded evaluation");
@@ -113,23 +139,31 @@ Instance EvaluateProgramNaive(Schema& schema, const DatalogProgram& program,
   DatalogStats local_stats;
 
   for (const std::vector<std::size_t>& stratum : *strata) {
+    const std::size_t stratum_idx =
+        static_cast<std::size_t>(&stratum - &(*strata)[0]);
+    std::size_t iteration_idx = 0;
     bool changed = true;
     while (changed) {
       changed = false;
       ++local_stats.iterations;
+      std::size_t derived_this_round = 0;
       for (std::size_t idx : stratum) {
         for (const Fact& f :
              Evaluate(program.rules()[idx], current).AllFacts()) {
           if (current.Insert(f)) {
             changed = true;
-            ++local_stats.facts_derived;
+            ++derived_this_round;
           }
         }
       }
+      local_stats.facts_derived += derived_this_round;
+      RecordIteration(stratum_idx, iteration_idx++, derived_this_round,
+                      metrics);
     }
   }
 
   if (stats != nullptr) *stats = local_stats;
+  if (metrics != nullptr) local_stats.ToMetrics(*metrics);
   return current;
 }
 

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "datalog/program.h"
+#include "obs/metrics.h"
 #include "relational/instance.h"
 
 /// \file
@@ -27,20 +28,32 @@ namespace lamp {
 struct DatalogStats {
   std::size_t iterations = 0;       // Total semi-naive rounds.
   std::size_t facts_derived = 0;    // IDB facts (excluding EDB).
+
+  /// Exports as datalog.iterations / datalog.facts_derived counters
+  /// (accumulating into whatever the registry already holds).
+  void ToMetrics(obs::MetricsRegistry& registry) const;
 };
 
 /// Evaluates \p program on \p edb and returns EDB + all derived IDB facts.
 /// \p schema is extended with synthetic delta relations (names starting
 /// with "__"). Aborts if the program does not stratify; use
 /// wellfounded.h for programs with negative recursion.
+///
+/// When \p metrics is non-null the run additionally records the
+/// datalog.* schema of obs/metrics.h, including the per-iteration
+/// datalog.delta_size histogram; with a tracer installed (obs/trace.h)
+/// every iteration emits a kDatalogIteration event carrying the delta
+/// cardinality.
 Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
-                         const Instance& edb, DatalogStats* stats = nullptr);
+                         const Instance& edb, DatalogStats* stats = nullptr,
+                         obs::MetricsRegistry* metrics = nullptr);
 
 /// Naive (recompute-everything) fixpoint — the ablation baseline for the
 /// semi-naive engine. Same semantics, more work per iteration.
 Instance EvaluateProgramNaive(Schema& schema, const DatalogProgram& program,
                               const Instance& edb,
-                              DatalogStats* stats = nullptr);
+                              DatalogStats* stats = nullptr,
+                              obs::MetricsRegistry* metrics = nullptr);
 
 /// Name of the built-in active-domain predicate.
 inline constexpr std::string_view kADomRelationName = "ADom";

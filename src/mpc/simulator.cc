@@ -1,6 +1,7 @@
 #include "mpc/simulator.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lamp {
 
@@ -30,32 +31,49 @@ void MpcSimulator::LoadLocals(std::vector<Instance> locals) {
 
 void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
   const std::size_t p = locals_.size();
+  const auto round_idx = static_cast<std::uint32_t>(stats_.rounds.size());
+  obs::Emit(obs::EventKind::kMpcRoundBegin, round_idx, 0, p);
 
   // Communication phase.
   std::vector<Instance> received(p);
   RoundStats round;
   round.received.assign(p, 0);
-  for (NodeId source = 0; source < p; ++source) {
-    for (const Fact& f : locals_[source].AllFacts()) {
-      for (NodeId target : route(source, f)) {
-        LAMP_CHECK(target < p);
-        // A fact kept at its current server is not communicated: it
-        // persists but does not count toward the load (the model's load is
-        // the data *received* by a server during the round).
-        if (received[target].Insert(f) && target != source) {
-          ++round.received[target];
+  {
+    obs::TraceSpan span("mpc.route", round_idx);
+    for (NodeId source = 0; source < p; ++source) {
+      for (const Fact& f : locals_[source].AllFacts()) {
+        for (NodeId target : route(source, f)) {
+          LAMP_CHECK(target < p);
+          // A fact kept at its current server is not communicated: it
+          // persists but does not count toward the load (the model's load
+          // is the data *received* by a server during the round).
+          if (received[target].Insert(f) && target != source) {
+            ++round.received[target];
+          }
         }
       }
     }
   }
+  std::size_t round_total = 0;
+  if (obs::InstalledTracer() != nullptr) {
+    for (NodeId server = 0; server < p; ++server) {
+      obs::Emit(obs::EventKind::kMpcServerLoad, round_idx,
+                static_cast<std::uint32_t>(server), round.received[server]);
+    }
+    round_total = round.TotalLoad();
+  }
   stats_.rounds.push_back(std::move(round));
 
   // Computation phase.
-  for (NodeId server = 0; server < p; ++server) {
-    ComputeResult result = compute(server, received[server]);
-    locals_[server] = std::move(result.next_state);
-    output_.InsertAll(result.output);
+  {
+    obs::TraceSpan span("mpc.compute", round_idx);
+    for (NodeId server = 0; server < p; ++server) {
+      ComputeResult result = compute(server, received[server]);
+      locals_[server] = std::move(result.next_state);
+      output_.InsertAll(result.output);
+    }
   }
+  obs::Emit(obs::EventKind::kMpcRoundEnd, round_idx, 0, round_total);
 }
 
 MpcSimulator::Computer MpcSimulator::KeepAll() {

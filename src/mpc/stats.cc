@@ -35,6 +35,18 @@ std::size_t RunStats::TotalCommunication() const {
   return total;
 }
 
+void RunStats::ToMetrics(obs::MetricsRegistry& registry) const {
+  registry.GetCounter(obs::kMpcRounds).Add(rounds.size());
+  registry.GetCounter(obs::kMpcTotalCommunication).Add(TotalCommunication());
+  registry.GetGauge(obs::kMpcMaxLoad).Max(static_cast<double>(MaxLoad()));
+  obs::Histogram& max_load = registry.GetHistogram(obs::kMpcRoundMaxLoad);
+  obs::Histogram& total_load = registry.GetHistogram(obs::kMpcRoundTotalLoad);
+  for (const RoundStats& r : rounds) {
+    max_load.Observe(static_cast<double>(r.MaxLoad()));
+    total_load.Observe(static_cast<double>(r.TotalLoad()));
+  }
+}
+
 std::string RunStats::ToString() const {
   std::ostringstream os;
   for (std::size_t i = 0; i < rounds.size(); ++i) {

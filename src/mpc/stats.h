@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 /// \file
 /// Load accounting for MPC rounds (Section 3 of the paper).
 ///
@@ -12,6 +14,9 @@
 /// server receives during one round. The paper states bounds on the maximum
 /// load (e.g. O(m/p^{1/tau*}) for HyperCube) and on the total load a.k.a.
 /// communication cost (the Shares objective). Both are tracked per round.
+///
+/// All accessors are total functions: on zero servers or zero rounds they
+/// return 0 (there is no load), never divide by zero.
 
 namespace lamp {
 
@@ -25,7 +30,7 @@ struct RoundStats {
   /// Total load = communication cost (the Afrati-Ullman objective).
   std::size_t TotalLoad() const;
 
-  /// Average load per server.
+  /// Average load per server (0 on zero servers).
   double AvgLoad() const;
 };
 
@@ -44,6 +49,11 @@ struct RunStats {
 
   /// One line per round: "round 0: max=12 total=96".
   std::string ToString() const;
+
+  /// Exports under the obs naming convention: mpc.rounds, mpc.max_load,
+  /// mpc.total_communication plus the per-round mpc.round.* histograms.
+  /// Counters accumulate when the registry already holds earlier runs.
+  void ToMetrics(obs::MetricsRegistry& registry) const;
 };
 
 }  // namespace lamp

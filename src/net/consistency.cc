@@ -20,10 +20,10 @@ ConsistencySweep CheckEventualConsistency(
       ++sweep.runs;
       if (!(result.output == expected)) sweep.all_runs_correct = false;
       sweep.min_facts_transferred =
-          std::min(sweep.min_facts_transferred, result.facts_transferred);
+          std::min(sweep.min_facts_transferred, result.facts_transferred());
       sweep.max_facts_transferred =
-          std::max(sweep.max_facts_transferred, result.facts_transferred);
-      sweep.total_facts_transferred += result.facts_transferred;
+          std::max(sweep.max_facts_transferred, result.facts_transferred());
+      sweep.total_facts_transferred += result.facts_transferred();
     }
   }
   if (sweep.runs == 0) sweep.min_facts_transferred = 0;

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lamp {
 
@@ -71,11 +72,23 @@ NetworkRunResult TransducerNetwork::Run(std::uint64_t seed) {
   std::vector<Instance> outputs(n);
   std::vector<std::deque<Message>> inbox(n);
   NetworkRunResult result;
+  obs::Counter& messages_sent =
+      result.metrics.GetCounter(obs::kNetMessagesSent);
+  obs::Counter& facts_transferred =
+      result.metrics.GetCounter(obs::kNetFactsTransferred);
+  obs::Counter& transitions = result.metrics.GetCounter(obs::kNetTransitions);
+  obs::Counter& broadcasts = result.metrics.GetCounter(obs::kNetBroadcasts);
+  obs::Histogram& message_size =
+      result.metrics.GetHistogram(obs::kNetMessageSize);
 
   auto dispatch = [&](NodeId from, std::vector<Message>& outgoing) {
     for (Message& msg : outgoing) {
-      result.facts_transferred += msg.size() * (n - 1);
-      result.messages_sent += (n - 1);
+      facts_transferred.Add(msg.size() * (n - 1));
+      messages_sent.Add(n - 1);
+      broadcasts.Increment();
+      message_size.Observe(static_cast<double>(msg.size()));
+      obs::Emit(obs::EventKind::kNetBroadcast,
+                static_cast<std::uint32_t>(from), 0, msg.size());
       for (NodeId to = 0; to < n; ++to) {
         if (to == from) continue;
         inbox[to].push_back(msg);
@@ -90,6 +103,7 @@ NetworkRunResult TransducerNetwork::Run(std::uint64_t seed) {
   for (NodeId i = 0; i < n; ++i) order[i] = i;
   rng.Shuffle(order);
   for (NodeId node : order) {
+    obs::Emit(obs::EventKind::kNetStart, static_cast<std::uint32_t>(node));
     RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
     program_.OnStart(ctx);
     dispatch(node, ctx.outgoing());
@@ -109,11 +123,14 @@ NetworkRunResult TransducerNetwork::Run(std::uint64_t seed) {
     inbox[node].erase(inbox[node].begin() +
                       static_cast<std::ptrdiff_t>(pick));
 
+    obs::Emit(obs::EventKind::kNetDeliver, static_cast<std::uint32_t>(node),
+              static_cast<std::uint32_t>(transitions.value()), msg.size());
     RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
     program_.OnReceive(ctx, msg);
     dispatch(node, ctx.outgoing());
-    ++result.transitions;
+    transitions.Increment();
   }
+  obs::Emit(obs::EventKind::kNetQuiescent, 0, 0, transitions.value());
 
   for (const Instance& out : outputs) result.output.InsertAll(out);
   return result;
@@ -126,12 +143,17 @@ NetworkRunResult TransducerNetwork::RunWithoutDelivery() {
   NetworkRunResult result;
 
   for (NodeId node = 0; node < n; ++node) {
+    obs::Emit(obs::EventKind::kNetStart, static_cast<std::uint32_t>(node));
     RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
     program_.OnStart(ctx);
     // Messages are sent into the void: counted, never delivered.
     for (const Message& msg : ctx.outgoing()) {
-      result.messages_sent += (n - 1);
-      result.facts_transferred += msg.size() * (n - 1);
+      result.metrics.GetCounter(obs::kNetMessagesSent).Add(n - 1);
+      result.metrics.GetCounter(obs::kNetFactsTransferred)
+          .Add(msg.size() * (n - 1));
+      result.metrics.GetCounter(obs::kNetBroadcasts).Increment();
+      result.metrics.GetHistogram(obs::kNetMessageSize)
+          .Observe(static_cast<double>(msg.size()));
     }
   }
   for (const Instance& out : outputs) result.output.InsertAll(out);

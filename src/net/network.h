@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "net/transducer.h"
+#include "obs/metrics.h"
 
 /// \file
 /// The asynchronous runner for transducer networks.
@@ -22,12 +23,26 @@
 
 namespace lamp {
 
-/// Outcome of one run.
+/// Outcome of one run. Communication counters live in the metrics
+/// registry (the single source of truth — net and MPC runs report
+/// through one schema, see obs/metrics.h); the named accessors read the
+/// canonical counters back out.
 struct NetworkRunResult {
-  Instance output;                   // Union of all nodes' output relations.
-  std::size_t messages_sent = 0;     // Point-to-point message count.
-  std::size_t facts_transferred = 0; // Sum of message sizes (fact count).
-  std::size_t transitions = 0;       // Deliveries performed.
+  Instance output;               // Union of all nodes' output relations.
+  obs::MetricsRegistry metrics;  // net.* counters + histograms.
+
+  /// Point-to-point message count (net.messages_sent).
+  std::size_t messages_sent() const {
+    return metrics.CounterValue(obs::kNetMessagesSent);
+  }
+  /// Sum of message sizes in facts (net.facts_transferred).
+  std::size_t facts_transferred() const {
+    return metrics.CounterValue(obs::kNetFactsTransferred);
+  }
+  /// Deliveries performed to quiescence (net.transitions).
+  std::size_t transitions() const {
+    return metrics.CounterValue(obs::kNetTransitions);
+  }
 };
 
 /// One transducer network execution environment.

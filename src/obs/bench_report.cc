@@ -1,0 +1,87 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lamp::obs {
+
+BenchReporter::Record::Record(std::string_view bench_name) {
+  json_ = JsonValue::Object();
+  json_.Set("bench", bench_name);
+  json_.Set("params", JsonValue::Object());
+  json_.Set("metrics", JsonValue::Object());
+  json_.Set("wall_ms", JsonValue());
+}
+
+BenchReporter::Record& BenchReporter::Record::Param(std::string_view name,
+                                                    JsonValue value) {
+  JsonValue params = *json_.Find("params");
+  params.Set(name, std::move(value));
+  json_.Set("params", std::move(params));
+  return *this;
+}
+
+BenchReporter::Record& BenchReporter::Record::Metric(std::string_view name,
+                                                     JsonValue value) {
+  JsonValue metrics = *json_.Find("metrics");
+  metrics.Set(name, std::move(value));
+  json_.Set("metrics", std::move(metrics));
+  return *this;
+}
+
+BenchReporter::Record& BenchReporter::Record::Metrics(
+    const MetricsRegistry& registry) {
+  JsonValue metrics = *json_.Find("metrics");
+  const JsonValue snapshot = registry.ToJson();
+  for (const auto& [name, value] : snapshot.members()) {
+    metrics.Set(name, value);
+  }
+  json_.Set("metrics", std::move(metrics));
+  return *this;
+}
+
+BenchReporter::Record& BenchReporter::Record::WallMs(double ms) {
+  json_.Set("wall_ms", JsonValue(ms));
+  return *this;
+}
+
+BenchReporter::BenchReporter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+BenchReporter::~BenchReporter() { Flush(); }
+
+BenchReporter::Record& BenchReporter::NewRecord() {
+  records_.push_back(Record(bench_name_));
+  return records_.back();
+}
+
+std::string BenchReporter::RenderJsonLines() const {
+  std::string out;
+  for (const Record& r : records_) {
+    out += r.json_.Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+void BenchReporter::Flush() {
+  if (records_.empty()) return;
+  const std::string lines = RenderJsonLines();
+  const char* path = std::getenv(kBenchJsonEnvVar);
+  if (path != nullptr && path[0] != '\0') {
+    std::FILE* f = std::fopen(path, "a");
+    if (f != nullptr) {
+      std::fwrite(lines.data(), 1, lines.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench_report: cannot open %s for append\n", path);
+    }
+  } else {
+    std::printf("# bench-json: %zu record(s) for %s\n", records_.size(),
+                bench_name_.c_str());
+    std::fwrite(lines.data(), 1, lines.size(), stdout);
+  }
+  records_.clear();
+}
+
+}  // namespace lamp::obs

@@ -1,0 +1,96 @@
+#ifndef LAMP_OBS_BENCH_REPORT_H_
+#define LAMP_OBS_BENCH_REPORT_H_
+
+#include <chrono>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+/// \file
+/// Uniform machine-readable bench reporting.
+///
+/// Every binary under bench/ creates one BenchReporter and appends one
+/// record per measured configuration. Each record serialises as one JSON
+/// line:
+///
+///   {"bench": "hypercube_load",
+///    "params": {"query": "triangle", "p": 64, "m": 20000},
+///    "metrics": {"mpc.max_load": 812, ...},
+///    "wall_ms": 12.4}
+///
+/// Destination: the file named by the LAMP_BENCH_JSON environment
+/// variable (appended, creating it if needed) so table output on stdout
+/// stays human-readable; without the variable the records are printed to
+/// stdout after a "# bench-json:" marker line. One record per line means
+/// BENCH_*.json files diff cleanly across PRs.
+
+namespace lamp::obs {
+
+/// Wall-clock stopwatch for the per-configuration "wall_ms" field.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+class BenchReporter {
+ public:
+  /// One record under construction. All setters return *this for
+  /// chaining; the record is complete when the reporter flushes.
+  class Record {
+   public:
+    Record& Param(std::string_view name, JsonValue value);
+    Record& Metric(std::string_view name, JsonValue value);
+    /// Folds a whole registry snapshot into "metrics".
+    Record& Metrics(const MetricsRegistry& registry);
+    Record& WallMs(double ms);
+
+   private:
+    friend class BenchReporter;
+    explicit Record(std::string_view bench_name);
+    JsonValue json_;
+  };
+
+  /// \p bench_name identifies the binary ("hypercube_load", ...).
+  explicit BenchReporter(std::string bench_name);
+
+  /// Flushes on destruction (idempotent with explicit Flush).
+  ~BenchReporter();
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// Starts a new record. References remain valid until Flush.
+  Record& NewRecord();
+
+  std::size_t NumRecords() const { return records_.size(); }
+
+  /// All pending records, one compact JSON document per line.
+  std::string RenderJsonLines() const;
+
+  /// Writes pending records to LAMP_BENCH_JSON (append) or stdout and
+  /// clears them.
+  void Flush();
+
+ private:
+  std::string bench_name_;
+  std::deque<Record> records_;  // deque: NewRecord references stay valid.
+};
+
+/// Name of the environment variable selecting the JSON destination file.
+inline constexpr const char* kBenchJsonEnvVar = "LAMP_BENCH_JSON";
+
+}  // namespace lamp::obs
+
+#endif  // LAMP_OBS_BENCH_REPORT_H_

@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lamp::obs {
+
+void Histogram::Observe(double v) {
+  if (!samples_.empty() && v < samples_.back()) sorted_ = false;
+  samples_.push_back(v);
+  sum_ += v;
+}
+
+namespace {
+
+void EnsureSorted(std::vector<double>& samples, bool& sorted) {
+  if (!sorted) {
+    std::sort(samples.begin(), samples.end());
+    sorted = true;
+  }
+}
+
+}  // namespace
+
+double Histogram::Min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted(samples_, sorted_);
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted(samples_, sorted_);
+  return samples_.back();
+}
+
+double Histogram::Percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted(samples_, sorted_);
+  if (q <= 0.0) return samples_.front();
+  if (q >= 100.0) return samples_.back();
+  // Nearest rank: ceil(q/100 * n), 1-based.
+  const double n = static_cast<double>(samples_.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  if (rank == 0) rank = 1;
+  if (rank > samples_.size()) rank = samples_.size();
+  return samples_[rank - 1];
+}
+
+JsonValue Histogram::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", samples_.size());
+  out.Set("sum", Sum());
+  out.Set("min", Min());
+  out.Set("max", Max());
+  out.Set("mean", Mean());
+  out.Set("p50", P50());
+  out.Set("p95", P95());
+  out.Set("p99", P99());
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter()).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge()).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  for (const auto& [name, c] : counters_) {
+    out.Set(name, static_cast<std::size_t>(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) out.Set(name, g.value());
+  for (const auto& [name, h] : histograms_) out.Set(name, h.ToJson());
+  return out;
+}
+
+}  // namespace lamp::obs

@@ -1,0 +1,146 @@
+#ifndef LAMP_OBS_METRICS_H_
+#define LAMP_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+/// \file
+/// The metrics registry shared by every runtime in the repo.
+///
+/// Every quantity the reproduced results are stated in — per-round MPC
+/// loads (Section 3), transducer-network message/transition counts to
+/// quiescence (Section 5), semi-naive Datalog iteration counts — is
+/// recorded here under one naming convention, so MPC runs, network runs
+/// and the Datalog engine report through a single schema:
+///
+///   mpc.rounds                 counter    rounds executed
+///   mpc.round.max_load         histogram  per-round maximum load
+///   mpc.round.total_load       histogram  per-round communication
+///   mpc.max_load               gauge      max over rounds (KS objective)
+///   mpc.total_communication    counter    sum over rounds (AU objective)
+///   net.messages_sent          counter    point-to-point messages
+///   net.facts_transferred      counter    sum of message sizes
+///   net.transitions            counter    deliveries to quiescence
+///   net.broadcasts             counter    Broadcast() calls
+///   net.message_size           histogram  facts per broadcast message
+///   datalog.iterations         counter    semi-naive rounds
+///   datalog.facts_derived      counter    IDB facts derived
+///   datalog.delta_size         histogram  per-iteration delta cardinality
+///
+/// Instruments are plain values (no atomics): the runtimes are
+/// single-threaded and deterministic by design, and registries are
+/// copyable so run results can carry their own snapshot.
+
+namespace lamp::obs {
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void Increment() { value_ += 1; }
+  void Add(std::uint64_t n) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A value that can move both ways (e.g. the running max load).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Max(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Exact-percentile histogram: keeps every sample (bench-scale run
+/// lengths make that cheap) and answers nearest-rank percentiles, so
+/// p50/p95/p99 agree with a sorted reference to the sample.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  std::size_t Count() const { return samples_.size(); }
+  double Sum() const { return sum_; }
+  double Mean() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+  double Min() const;
+  double Max() const;
+
+  /// Nearest-rank percentile: the smallest sample x such that at least
+  /// q*Count() samples are <= x. \p q in [0, 100]; 0 on an empty
+  /// histogram.
+  double Percentile(double q) const;
+  double P50() const { return Percentile(50.0); }
+  double P95() const { return Percentile(95.0); }
+  double P99() const { return Percentile(99.0); }
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,...}
+  JsonValue ToJson() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Name -> instrument map. Instruments are created on first access; names
+/// follow the dotted convention documented above.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Value of a counter, or 0 when it was never touched.
+  std::uint64_t CounterValue(std::string_view name) const;
+
+  bool Empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Flat object: counters and gauges as numbers, histograms as summary
+  /// objects. Keys are sorted (map order) — stable across runs.
+  JsonValue ToJson() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// Canonical metric names (keep in sync with the table above).
+inline constexpr std::string_view kMpcRounds = "mpc.rounds";
+inline constexpr std::string_view kMpcRoundMaxLoad = "mpc.round.max_load";
+inline constexpr std::string_view kMpcRoundTotalLoad = "mpc.round.total_load";
+inline constexpr std::string_view kMpcMaxLoad = "mpc.max_load";
+inline constexpr std::string_view kMpcTotalCommunication =
+    "mpc.total_communication";
+inline constexpr std::string_view kNetMessagesSent = "net.messages_sent";
+inline constexpr std::string_view kNetFactsTransferred =
+    "net.facts_transferred";
+inline constexpr std::string_view kNetTransitions = "net.transitions";
+inline constexpr std::string_view kNetBroadcasts = "net.broadcasts";
+inline constexpr std::string_view kNetMessageSize = "net.message_size";
+inline constexpr std::string_view kDatalogIterations = "datalog.iterations";
+inline constexpr std::string_view kDatalogFactsDerived =
+    "datalog.facts_derived";
+inline constexpr std::string_view kDatalogDeltaSize = "datalog.delta_size";
+
+}  // namespace lamp::obs
+
+#endif  // LAMP_OBS_METRICS_H_

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "common/check.h"
+
+namespace lamp::obs {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpan:
+      return "span";
+    case EventKind::kMpcRoundBegin:
+      return "mpc.round_begin";
+    case EventKind::kMpcServerLoad:
+      return "mpc.server_load";
+    case EventKind::kMpcRoundEnd:
+      return "mpc.round_end";
+    case EventKind::kNetStart:
+      return "net.start";
+    case EventKind::kNetBroadcast:
+      return "net.broadcast";
+    case EventKind::kNetDeliver:
+      return "net.deliver";
+    case EventKind::kNetQuiescent:
+      return "net.quiescent";
+    case EventKind::kDatalogIteration:
+      return "datalog.iteration";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  LAMP_CHECK(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+std::uint64_t Tracer::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Emit(EventKind kind, std::uint32_t a, std::uint32_t b,
+                  std::uint64_t value, const char* label) {
+  TraceEvent e;
+  e.t_ns = NowNs();
+  e.value = value;
+  e.a = a;
+  e.b = b;
+  e.kind = kind;
+  e.label = label;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[next_] = e;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::size_t Tracer::size() const { return ring_.size(); }
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    // Not yet wrapped: chronological as stored.
+    out = ring_;
+  } else {
+    // next_ points at the oldest event once the ring is full.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+Tracer* InstallTracer(Tracer* tracer) {
+  Tracer* prev = internal::g_tracer;
+  internal::g_tracer = tracer;
+  return prev;
+}
+
+JsonValue TraceToJson(const Tracer& tracer) {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema", "lamp.trace.v1");
+  out.Set("capacity", tracer.capacity());
+  out.Set("total_emitted", static_cast<std::size_t>(tracer.total_emitted()));
+  out.Set("dropped", static_cast<std::size_t>(tracer.dropped()));
+  JsonValue events = JsonValue::Array();
+  for (const TraceEvent& e : tracer.Events()) {
+    JsonValue je = JsonValue::Object();
+    je.Set("t_ns", static_cast<std::size_t>(e.t_ns));
+    je.Set("kind", EventKindName(e.kind));
+    je.Set("a", static_cast<std::size_t>(e.a));
+    je.Set("b", static_cast<std::size_t>(e.b));
+    je.Set("value", static_cast<std::size_t>(e.value));
+    if (e.label != nullptr) je.Set("label", e.label);
+    events.PushBack(std::move(je));
+  }
+  out.Set("events", std::move(events));
+  return out;
+}
+
+void WriteTraceJson(const Tracer& tracer, std::ostream& os) {
+  os << TraceToJson(tracer).Dump(2) << "\n";
+}
+
+}  // namespace lamp::obs

@@ -1,0 +1,164 @@
+#ifndef LAMP_OBS_TRACE_H_
+#define LAMP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+/// \file
+/// Low-overhead event tracing for the MPC simulator, the transducer
+/// network runtime and the Datalog engine.
+///
+/// Design constraints, in order:
+///   1. *Zero cost when off.* Instrumented hot paths pay exactly one
+///      relaxed pointer load + predictable branch when no tracer is
+///      installed (the "null sink"); no clock is read, nothing allocates.
+///   2. *Bounded memory when on.* Events land in a fixed-capacity ring
+///      buffer; once full, the oldest events are overwritten and counted
+///      as dropped. A trace can therefore be left on for an arbitrarily
+///      long run.
+///   3. *Machine readable.* WriteTraceJson serialises a trace to the
+///      obs JSON schema; tools/trace_dump renders it as a timeline.
+///
+/// Event payloads are four scalars (a, b, value, label) whose meaning is
+/// fixed per EventKind — see the kind list. Labels must point to storage
+/// that outlives the tracer (string literals in practice).
+///
+/// Installation is process-global and deliberately not thread-safe: the
+/// runtimes being traced are single-threaded and deterministic, and a
+/// global avoids threading a sink pointer through every simulator and
+/// network constructor.
+
+namespace lamp::obs {
+
+/// What happened. The comment gives the payload convention.
+enum class EventKind : std::uint8_t {
+  kSpan = 0,           // label=phase name, a=round, value=duration ns
+  kMpcRoundBegin,      // a=round index, value=num servers
+  kMpcServerLoad,      // a=round index, b=server, value=tuples received
+  kMpcRoundEnd,        // a=round index, value=total load of the round
+  kNetStart,           // a=node (heartbeat transition)
+  kNetBroadcast,       // a=sender node, value=facts in the message
+  kNetDeliver,         // a=receiver node, b=transition index, value=facts
+  kNetQuiescent,       // value=total transitions performed
+  kDatalogIteration,   // a=stratum, b=iteration within stratum,
+                       //   value=delta cardinality
+};
+
+/// Stable wire name of a kind ("mpc.server_load", "net.deliver", ...).
+std::string_view EventKindName(EventKind kind);
+
+/// One trace record. 32 bytes of scalars + a static label pointer.
+struct TraceEvent {
+  std::uint64_t t_ns = 0;  // Nanoseconds since the tracer's epoch.
+  std::uint64_t value = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  EventKind kind = EventKind::kSpan;
+  const char* label = nullptr;  // May be nullptr; static storage only.
+};
+
+/// Fixed-capacity ring buffer of TraceEvents.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  void Emit(EventKind kind, std::uint32_t a, std::uint32_t b,
+            std::uint64_t value, const char* label = nullptr);
+
+  /// Events oldest-to-newest (at most capacity() of them).
+  std::vector<TraceEvent> Events() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t total_emitted() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+
+  void Clear();
+
+  /// Nanoseconds since construction/Clear (monotonic).
+  std::uint64_t NowNs() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;       // Ring write cursor.
+  std::uint64_t total_ = 0;    // Events ever emitted.
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+namespace internal {
+/// The installed sink. A plain global: the traced runtimes are
+/// single-threaded (see file comment).
+inline Tracer* g_tracer = nullptr;
+}  // namespace internal
+
+/// Currently installed tracer, or nullptr (the null sink).
+inline Tracer* InstalledTracer() { return internal::g_tracer; }
+
+/// Installs \p tracer as the process-global sink; nullptr uninstalls.
+/// Returns the previously installed tracer.
+Tracer* InstallTracer(Tracer* tracer);
+
+/// RAII installation for tests and tools.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer& tracer) : prev_(InstallTracer(&tracer)) {}
+  ~ScopedTracer() { InstallTracer(prev_); }
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* prev_;
+};
+
+/// The hot-path emit: one load + branch when no tracer is installed.
+inline void Emit(EventKind kind, std::uint32_t a = 0, std::uint32_t b = 0,
+                 std::uint64_t value = 0, const char* label = nullptr) {
+  Tracer* t = internal::g_tracer;
+  if (t == nullptr) return;
+  t->Emit(kind, a, b, value, label);
+}
+
+/// Span-style scoped timer: emits one kSpan event with the measured
+/// duration on destruction. Reads no clock when tracing is off.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* label, std::uint32_t a = 0)
+      : tracer_(internal::g_tracer), label_(label), a_(a) {
+    if (tracer_ != nullptr) start_ns_ = tracer_->NowNs();
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Emit(EventKind::kSpan, a_, 0, tracer_->NowNs() - start_ns_,
+                    label_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* label_;
+  std::uint32_t a_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Serialises a trace:
+///   {"schema": "lamp.trace.v1", "capacity": N, "total_emitted": N,
+///    "dropped": N, "events": [{"t_ns":..,"kind":"..","a":..,"b":..,
+///    "value":..,"label":..}, ...]}
+JsonValue TraceToJson(const Tracer& tracer);
+void WriteTraceJson(const Tracer& tracer, std::ostream& os);
+
+}  // namespace lamp::obs
+
+#endif  // LAMP_OBS_TRACE_H_

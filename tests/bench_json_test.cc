@@ -1,0 +1,93 @@
+// End-to-end validation of the machine-readable bench reporting
+// (acceptance: bench binaries emit uniform JSON records via
+// obs::BenchReporter). The harness receives bench binary paths on the
+// command line (wired in tests/CMakeLists.txt), runs each with
+// LAMP_BENCH_JSON pointing at a temp file and a benchmark filter that
+// matches nothing (so only the table/report section executes), then
+// parses every emitted line and checks the uniform record shape.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "obs/json.h"
+
+namespace lamp::obs {
+namespace {
+
+std::vector<std::string> g_bench_binaries;
+
+void CheckBenchEmitsUniformJson(const std::string& binary) {
+  const std::string json_path =
+      ::testing::TempDir() + "/lamp_bench_json_test.jsonl";
+  std::remove(json_path.c_str());
+
+  // The filter matches no registered benchmark, so only PrintTable (and
+  // with it the BenchReporter flush) runs — the table is the slow part we
+  // actually want to validate, the microbenchmarks are not.
+  const std::string cmd = "LAMP_BENCH_JSON='" + json_path + "' '" + binary +
+                          "' --benchmark_filter='$^' > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.is_open()) << "bench wrote no " << json_path;
+  std::string line;
+  std::size_t records = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++records;
+    const auto parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.has_value()) << "invalid JSON line: " << line;
+    ASSERT_TRUE(parsed->IsObject());
+    // The uniform shape: bench, params, metrics, wall_ms — exactly, in
+    // order.
+    ASSERT_EQ(parsed->members().size(), 4u) << line;
+    EXPECT_EQ(parsed->members()[0].first, "bench");
+    EXPECT_EQ(parsed->members()[1].first, "params");
+    EXPECT_EQ(parsed->members()[2].first, "metrics");
+    EXPECT_EQ(parsed->members()[3].first, "wall_ms");
+
+    const JsonValue* bench = parsed->Find("bench");
+    ASSERT_TRUE(bench != nullptr && bench->IsString());
+    EXPECT_FALSE(bench->AsString().empty());
+    const JsonValue* params = parsed->Find("params");
+    ASSERT_TRUE(params != nullptr && params->IsObject());
+    EXPECT_GT(params->size(), 0u);
+    const JsonValue* metrics = parsed->Find("metrics");
+    ASSERT_TRUE(metrics != nullptr && metrics->IsObject());
+    EXPECT_GT(metrics->size(), 0u);
+    const JsonValue* wall = parsed->Find("wall_ms");
+    ASSERT_TRUE(wall != nullptr && wall->IsNumber());
+    EXPECT_GE(wall->AsDouble(), 0.0);
+  }
+  EXPECT_GT(records, 0u) << "no records in " << json_path;
+  std::remove(json_path.c_str());
+}
+
+TEST(BenchJsonTest, AllListedBenchesEmitUniformJsonRecords) {
+  ASSERT_FALSE(g_bench_binaries.empty())
+      << "pass bench binary paths on the command line (see "
+         "tests/CMakeLists.txt)";
+  for (const std::string& binary : g_bench_binaries) {
+    SCOPED_TRACE(binary);
+    CheckBenchEmitsUniformJson(binary);
+  }
+}
+
+}  // namespace
+}  // namespace lamp::obs
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      lamp::obs::g_bench_binaries.push_back(argv[i]);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

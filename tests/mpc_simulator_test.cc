@@ -110,6 +110,28 @@ TEST(RoundStatsTest, Aggregations) {
   EXPECT_FALSE(stats.ToString().empty());
 }
 
+TEST(RunStatsTest, EmptyStatsAreZeroNotUndefined) {
+  // Satellite guarantee (see mpc/stats.h): all accessors are total
+  // functions — zero servers / zero rounds return 0, never divide by
+  // zero.
+  const RoundStats no_servers;
+  EXPECT_EQ(no_servers.MaxLoad(), 0u);
+  EXPECT_EQ(no_servers.TotalLoad(), 0u);
+  EXPECT_EQ(no_servers.AvgLoad(), 0.0);
+
+  const RunStats no_rounds;
+  EXPECT_EQ(no_rounds.MaxLoad(), 0u);
+  EXPECT_EQ(no_rounds.TotalCommunication(), 0u);
+  EXPECT_EQ(no_rounds.NumRounds(), 0u);
+
+  // A round whose servers all received nothing is still well-defined.
+  RunStats idle;
+  idle.rounds.push_back(RoundStats{{0, 0, 0}});
+  EXPECT_EQ(idle.MaxLoad(), 0u);
+  EXPECT_EQ(idle.TotalCommunication(), 0u);
+  EXPECT_EQ(idle.rounds[0].AvgLoad(), 0.0);
+}
+
 TEST(HeavyHittersTest, FrequenciesAndThresholds) {
   Schema schema;
   const RelationId r = schema.AddRelation("R", 2);

@@ -260,10 +260,10 @@ TEST_F(NetTest, EconomicalBroadcastSendsLessForSameAnswer) {
 
   EXPECT_EQ(naive_run.output, expected);
   EXPECT_EQ(econ_run.output, expected);
-  EXPECT_LT(econ_run.facts_transferred, naive_run.facts_transferred);
+  EXPECT_LT(econ_run.facts_transferred(), naive_run.facts_transferred());
   // Exactly the 10 off-diagonal R-facts per... at least a third saved.
-  EXPECT_LE(econ_run.facts_transferred * 3,
-            naive_run.facts_transferred * 2 + 3);
+  EXPECT_LE(econ_run.facts_transferred() * 3,
+            naive_run.facts_transferred() * 2 + 3);
 }
 
 TEST_F(NetTest, EconomicalRelevanceFilter) {
@@ -285,9 +285,9 @@ TEST_F(NetTest, MessageCountsAreTracked) {
   TransducerNetwork network(DistributeRoundRobin(graph, 3), program, nullptr,
                             false);
   const NetworkRunResult result = network.Run(42);
-  EXPECT_GT(result.messages_sent, 0u);
-  EXPECT_GT(result.facts_transferred, 0u);
-  EXPECT_GT(result.transitions, 0u);
+  EXPECT_GT(result.messages_sent(), 0u);
+  EXPECT_GT(result.facts_transferred(), 0u);
+  EXPECT_GT(result.transitions(), 0u);
 }
 
 TEST_F(NetTest, SingleNodeNetworkNeedsNoMessages) {
@@ -296,7 +296,7 @@ TEST_F(NetTest, SingleNodeNetworkNeedsNoMessages) {
   TransducerNetwork network({graph}, program, nullptr, false);
   const NetworkRunResult result = network.Run(0);
   EXPECT_EQ(result.output, Evaluate(triangle_, graph));
-  EXPECT_EQ(result.messages_sent, 0u);
+  EXPECT_EQ(result.messages_sent(), 0u);
 }
 
 

@@ -1,0 +1,237 @@
+// Cross-runtime checks of the observability layer (obs/): the event
+// stream and the metrics registry must agree *exactly* with the legacy
+// accounting structs (RunStats, NetworkRunResult accessors, DatalogStats)
+// — a trace is a faithful replay of the run, not an approximation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "cq/eval.h"
+#include "cq/parser.h"
+#include "datalog/eval.h"
+#include "datalog/program.h"
+#include "mpc/hypercube_run.h"
+#include "mpc/skew.h"
+#include "net/network.h"
+#include "net/programs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "relational/generators.h"
+
+namespace lamp {
+namespace {
+
+TEST(ObsIntegrationTest, TracerReproducesMpcRoundLoadsExactly) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+  Rng rng(13);
+  Instance db;
+  AddRandomGraph(schema, schema.IdOf("R"), 2000, 300, rng, db);
+  AddRandomGraph(schema, schema.IdOf("S"), 2000, 300, rng, db);
+  AddRandomGraph(schema, schema.IdOf("T"), 2000, 300, rng, db);
+
+  obs::Tracer tracer;
+  MpcRunResult traced;
+  {
+    obs::ScopedTracer install(tracer);
+    traced = RunHyperCubeUniform(q, db, 27);
+  }
+  // Instrumentation must not change the computation: an uninstrumented
+  // run produces identical stats.
+  const MpcRunResult plain = RunHyperCubeUniform(q, db, 27);
+  ASSERT_EQ(plain.stats.NumRounds(), traced.stats.NumRounds());
+  EXPECT_EQ(plain.stats.MaxLoad(), traced.stats.MaxLoad());
+
+  // Reconstruct per-round per-server loads from the event stream.
+  std::map<std::uint32_t, std::vector<std::size_t>> loads;
+  std::map<std::uint32_t, std::uint64_t> round_totals;
+  std::map<std::uint32_t, std::uint64_t> round_servers;
+  for (const obs::TraceEvent& e : tracer.Events()) {
+    switch (e.kind) {
+      case obs::EventKind::kMpcRoundBegin:
+        round_servers[e.a] = e.value;
+        loads[e.a].assign(static_cast<std::size_t>(e.value), 0);
+        break;
+      case obs::EventKind::kMpcServerLoad:
+        ASSERT_LT(e.b, loads[e.a].size());
+        loads[e.a][e.b] = static_cast<std::size_t>(e.value);
+        break;
+      case obs::EventKind::kMpcRoundEnd:
+        round_totals[e.a] = e.value;
+        break;
+      default:
+        break;
+    }
+  }
+
+  ASSERT_EQ(loads.size(), traced.stats.NumRounds());
+  for (std::size_t r = 0; r < traced.stats.NumRounds(); ++r) {
+    const RoundStats& expected = traced.stats.rounds[r];
+    const auto idx = static_cast<std::uint32_t>(r);
+    EXPECT_EQ(round_servers[idx], expected.received.size());
+    EXPECT_EQ(loads[idx], expected.received) << "round " << r;
+    EXPECT_EQ(round_totals[idx], expected.TotalLoad()) << "round " << r;
+  }
+}
+
+TEST(ObsIntegrationTest, TracerCoversMultiRoundAlgorithms) {
+  // SkewResilientTriangle runs >= 2 rounds; every round must appear in
+  // the trace with its own server-load row.
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+  Rng rng(3);
+  Instance skewed;
+  for (std::size_t i = 0; i < 500; ++i) {
+    skewed.Insert(Fact(schema.IdOf("R"), {static_cast<std::int64_t>(i), 0}));
+  }
+  AddUniformRelation(schema, schema.IdOf("S"), 1000, 4000, rng, skewed);
+  AddUniformRelation(schema, schema.IdOf("T"), 1000, 4000, rng, skewed);
+
+  obs::Tracer tracer;
+  MpcRunResult run;
+  {
+    obs::ScopedTracer install(tracer);
+    run = SkewResilientTriangle(q, skewed, 8, /*seed=*/0,
+                                /*heavy_threshold=*/100);
+  }
+  ASSERT_GE(run.stats.NumRounds(), 2u);
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const obs::TraceEvent& e : tracer.Events()) {
+    begins += e.kind == obs::EventKind::kMpcRoundBegin;
+    ends += e.kind == obs::EventKind::kMpcRoundEnd;
+  }
+  EXPECT_EQ(begins, run.stats.NumRounds());
+  EXPECT_EQ(ends, run.stats.NumRounds());
+}
+
+TEST(ObsIntegrationTest, RunStatsToMetricsMatchesAccessors) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z)");
+  Rng rng(5);
+  Instance db;
+  AddUniformRelation(schema, schema.IdOf("R"), 3000, 9000, rng, db);
+  AddUniformRelation(schema, schema.IdOf("S"), 3000, 9000, rng, db);
+  const MpcRunResult run = RunHyperCubeUniform(q, db, 16);
+
+  obs::MetricsRegistry registry;
+  run.stats.ToMetrics(registry);
+  EXPECT_EQ(registry.CounterValue(obs::kMpcRounds), run.stats.NumRounds());
+  EXPECT_EQ(registry.CounterValue(obs::kMpcTotalCommunication),
+            run.stats.TotalCommunication());
+  const obs::Gauge* max_load = registry.FindGauge(obs::kMpcMaxLoad);
+  ASSERT_NE(max_load, nullptr);
+  EXPECT_DOUBLE_EQ(max_load->value(),
+                   static_cast<double>(run.stats.MaxLoad()));
+  const obs::Histogram* per_round =
+      registry.FindHistogram(obs::kMpcRoundMaxLoad);
+  ASSERT_NE(per_round, nullptr);
+  EXPECT_EQ(per_round->Count(), run.stats.NumRounds());
+  EXPECT_DOUBLE_EQ(per_round->Max(),
+                   static_cast<double>(run.stats.MaxLoad()));
+}
+
+TEST(ObsIntegrationTest, NetEventsMatchRunResultCounters) {
+  Schema schema;
+  const RelationId e = schema.AddRelation("E", 2);
+  const ConjunctiveQuery triangle = ParseQuery(
+      schema, "H(x,y,z) <- E(x,y), E(y,z), E(z,x), x != y, y != z, x != z");
+  Rng rng(17);
+  Instance graph;
+  AddRandomGraph(schema, e, 40, 12, rng, graph);
+  AddTriangleClusters(schema, e, 2, 100, graph);
+
+  MonotoneBroadcastProgram program([&triangle](const Instance& instance) {
+    return Evaluate(triangle, instance);
+  });
+  TransducerNetwork net(DistributeRoundRobin(graph, 5), program, nullptr,
+                        /*aware=*/false);
+
+  obs::Tracer tracer;
+  NetworkRunResult result;
+  {
+    obs::ScopedTracer install(tracer);
+    result = net.Run(/*seed=*/11);
+  }
+
+  std::size_t starts = 0;
+  std::size_t broadcasts = 0;
+  std::size_t delivers = 0;
+  std::uint64_t facts_delivered = 0;
+  std::uint64_t quiescent_transitions = 0;
+  for (const obs::TraceEvent& ev : tracer.Events()) {
+    switch (ev.kind) {
+      case obs::EventKind::kNetStart:
+        ++starts;
+        break;
+      case obs::EventKind::kNetBroadcast:
+        ++broadcasts;
+        break;
+      case obs::EventKind::kNetDeliver:
+        ++delivers;
+        facts_delivered += ev.value;
+        break;
+      case obs::EventKind::kNetQuiescent:
+        quiescent_transitions = ev.value;
+        break;
+      default:
+        break;
+    }
+  }
+
+  EXPECT_EQ(starts, 5u);  // One heartbeat per node.
+  EXPECT_EQ(broadcasts, result.metrics.CounterValue(obs::kNetBroadcasts));
+  // Every point-to-point message is delivered exactly once by quiescence.
+  EXPECT_EQ(delivers, result.transitions());
+  EXPECT_EQ(delivers, result.messages_sent());
+  EXPECT_EQ(facts_delivered, result.facts_transferred());
+  EXPECT_EQ(quiescent_transitions, result.transitions());
+  // The histogram saw one sample per broadcast.
+  const obs::Histogram* sizes =
+      result.metrics.FindHistogram(obs::kNetMessageSize);
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_EQ(sizes->Count(), broadcasts);
+}
+
+TEST(ObsIntegrationTest, DatalogMetricsMatchStats) {
+  Schema schema;
+  const DatalogProgram program = ParseProgram(schema, R"(
+    TC(x,y) <- E(x,y)
+    TC(x,y) <- TC(x,z), E(z,y)
+  )");
+  Rng rng(23);
+  Instance edb;
+  AddPathGraph(schema, schema.IdOf("E"), 30, edb);
+
+  obs::Tracer tracer;
+  DatalogStats stats;
+  obs::MetricsRegistry metrics;
+  {
+    obs::ScopedTracer install(tracer);
+    (void)EvaluateProgram(schema, program, edb, &stats, &metrics);
+  }
+  EXPECT_GT(stats.iterations, 1u);
+  EXPECT_EQ(metrics.CounterValue(obs::kDatalogIterations), stats.iterations);
+  EXPECT_EQ(metrics.CounterValue(obs::kDatalogFactsDerived),
+            stats.facts_derived);
+
+  const obs::Histogram* delta = metrics.FindHistogram(obs::kDatalogDeltaSize);
+  ASSERT_NE(delta, nullptr);
+  EXPECT_GE(delta->Count(), 1u);
+  // Every histogram sample has a matching trace event with equal payload.
+  std::vector<double> event_deltas;
+  for (const obs::TraceEvent& ev : tracer.Events()) {
+    if (ev.kind == obs::EventKind::kDatalogIteration) {
+      event_deltas.push_back(static_cast<double>(ev.value));
+    }
+  }
+  EXPECT_EQ(event_deltas.size(), delta->Count());
+}
+
+}  // namespace
+}  // namespace lamp

@@ -1,0 +1,306 @@
+// trace_dump: renders a lamp.trace.v1 recording as a human-readable
+// timeline.
+//
+//   trace_dump <trace.json>    render a saved trace (see obs/trace.h)
+//   trace_dump --demo-mpc      trace a HyperCube triangle run, render it
+//   trace_dump --demo-net      trace a broadcast transducer run, render it
+//   trace_dump ... --json      emit the raw trace JSON instead
+//
+// The MPC section renders one heatmap row per round (per-server load as
+// block glyphs, normalised to the round maximum) so routing skew is
+// visible at a glance; the net section lists transitions in delivery
+// order, which is the causal order of the run.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cq/eval.h"
+#include "cq/parser.h"
+#include "common/rng.h"
+#include "mpc/hypercube_run.h"
+#include "net/network.h"
+#include "net/programs.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "relational/generators.h"
+
+namespace lamp {
+namespace {
+
+// One parsed event; kind is the wire name so the renderer works off a
+// trace JSON regardless of whether it came from a file or a live Tracer.
+struct Event {
+  std::uint64_t t_ns = 0;
+  std::uint64_t value = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::string kind;
+  std::string label;
+};
+
+std::vector<Event> EventsFromJson(const obs::JsonValue& trace) {
+  std::vector<Event> out;
+  const obs::JsonValue* events = trace.Find("events");
+  if (events == nullptr || !events->IsArray()) return out;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const obs::JsonValue& e = events->at(i);
+    Event ev;
+    if (const auto* v = e.Find("t_ns")) ev.t_ns = static_cast<std::uint64_t>(v->AsInt());
+    if (const auto* v = e.Find("value")) ev.value = static_cast<std::uint64_t>(v->AsInt());
+    if (const auto* v = e.Find("a")) ev.a = static_cast<std::uint32_t>(v->AsInt());
+    if (const auto* v = e.Find("b")) ev.b = static_cast<std::uint32_t>(v->AsInt());
+    if (const auto* v = e.Find("kind")) ev.kind = v->AsString();
+    if (const auto* v = e.Find("label")) ev.label = v->AsString();
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+// Eight block glyphs; load 0 renders as '.' so empty servers stay visible.
+const char* LoadGlyph(std::uint64_t load, std::uint64_t max) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (load == 0) return ".";
+  if (max == 0) return kBlocks[0];
+  std::size_t idx = static_cast<std::size_t>((8 * load - 1) / max);
+  return kBlocks[std::min<std::size_t>(idx, 7)];
+}
+
+void RenderMpc(const std::vector<Event>& events) {
+  // round -> (p, total, per-server loads).
+  struct Round {
+    std::uint64_t p = 0;
+    std::uint64_t total = 0;
+    std::map<std::uint32_t, std::uint64_t> loads;
+  };
+  std::map<std::uint32_t, Round> rounds;
+  for (const Event& e : events) {
+    if (e.kind == "mpc.round_begin") {
+      rounds[e.a].p = e.value;
+    } else if (e.kind == "mpc.server_load") {
+      rounds[e.a].loads[e.b] = e.value;
+    } else if (e.kind == "mpc.round_end") {
+      rounds[e.a].total = e.value;
+    }
+  }
+  if (rounds.empty()) return;
+
+  std::printf("== MPC rounds (%zu) ==\n", rounds.size());
+  std::printf("   load heatmap: one glyph per server, normalised per round"
+              " ('.' = zero)\n");
+  for (const auto& [idx, round] : rounds) {
+    std::uint64_t max_load = 0;
+    for (const auto& [server, load] : round.loads) {
+      max_load = std::max(max_load, load);
+    }
+    std::string heat;
+    for (std::uint64_t s = 0; s < round.p; ++s) {
+      const auto it = round.loads.find(static_cast<std::uint32_t>(s));
+      heat += LoadGlyph(it == round.loads.end() ? 0 : it->second, max_load);
+    }
+    std::printf("  round %2u  p=%-5llu total=%-9llu max=%-8llu |%s|\n", idx,
+                static_cast<unsigned long long>(round.p),
+                static_cast<unsigned long long>(round.total),
+                static_cast<unsigned long long>(max_load), heat.c_str());
+  }
+  std::printf("\n");
+}
+
+void RenderNet(const std::vector<Event>& events) {
+  bool any = false;
+  for (const Event& e : events) {
+    if (e.kind.rfind("net.", 0) == 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+
+  std::printf("== Transducer network timeline ==\n");
+  for (const Event& e : events) {
+    const double t_us = static_cast<double>(e.t_ns) / 1000.0;
+    if (e.kind == "net.start") {
+      std::printf("  %10.1fus  start      node %u (heartbeat)\n", t_us, e.a);
+    } else if (e.kind == "net.broadcast") {
+      std::printf("  %10.1fus  broadcast  node %u sends %llu fact(s) to all"
+                  " others\n",
+                  t_us, e.a, static_cast<unsigned long long>(e.value));
+    } else if (e.kind == "net.deliver") {
+      std::printf("  %10.1fus  deliver    #%-4u -> node %u (%llu fact(s))\n",
+                  t_us, e.b, e.a, static_cast<unsigned long long>(e.value));
+    } else if (e.kind == "net.quiescent") {
+      std::printf("  %10.1fus  quiescent  after %llu transition(s)\n", t_us,
+                  static_cast<unsigned long long>(e.value));
+    }
+  }
+  std::printf("\n");
+}
+
+void RenderDatalog(const std::vector<Event>& events) {
+  bool any = false;
+  for (const Event& e : events) {
+    if (e.kind == "datalog.iteration") {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  std::printf("== Datalog iterations ==\n");
+  for (const Event& e : events) {
+    if (e.kind != "datalog.iteration") continue;
+    std::printf("  stratum %u  iter %2u  delta=%llu\n", e.a, e.b,
+                static_cast<unsigned long long>(e.value));
+  }
+  std::printf("\n");
+}
+
+void RenderSpans(const std::vector<Event>& events) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> spans;
+  for (const Event& e : events) {
+    if (e.kind != "span" || e.label.empty()) continue;
+    Agg& agg = spans[e.label];
+    ++agg.count;
+    agg.total_ns += e.value;
+  }
+  if (spans.empty()) return;
+  std::printf("== Span aggregates ==\n");
+  for (const auto& [label, agg] : spans) {
+    std::printf("  %-16s count=%-5llu total=%.3fms mean=%.1fus\n",
+                label.c_str(), static_cast<unsigned long long>(agg.count),
+                static_cast<double>(agg.total_ns) / 1e6,
+                static_cast<double>(agg.total_ns) / 1e3 /
+                    static_cast<double>(agg.count));
+  }
+  std::printf("\n");
+}
+
+void Render(const obs::JsonValue& trace) {
+  const obs::JsonValue* schema = trace.Find("schema");
+  if (schema == nullptr || schema->AsString() != "lamp.trace.v1") {
+    std::fprintf(stderr, "warning: missing/unknown trace schema marker\n");
+  }
+  std::uint64_t total = 0;
+  std::uint64_t dropped = 0;
+  if (const auto* v = trace.Find("total_emitted")) {
+    total = static_cast<std::uint64_t>(v->AsInt());
+  }
+  if (const auto* v = trace.Find("dropped")) {
+    dropped = static_cast<std::uint64_t>(v->AsInt());
+  }
+  std::printf("trace: %llu event(s) emitted, %llu dropped (ring overflow)\n\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(dropped));
+  const std::vector<Event> events = EventsFromJson(trace);
+  RenderMpc(events);
+  RenderNet(events);
+  RenderDatalog(events);
+  RenderSpans(events);
+}
+
+obs::JsonValue DemoMpcTrace() {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+  Rng rng(7);
+  Instance db;
+  AddRandomGraph(schema, schema.IdOf("R"), 4000, 600, rng, db);
+  AddRandomGraph(schema, schema.IdOf("S"), 4000, 600, rng, db);
+  AddRandomGraph(schema, schema.IdOf("T"), 4000, 600, rng, db);
+  obs::Tracer tracer;
+  {
+    obs::ScopedTracer install(tracer);
+    (void)RunHyperCubeUniform(q, db, 64);
+  }
+  return obs::TraceToJson(tracer);
+}
+
+obs::JsonValue DemoNetTrace() {
+  Schema schema;
+  const RelationId e = schema.AddRelation("E", 2);
+  const ConjunctiveQuery triangle = ParseQuery(
+      schema, "H(x,y,z) <- E(x,y), E(y,z), E(z,x), x != y, y != z, x != z");
+  Rng rng(7);
+  Instance graph;
+  AddRandomGraph(schema, e, 40, 12, rng, graph);
+  AddTriangleClusters(schema, e, 2, 100, graph);
+  MonotoneBroadcastProgram program(
+      [&triangle](const Instance& instance) {
+        return Evaluate(triangle, instance);
+      });
+  TransducerNetwork net(DistributeRoundRobin(graph, 4), program, nullptr,
+                        /*aware=*/false);
+  obs::Tracer tracer;
+  {
+    obs::ScopedTracer install(tracer);
+    (void)net.Run(/*seed=*/3);
+  }
+  return obs::TraceToJson(tracer);
+}
+
+int Main(int argc, char** argv) {
+  bool raw_json = false;
+  std::string mode;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      raw_json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: trace_dump [--json] (<trace.json> | --demo-mpc |"
+          " --demo-net)\n");
+      return 0;
+    } else {
+      mode = arg;
+    }
+  }
+  if (mode.empty()) {
+    std::fprintf(stderr,
+                 "trace_dump: need a trace file, --demo-mpc or --demo-net"
+                 " (see --help)\n");
+    return 2;
+  }
+
+  obs::JsonValue trace;
+  if (mode == "--demo-mpc") {
+    trace = DemoMpcTrace();
+  } else if (mode == "--demo-net") {
+    trace = DemoNetTrace();
+  } else {
+    std::ifstream in(mode);
+    if (!in) {
+      std::fprintf(stderr, "trace_dump: cannot open %s\n", mode.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::optional<obs::JsonValue> parsed = obs::JsonValue::Parse(buf.str());
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "trace_dump: %s is not valid JSON\n",
+                   mode.c_str());
+      return 2;
+    }
+    trace = std::move(*parsed);
+  }
+
+  if (raw_json) {
+    std::printf("%s\n", trace.Dump(2).c_str());
+  } else {
+    Render(trace);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lamp
+
+int main(int argc, char** argv) { return lamp::Main(argc, argv); }
