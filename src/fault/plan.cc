@@ -1,0 +1,300 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lamp::fault {
+
+std::string_view DeliveryDisciplineName(DeliveryDiscipline discipline) {
+  switch (discipline) {
+    case DeliveryDiscipline::kUniform:
+      return "uniform";
+    case DeliveryDiscipline::kOldestFirst:
+      return "oldest-first";
+    case DeliveryDiscipline::kNewestFirst:
+      return "newest-first";
+    case DeliveryDiscipline::kStarve:
+      return "starve";
+  }
+  return "unknown";
+}
+
+std::string_view FaultEventKindName(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kDropNext:
+      return "drop";
+    case FaultEvent::Kind::kDuplicateNext:
+      return "dup";
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+    case FaultEvent::Kind::kRestart:
+      return "restart";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kHeal:
+      return "heal";
+    case FaultEvent::Kind::kStallBegin:
+      return "stall-begin";
+    case FaultEvent::Kind::kStallEnd:
+      return "stall-end";
+  }
+  return "unknown";
+}
+
+void FaultPlan::Normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.step < b.step;
+                   });
+}
+
+bool FaultPlan::HasVolatileCrash() const {
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultEvent::Kind::kCrash && !e.durable) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::string EventToString(const FaultEvent& e) {
+  std::string out;
+  out.reserve(48);
+  out.append(FaultEventKindName(e.kind));
+  switch (e.kind) {
+    case FaultEvent::Kind::kCrash:
+      out.append("(n");
+      out.append(std::to_string(e.node));
+      out.append(e.durable ? ",durable)" : ",volatile)");
+      break;
+    case FaultEvent::Kind::kRestart:
+    case FaultEvent::Kind::kStallBegin:
+    case FaultEvent::Kind::kStallEnd:
+      out.append("(n");
+      out.append(std::to_string(e.node));
+      out.push_back(')');
+      break;
+    case FaultEvent::Kind::kPartition: {
+      out.append("({");
+      for (std::size_t i = 0; i < e.group.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out.append(std::to_string(e.group[i]));
+      }
+      out.append("})");
+      break;
+    }
+    default:
+      break;
+  }
+  if (e.step == std::numeric_limits<std::size_t>::max()) {
+    out.append("@quiescence");
+  } else {
+    out.push_back('@');
+    out.append(std::to_string(e.step));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  out.reserve(64);
+  out.append("discipline=");
+  out.append(DeliveryDisciplineName(discipline));
+  if (discipline == DeliveryDiscipline::kStarve) {
+    out.append("(n");
+    out.append(std::to_string(starve_target));
+    out.push_back(')');
+  }
+  out.append(" events=[");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out.append(EventToString(events[i]));
+  }
+  out.push_back(']');
+  return out;
+}
+
+obs::JsonValue FaultPlan::ToJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("discipline", DeliveryDisciplineName(discipline));
+  if (discipline == DeliveryDiscipline::kStarve) {
+    out.Set("starve_target", static_cast<std::size_t>(starve_target));
+  }
+  obs::JsonValue array = obs::JsonValue::Array();
+  for (const FaultEvent& e : events) {
+    obs::JsonValue je = obs::JsonValue::Object();
+    je.Set("kind", FaultEventKindName(e.kind));
+    je.Set("step", e.step);
+    switch (e.kind) {
+      case FaultEvent::Kind::kCrash:
+        je.Set("node", static_cast<std::size_t>(e.node));
+        je.Set("durable", e.durable);
+        break;
+      case FaultEvent::Kind::kRestart:
+      case FaultEvent::Kind::kStallBegin:
+      case FaultEvent::Kind::kStallEnd:
+        je.Set("node", static_cast<std::size_t>(e.node));
+        break;
+      case FaultEvent::Kind::kPartition: {
+        obs::JsonValue group = obs::JsonValue::Array();
+        for (NodeId n : e.group) {
+          group.PushBack(obs::JsonValue(static_cast<std::size_t>(n)));
+        }
+        je.Set("group", std::move(group));
+        break;
+      }
+      default:
+        break;
+    }
+    array.PushBack(std::move(je));
+  }
+  out.Set("events", std::move(array));
+  return out;
+}
+
+FaultPlan DuplicateStormPlan(std::size_t first_step, std::size_t count,
+                             std::size_t stride) {
+  FaultPlan plan;
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kDuplicateNext;
+    e.step = first_step + i * stride;
+    plan.events.push_back(e);
+  }
+  plan.Normalize();
+  return plan;
+}
+
+FaultPlan DropStormPlan(std::size_t first_step, std::size_t count,
+                        std::size_t stride) {
+  FaultPlan plan;
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kDropNext;
+    e.step = first_step + i * stride;
+    plan.events.push_back(e);
+  }
+  plan.Normalize();
+  return plan;
+}
+
+FaultPlan CrashRestartPlan(NodeId node, std::size_t crash_step,
+                           std::size_t restart_step, bool durable) {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultEvent::Kind::kCrash;
+  crash.step = crash_step;
+  crash.node = node;
+  crash.durable = durable;
+  FaultEvent restart;
+  restart.kind = FaultEvent::Kind::kRestart;
+  restart.step = restart_step;
+  restart.node = node;
+  plan.events = {crash, restart};
+  plan.Normalize();
+  return plan;
+}
+
+FaultPlan PartitionHealPlan(std::vector<NodeId> group, std::size_t at_step,
+                            std::size_t heal_step) {
+  FaultPlan plan;
+  FaultEvent cut;
+  cut.kind = FaultEvent::Kind::kPartition;
+  cut.step = at_step;
+  cut.group = std::move(group);
+  FaultEvent heal;
+  heal.kind = FaultEvent::Kind::kHeal;
+  heal.step = heal_step;
+  plan.events = {std::move(cut), heal};
+  plan.Normalize();
+  return plan;
+}
+
+FaultPlan StallPlan(NodeId node, std::size_t from_step, std::size_t to_step) {
+  FaultPlan plan;
+  FaultEvent begin;
+  begin.kind = FaultEvent::Kind::kStallBegin;
+  begin.step = from_step;
+  begin.node = node;
+  FaultEvent end;
+  end.kind = FaultEvent::Kind::kStallEnd;
+  end.step = to_step;
+  end.node = node;
+  plan.events = {begin, end};
+  plan.Normalize();
+  return plan;
+}
+
+FaultPlan StarvePlan(NodeId target) {
+  FaultPlan plan;
+  plan.discipline = DeliveryDiscipline::kStarve;
+  plan.starve_target = target;
+  return plan;
+}
+
+FaultPlan NewestFirstPlan() {
+  FaultPlan plan;
+  plan.discipline = DeliveryDiscipline::kNewestFirst;
+  return plan;
+}
+
+FaultPlan RandomFaultPlan(std::size_t num_nodes, Rng& rng) {
+  FaultPlan plan;
+  switch (rng.Uniform(4)) {
+    case 0:
+      plan.discipline = DeliveryDiscipline::kOldestFirst;
+      break;
+    case 1:
+      plan.discipline = DeliveryDiscipline::kNewestFirst;
+      break;
+    case 2:
+      plan.discipline = DeliveryDiscipline::kStarve;
+      plan.starve_target = static_cast<NodeId>(rng.Uniform(num_nodes));
+      break;
+    default:
+      break;  // Uniform.
+  }
+
+  const std::size_t drops = rng.Uniform(4);
+  for (std::size_t i = 0; i < drops; ++i) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kDropNext;
+    e.step = rng.Uniform(24);
+    plan.events.push_back(e);
+  }
+  const std::size_t dups = rng.Uniform(4);
+  for (std::size_t i = 0; i < dups; ++i) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kDuplicateNext;
+    e.step = rng.Uniform(24);
+    plan.events.push_back(e);
+  }
+  if (num_nodes > 1 && rng.Bernoulli(0.5)) {
+    const NodeId victim = static_cast<NodeId>(rng.Uniform(num_nodes));
+    const std::size_t at = rng.Uniform(12);
+    const FaultPlan crash = CrashRestartPlan(victim, at,
+                                             at + 2 + rng.Uniform(10),
+                                             rng.Bernoulli(0.5));
+    plan.events.insert(plan.events.end(), crash.events.begin(),
+                       crash.events.end());
+  }
+  if (num_nodes > 1 && rng.Bernoulli(0.4)) {
+    std::vector<NodeId> group;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (rng.Bernoulli(0.5)) group.push_back(n);
+    }
+    if (!group.empty() && group.size() < num_nodes) {
+      const std::size_t at = rng.Uniform(8);
+      const FaultPlan cut =
+          PartitionHealPlan(std::move(group), at, at + 4 + rng.Uniform(24));
+      plan.events.insert(plan.events.end(), cut.events.begin(),
+                         cut.events.end());
+    }
+  }
+  plan.Normalize();
+  return plan;
+}
+
+}  // namespace lamp::fault

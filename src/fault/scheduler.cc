@@ -1,0 +1,165 @@
+#include "fault/scheduler.h"
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace lamp::fault {
+
+FaultScheduler::FaultScheduler(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed) {
+  plan_.Normalize();
+}
+
+std::vector<NodeId> FaultScheduler::StartOrder(std::size_t num_nodes) {
+  std::vector<NodeId> order(num_nodes);
+  for (NodeId i = 0; i < num_nodes; ++i) order[i] = i;
+  rng_.Shuffle(order);
+  return order;
+}
+
+bool FaultScheduler::Blocked(NodeId from, NodeId to) const {
+  if (!partition_active_) return false;
+  return partition_group_.count(from) != partition_group_.count(to);
+}
+
+SchedulerAction FaultScheduler::ApplyEvent(const FaultEvent& event,
+                                           std::size_t step) {
+  switch (event.kind) {
+    case FaultEvent::Kind::kDropNext:
+      ++pending_drops_;
+      return {};
+    case FaultEvent::Kind::kDuplicateNext:
+      ++pending_dups_;
+      return {};
+    case FaultEvent::Kind::kCrash:
+      if (down_.count(event.node) != 0) return {};  // Already down.
+      down_.insert(event.node);
+      return SchedulerAction::Crash(event.node, event.durable);
+    case FaultEvent::Kind::kRestart:
+      if (down_.count(event.node) == 0) return {};  // Not down.
+      down_.erase(event.node);
+      return SchedulerAction::Restart(event.node);
+    case FaultEvent::Kind::kPartition:
+      partition_active_ = true;
+      partition_group_.clear();
+      partition_group_.insert(event.group.begin(), event.group.end());
+      obs::Emit(obs::EventKind::kNetPartition,
+                static_cast<std::uint32_t>(partition_group_.size()), 0, step);
+      return {};
+    case FaultEvent::Kind::kHeal:
+      if (partition_active_) {
+        partition_active_ = false;
+        partition_group_.clear();
+        obs::Emit(obs::EventKind::kNetHeal, 0, 0, step);
+      }
+      return {};
+    case FaultEvent::Kind::kStallBegin:
+      stalled_.insert(event.node);
+      return {};
+    case FaultEvent::Kind::kStallEnd:
+      stalled_.erase(event.node);
+      return {};
+  }
+  return {};
+}
+
+SchedulerAction FaultScheduler::Next(const ChannelView& view) {
+  const std::size_t n = view.queued_from.size();
+
+  while (true) {
+    // Apply every plan event due at this step. Internal events are
+    // absorbed; runner-visible ones (crash/restart) are returned.
+    while (next_event_ < plan_.events.size() &&
+           plan_.events[next_event_].step <= view.step) {
+      const FaultEvent& event = plan_.events[next_event_++];
+      const SchedulerAction action = ApplyEvent(event, view.step);
+      if (action.kind != SchedulerAction::Kind::kNone) return action;
+    }
+
+    // Deliverable messages: receiver up + unstalled, edge not cut.
+    std::vector<NodeId> ready;
+    std::vector<std::vector<std::size_t>> indices(n);
+    bool any_queued = false;
+    for (NodeId to = 0; to < n; ++to) {
+      if (!view.queued_from[to].empty()) any_queued = true;
+      if (!view.node_up[to] || down_.count(to) != 0 ||
+          stalled_.count(to) != 0) {
+        continue;
+      }
+      for (std::size_t i = 0; i < view.queued_from[to].size(); ++i) {
+        if (Blocked(view.queued_from[to][i], to)) continue;
+        indices[to].push_back(i);
+      }
+      if (!indices[to].empty()) ready.push_back(to);
+    }
+
+    if (ready.empty()) {
+      // Nothing deliverable. Fast-forward to the plan's next event; once
+      // the plan is exhausted, force recovery so the run stays live.
+      if (next_event_ < plan_.events.size()) {
+        const FaultEvent& event = plan_.events[next_event_++];
+        ++forced_recoveries_;
+        const SchedulerAction action = ApplyEvent(event, view.step);
+        if (action.kind != SchedulerAction::Kind::kNone) return action;
+        continue;
+      }
+      if (partition_active_) {
+        partition_active_ = false;
+        partition_group_.clear();
+        ++forced_recoveries_;
+        obs::Emit(obs::EventKind::kNetHeal, 0, 0, view.step);
+        continue;
+      }
+      if (!stalled_.empty()) {
+        stalled_.clear();
+        ++forced_recoveries_;
+        continue;
+      }
+      if (!down_.empty()) {
+        const NodeId node = *down_.begin();
+        down_.erase(down_.begin());
+        ++forced_recoveries_;
+        return SchedulerAction::Restart(node);
+      }
+      LAMP_CHECK_MSG(!any_queued,
+                     "fault scheduler stuck with undeliverable messages");
+      return {};
+    }
+
+    // Starvation: serve the starved node only when it is the last option.
+    if (plan_.discipline == DeliveryDiscipline::kStarve && ready.size() > 1) {
+      std::vector<NodeId> others;
+      for (NodeId node : ready) {
+        if (node != plan_.starve_target) others.push_back(node);
+      }
+      if (!others.empty()) ready = std::move(others);
+    }
+
+    const NodeId node = ready[rng_.Uniform(ready.size())];
+    const std::vector<std::size_t>& choices = indices[node];
+    std::size_t pick = 0;
+    switch (plan_.discipline) {
+      case DeliveryDiscipline::kOldestFirst:
+        pick = choices.front();
+        break;
+      case DeliveryDiscipline::kNewestFirst:
+        pick = choices.back();
+        break;
+      default:
+        pick = choices[rng_.Uniform(choices.size())];
+        break;
+    }
+
+    if (pending_drops_ > 0) {
+      --pending_drops_;
+      return SchedulerAction::Drop(node, pick);
+    }
+    if (pending_dups_ > 0) {
+      --pending_dups_;
+      return SchedulerAction::Duplicate(node, pick);
+    }
+    return SchedulerAction::Deliver(node, pick);
+  }
+}
+
+}  // namespace lamp::fault

@@ -1,0 +1,70 @@
+#ifndef LAMP_FAULT_SCHEDULER_H_
+#define LAMP_FAULT_SCHEDULER_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/plan.h"
+#include "net/scheduler.h"
+
+/// \file
+/// The fault-injecting scheduler: executes a FaultPlan on top of a seeded
+/// base schedule.
+///
+/// Liveness by construction: every run terminates with every message
+/// delivered (possibly after drops, duplication, partitions and
+/// crashes), because
+///   * drops never discard the queued copy (loss-with-retransmission);
+///   * duplication budgets are finite (one copy per kDuplicateNext);
+///   * when no delivery is possible the scheduler *forces* progress —
+///     it fast-forwards to the plan's next event, and once the plan is
+///     exhausted it heals partitions, ends stalls and restarts crashed
+///     nodes on its own.
+/// So a FaultScheduler run is a legal asynchronous run in the paper's
+/// model (finite delay, finite duplication, no true loss), which is
+/// exactly the class of runs CALM quantifies over.
+
+namespace lamp::fault {
+
+class FaultScheduler : public Scheduler {
+ public:
+  /// \p seed drives the base schedule (heartbeat order + tie-breaking
+  /// among deliverable messages). Runs are deterministic in (plan, seed).
+  FaultScheduler(FaultPlan plan, std::uint64_t seed);
+
+  std::vector<NodeId> StartOrder(std::size_t num_nodes) override;
+  SchedulerAction Next(const ChannelView& view) override;
+  bool WantsRedeliveryLog() const override {
+    return plan_.HasVolatileCrash();
+  }
+
+  /// Faults forced outside their planned step to keep the run live
+  /// (auto-heals, auto-restarts, auto-unstalls).
+  std::size_t forced_recoveries() const { return forced_recoveries_; }
+
+ private:
+  /// Applies one plan event. Internal events (partition, heal, stall)
+  /// mutate scheduler state and return kNone; crash/restart return the
+  /// runner-visible action (or kNone when invalid, e.g. double crash).
+  SchedulerAction ApplyEvent(const FaultEvent& event, std::size_t step);
+
+  /// True when the partition blocks `from` -> `to` delivery.
+  bool Blocked(NodeId from, NodeId to) const;
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::size_t next_event_ = 0;
+  std::set<NodeId> down_;
+  std::set<NodeId> stalled_;
+  bool partition_active_ = false;
+  std::set<NodeId> partition_group_;
+  std::size_t pending_drops_ = 0;
+  std::size_t pending_dups_ = 0;
+  std::size_t forced_recoveries_ = 0;
+};
+
+}  // namespace lamp::fault
+
+#endif  // LAMP_FAULT_SCHEDULER_H_

@@ -5,20 +5,87 @@
 
 namespace lamp {
 
+namespace {
+
+std::string RenderFact(const Fact& fact, const Schema* schema) {
+  std::string out;
+  out.reserve(32);
+  if (schema != nullptr && fact.relation < schema->NumRelations()) {
+    out.append(schema->NameOf(fact.relation));
+  } else {
+    out.push_back('R');
+    out.append(std::to_string(fact.relation));
+  }
+  out.push_back('(');
+  for (std::size_t i = 0; i < fact.args.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(std::to_string(fact.args[i].v));
+  }
+  out.push_back(')');
+  return out;
+}
+
+}  // namespace
+
+InstanceDiff DiffInstances(const Instance& actual, const Instance& expected,
+                           const Schema* schema, std::size_t max_listed) {
+  InstanceDiff diff;
+  std::size_t listed_unexpected = 0;
+  for (const Fact& f : actual.AllFacts()) {
+    if (expected.Contains(f)) continue;
+    ++diff.unexpected;
+    if (listed_unexpected < max_listed) {
+      if (!diff.summary.empty()) diff.summary += " ";
+      diff.summary += "+";
+      diff.summary += RenderFact(f, schema);
+      ++listed_unexpected;
+    }
+  }
+  std::size_t listed_missing = 0;
+  for (const Fact& f : expected.AllFacts()) {
+    if (actual.Contains(f)) continue;
+    ++diff.missing;
+    if (listed_missing < max_listed) {
+      if (!diff.summary.empty()) diff.summary += " ";
+      diff.summary += "-";
+      diff.summary += RenderFact(f, schema);
+      ++listed_missing;
+    }
+  }
+  const std::size_t elided =
+      (diff.unexpected - listed_unexpected) + (diff.missing - listed_missing);
+  if (elided > 0) {
+    diff.summary += " (+";
+    diff.summary += std::to_string(elided);
+    diff.summary += " more)";
+  }
+  return diff;
+}
+
 ConsistencySweep CheckEventualConsistency(
     TransducerProgram& program,
     const std::vector<std::vector<Instance>>& distributions,
     const Instance& expected, std::size_t num_seeds,
-    const DistributionPolicy* policy, bool aware) {
+    const DistributionPolicy* policy, bool aware, const Schema* schema) {
   ConsistencySweep sweep;
   sweep.min_facts_transferred = std::numeric_limits<std::size_t>::max();
 
-  for (const std::vector<Instance>& locals : distributions) {
+  for (std::size_t d = 0; d < distributions.size(); ++d) {
+    const std::vector<Instance>& locals = distributions[d];
     for (std::uint64_t seed = 0; seed < num_seeds; ++seed) {
       TransducerNetwork network(locals, program, policy, aware);
       const NetworkRunResult result = network.Run(seed);
       ++sweep.runs;
-      if (!(result.output == expected)) sweep.all_runs_correct = false;
+      if (!(result.output == expected)) {
+        sweep.all_runs_correct = false;
+        if (!sweep.first_failure.has_value()) {
+          SweepFailure failure;
+          failure.seed = seed;
+          failure.distribution_index = d;
+          failure.diff = DiffInstances(result.output, expected, schema);
+          sweep.first_failure = std::move(failure);
+        }
+      }
       sweep.min_facts_transferred =
           std::min(sweep.min_facts_transferred, result.facts_transferred());
       sweep.max_facts_transferred =

@@ -2,6 +2,8 @@
 #define LAMP_NET_CONSISTENCY_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "net/network.h"
@@ -19,6 +21,32 @@
 
 namespace lamp {
 
+/// Symmetric difference of two instances, summarised for humans: how many
+/// facts are missing/unexpected and a capped listing of examples.
+struct InstanceDiff {
+  std::size_t missing = 0;     // In expected, absent from actual.
+  std::size_t unexpected = 0;  // In actual, absent from expected.
+  std::string summary;         // "+R3(1,2) -R3(4,5) ..." (capped).
+
+  bool Empty() const { return missing == 0 && unexpected == 0; }
+};
+
+/// Diffs \p actual against \p expected. '+' marks unexpected facts, '-'
+/// missing ones; at most \p max_listed of each are rendered. \p schema
+/// (optional) supplies relation names; without it relations print as
+/// "R<id>".
+InstanceDiff DiffInstances(const Instance& actual, const Instance& expected,
+                           const Schema* schema = nullptr,
+                           std::size_t max_listed = 4);
+
+/// Context of the first failing run of a sweep, so a red sweep is
+/// reproducible and debuggable instead of a bare boolean.
+struct SweepFailure {
+  std::uint64_t seed = 0;              // Scheduler seed of the failing run.
+  std::size_t distribution_index = 0;  // Index into the sweep's input.
+  InstanceDiff diff;                   // Actual vs expected output.
+};
+
 /// Aggregate of a consistency sweep.
 struct ConsistencySweep {
   bool all_runs_correct = true;
@@ -26,15 +54,21 @@ struct ConsistencySweep {
   std::size_t min_facts_transferred = 0;
   std::size_t max_facts_transferred = 0;
   std::size_t total_facts_transferred = 0;
+  /// Set on the first incorrect run (subsequent failures are counted in
+  /// all_runs_correct only).
+  std::optional<SweepFailure> first_failure;
 };
 
 /// Runs \p program on every given distribution with every seed in
 /// [0, num_seeds); each run's output is compared to \p expected.
+/// \p schema, when given, is only used to render relation names in the
+/// first-failure diff.
 ConsistencySweep CheckEventualConsistency(
     TransducerProgram& program,
     const std::vector<std::vector<Instance>>& distributions,
     const Instance& expected, std::size_t num_seeds,
-    const DistributionPolicy* policy = nullptr, bool aware = true);
+    const DistributionPolicy* policy = nullptr, bool aware = true,
+    const Schema* schema = nullptr);
 
 /// The Section 5.1 probe: true when the heartbeat-only run on
 /// \p ideal_locals already outputs \p expected (no message ever read).

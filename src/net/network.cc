@@ -1,7 +1,5 @@
 #include "net/network.h"
 
-#include <deque>
-
 #include "common/check.h"
 #include "obs/trace.h"
 
@@ -65,12 +63,32 @@ TransducerNetwork::TransducerNetwork(std::vector<Instance> locals,
 }
 
 NetworkRunResult TransducerNetwork::Run(std::uint64_t seed) {
+  RandomScheduler scheduler(seed);
+  return RunWith(scheduler);
+}
+
+NetworkRunResult TransducerNetwork::RunWith(Scheduler& scheduler) {
   const std::size_t n = locals_.size();
-  Rng rng(seed);
+
+  // One queued message. The sender is tracked so schedulers can express
+  // channel-level faults (partitions, starvation) and so a volatile
+  // restart can requeue exactly what the node had consumed.
+  struct InFlight {
+    NodeId from;
+    Message payload;
+  };
 
   std::vector<Instance> states = locals_;
   std::vector<Instance> outputs(n);
-  std::vector<std::deque<Message>> inbox(n);
+  std::vector<std::vector<InFlight>> queue(n);
+  std::vector<std::vector<NodeId>> queued_from(n);
+  std::vector<bool> up(n, true);
+  std::vector<bool> down_durably(n, false);
+  // Messages consumed per node, kept only when the scheduler can issue a
+  // volatile restart (fault-free runs pay nothing).
+  const bool keep_log = scheduler.WantsRedeliveryLog();
+  std::vector<std::vector<InFlight>> consumed(n);
+
   NetworkRunResult result;
   obs::Counter& messages_sent =
       result.metrics.GetCounter(obs::kNetMessagesSent);
@@ -91,44 +109,124 @@ NetworkRunResult TransducerNetwork::Run(std::uint64_t seed) {
                 static_cast<std::uint32_t>(from), 0, msg.size());
       for (NodeId to = 0; to < n; ++to) {
         if (to == from) continue;
-        inbox[to].push_back(msg);
+        queue[to].push_back({from, msg});
+        queued_from[to].push_back(from);
       }
     }
     outgoing.clear();
   };
 
-  // Heartbeat transitions, in random order (order must not matter; the
-  // consistency checker sweeps seeds to probe that).
-  std::vector<NodeId> order(n);
-  for (NodeId i = 0; i < n; ++i) order[i] = i;
-  rng.Shuffle(order);
-  for (NodeId node : order) {
+  auto deliver = [&](NodeId node, const Message& payload) {
+    obs::Emit(obs::EventKind::kNetDeliver, static_cast<std::uint32_t>(node),
+              static_cast<std::uint32_t>(transitions.value()),
+              payload.size());
+    RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
+    program_.OnReceive(ctx, payload);
+    dispatch(node, ctx.outgoing());
+    transitions.Increment();
+  };
+
+  auto heartbeat = [&](NodeId node) {
     obs::Emit(obs::EventKind::kNetStart, static_cast<std::uint32_t>(node));
     RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
     program_.OnStart(ctx);
     dispatch(node, ctx.outgoing());
+  };
+
+  // Heartbeat transitions, in scheduler order (order must not matter; the
+  // consistency checker sweeps seeds to probe that).
+  for (NodeId node : scheduler.StartOrder(n)) {
+    LAMP_CHECK(node < n);
+    heartbeat(node);
   }
 
-  // Delivery loop: pick a random nonempty inbox and a random queued
-  // message (arbitrary delay/reordering), deliver, repeat to quiescence.
+  // Decision loop: the scheduler picks one action per step until it
+  // declares quiescence.
+  std::size_t step = 0;
   while (true) {
-    std::vector<NodeId> ready;
-    for (NodeId i = 0; i < n; ++i) {
-      if (!inbox[i].empty()) ready.push_back(i);
+    const ChannelView view{queued_from, up, step};
+    const SchedulerAction action = scheduler.Next(view);
+    if (action.kind == SchedulerAction::Kind::kNone) {
+      bool quiescent = true;
+      for (NodeId i = 0; i < n; ++i) {
+        if (!queue[i].empty() || !up[i]) quiescent = false;
+      }
+      LAMP_CHECK_MSG(quiescent,
+                     "scheduler returned kNone on a non-quiescent network");
+      break;
     }
-    if (ready.empty()) break;
-    const NodeId node = ready[rng.Uniform(ready.size())];
-    const std::size_t pick = rng.Uniform(inbox[node].size());
-    Message msg = std::move(inbox[node][pick]);
-    inbox[node].erase(inbox[node].begin() +
-                      static_cast<std::ptrdiff_t>(pick));
-
-    obs::Emit(obs::EventKind::kNetDeliver, static_cast<std::uint32_t>(node),
-              static_cast<std::uint32_t>(transitions.value()), msg.size());
-    RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
-    program_.OnReceive(ctx, msg);
-    dispatch(node, ctx.outgoing());
-    transitions.Increment();
+    const NodeId node = action.node;
+    LAMP_CHECK(node < n);
+    switch (action.kind) {
+      case SchedulerAction::Kind::kDeliver: {
+        LAMP_CHECK_MSG(up[node], "delivery to a crashed node");
+        LAMP_CHECK(action.index < queue[node].size());
+        InFlight msg = std::move(queue[node][action.index]);
+        queue[node].erase(queue[node].begin() +
+                          static_cast<std::ptrdiff_t>(action.index));
+        queued_from[node].erase(queued_from[node].begin() +
+                                static_cast<std::ptrdiff_t>(action.index));
+        deliver(node, msg.payload);
+        if (keep_log) consumed[node].push_back(std::move(msg));
+        break;
+      }
+      case SchedulerAction::Kind::kDrop: {
+        LAMP_CHECK(action.index < queue[node].size());
+        result.metrics.GetCounter(obs::kNetFaultDrops).Increment();
+        obs::Emit(obs::EventKind::kNetDrop,
+                  static_cast<std::uint32_t>(node), 0,
+                  queue[node][action.index].payload.size());
+        break;  // The queued copy stays: the sender retransmits.
+      }
+      case SchedulerAction::Kind::kDuplicate: {
+        LAMP_CHECK_MSG(up[node], "delivery to a crashed node");
+        LAMP_CHECK(action.index < queue[node].size());
+        const InFlight msg = queue[node][action.index];  // Copy stays queued.
+        result.metrics.GetCounter(obs::kNetFaultDuplicates).Increment();
+        obs::Emit(obs::EventKind::kNetDuplicate,
+                  static_cast<std::uint32_t>(node), 0, msg.payload.size());
+        deliver(node, msg.payload);
+        if (keep_log) consumed[node].push_back(msg);
+        break;
+      }
+      case SchedulerAction::Kind::kCrash: {
+        LAMP_CHECK_MSG(up[node], "crash of an already-crashed node");
+        up[node] = false;
+        down_durably[node] = action.durable;
+        result.metrics.GetCounter(obs::kNetFaultCrashes).Increment();
+        obs::Emit(obs::EventKind::kNetCrash,
+                  static_cast<std::uint32_t>(node), action.durable ? 1 : 0,
+                  0);
+        break;
+      }
+      case SchedulerAction::Kind::kRestart: {
+        LAMP_CHECK_MSG(!up[node], "restart of a running node");
+        up[node] = true;
+        if (!down_durably[node]) {
+          // Volatile outage: the state is lost; the channel retransmits
+          // everything the node had consumed (at-least-once delivery).
+          states[node] = locals_[node];
+          LAMP_CHECK_MSG(keep_log || consumed[node].empty(),
+                         "volatile restart without a redelivery log");
+          result.metrics.GetCounter(obs::kNetFaultRetransmits)
+              .Add(consumed[node].size());
+          for (InFlight& msg : consumed[node]) {
+            queued_from[node].push_back(msg.from);
+            queue[node].push_back(std::move(msg));
+          }
+          consumed[node].clear();
+        }
+        result.metrics.GetCounter(obs::kNetFaultRestarts).Increment();
+        obs::Emit(obs::EventKind::kNetRestart,
+                  static_cast<std::uint32_t>(node),
+                  down_durably[node] ? 1 : 0, 0);
+        heartbeat(node);  // Recovery re-runs the start transition.
+        break;
+      }
+      case SchedulerAction::Kind::kNone:
+        break;  // Handled above.
+    }
+    ++step;
   }
   obs::Emit(obs::EventKind::kNetQuiescent, 0, 0, transitions.value());
 

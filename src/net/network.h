@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "net/scheduler.h"
 #include "net/transducer.h"
 #include "obs/metrics.h"
 
@@ -13,9 +14,12 @@
 ///
 /// Computation is a transition system: at every step one node is active;
 /// message delivery order is nondeterministic (modelling arbitrary delay).
-/// The runner draws scheduling decisions from a seeded Rng, so each seed
-/// is one concrete run; eventual-consistency checks sweep many seeds.
-/// A run ends at *quiescence*: every inbox empty (our programs are
+/// Scheduling decisions are delegated to a Scheduler (net/scheduler.h):
+/// Run(seed) uses RandomScheduler, one concrete uniform run per seed;
+/// eventual-consistency checks sweep many seeds, and the fault-injection
+/// subsystem (src/fault) substitutes adversarial schedulers that drop
+/// (with retransmission), duplicate, partition and crash. A run ends at
+/// *quiescence*: every channel empty and every node up (our programs are
 /// inflationary, so no further output can appear after that). The
 /// coordination-freeness probe runs the heartbeat transitions only and
 /// never delivers messages — Section 5.1's definition requires some ideal
@@ -56,8 +60,24 @@ class TransducerNetwork {
                     const DistributionPolicy* policy = nullptr,
                     bool aware = true);
 
-  /// Runs to quiescence with delivery order driven by \p seed.
+  /// Runs to quiescence with uniform random delivery driven by \p seed
+  /// (byte-identical to the historical seeded runner, per seed).
   NetworkRunResult Run(std::uint64_t seed);
+
+  /// Runs to quiescence with \p scheduler deciding every delivery, drop,
+  /// duplication, crash and restart. Fault semantics:
+  ///  * drop: the delivery attempt fails but the queued copy survives
+  ///    (loss with retransmission — delivery is postponed, never lost);
+  ///  * duplicate: the message is delivered now and a copy stays queued;
+  ///  * crash (durable): the node stops being scheduled; its state and
+  ///    channel survive; on restart OnStart fires again;
+  ///  * crash (volatile): additionally the state resets to the initial
+  ///    local database, and on restart every message the node had
+  ///    already consumed is requeued (channel-level at-least-once
+  ///    delivery), after which OnStart fires again.
+  /// Outputs are external (already emitted to the environment) and are
+  /// never rolled back by a crash.
+  NetworkRunResult RunWith(Scheduler& scheduler);
 
   /// Heartbeat-only run: OnStart fires everywhere, but no message is ever
   /// read (they are sent and counted, then dropped).

@@ -208,6 +208,54 @@ void CoordinatedBarrierProgram::TryOutput(NodeContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// FragileCountingBarrierProgram
+// ---------------------------------------------------------------------------
+
+FragileCountingBarrierProgram::FragileCountingBarrierProgram(
+    NetQueryFunction query, Schema& schema)
+    : query_(std::move(query)),
+      done_(schema.AddRelation("__done", 1)),
+      tick_(schema.AddRelation("__tick", 1)) {}
+
+void FragileCountingBarrierProgram::OnStart(NodeContext& ctx) {
+  Message batch = ctx.state().AllFacts();
+  batch.push_back(Fact(done_, {static_cast<std::int64_t>(ctx.self())}));
+  ctx.InsertState(Fact(done_, {static_cast<std::int64_t>(ctx.self())}));
+  // Tick 0 stands for this node's own barrier message.
+  ctx.InsertState(Fact(tick_, {0}));
+  ctx.Broadcast(std::move(batch));
+  TryOutput(ctx);
+}
+
+void FragileCountingBarrierProgram::OnReceive(NodeContext& ctx,
+                                              const Message& message) {
+  bool barrier_message = false;
+  for (const Fact& f : message) {
+    if (f.relation == done_) barrier_message = true;
+    ctx.InsertState(f);
+  }
+  if (barrier_message) {
+    // The bug: count *messages*, not distinct markers. Each fresh tick
+    // index makes a new fact, so duplicates advance the counter.
+    const std::int64_t count =
+        static_cast<std::int64_t>(ctx.state().FactsOf(tick_).size());
+    ctx.InsertState(Fact(tick_, {count}));
+  }
+  TryOutput(ctx);
+}
+
+void FragileCountingBarrierProgram::TryOutput(NodeContext& ctx) {
+  if (ctx.state().FactsOf(tick_).size() < ctx.NetworkSize()) return;
+  Instance data;
+  for (const Fact& f : ctx.state().AllFacts()) {
+    if (f.relation != done_ && f.relation != tick_) data.Insert(f);
+  }
+  for (const Fact& f : query_(data).AllFacts()) {
+    ctx.Output(f);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // PolicyAwareNegationProgram
 // ---------------------------------------------------------------------------
 

@@ -142,6 +142,32 @@ class CoordinatedBarrierProgram : public TransducerProgram {
   RelationId done_;
 };
 
+/// A deliberately fragile variant of CoordinatedBarrierProgram, used by
+/// the fault-injection subsystem (src/fault) as a divergence target:
+/// instead of collecting the *set* of done markers it counts received
+/// barrier messages in a scratch relation ("__tick"/1). On an
+/// exactly-once network the count equals the number of distinct peers, so
+/// the program is correct on every fault-free schedule; but a duplicated
+/// barrier message (or one retransmitted after a crash) inflates the
+/// count and releases the barrier before the state is complete — the
+/// canonical at-least-once-delivery bug, made observable: the query runs
+/// on a partial instance and non-monotone queries emit wrong facts.
+class FragileCountingBarrierProgram : public TransducerProgram {
+ public:
+  /// \p schema is extended with "__done"/1 and "__tick"/1.
+  FragileCountingBarrierProgram(NetQueryFunction query, Schema& schema);
+
+  void OnStart(NodeContext& ctx) override;
+  void OnReceive(NodeContext& ctx, const Message& message) override;
+
+ private:
+  void TryOutput(NodeContext& ctx);
+
+  NetQueryFunction query_;
+  RelationId done_;
+  RelationId tick_;
+};
+
 /// Ketsman-Neven-style economical broadcast for a CQ: like
 /// MonotoneBroadcastProgram but only facts unifying with some body atom
 /// of \p query are transmitted.

@@ -1,0 +1,26 @@
+#include "net/scheduler.h"
+
+namespace lamp {
+
+std::vector<NodeId> RandomScheduler::StartOrder(std::size_t num_nodes) {
+  std::vector<NodeId> order(num_nodes);
+  for (NodeId i = 0; i < num_nodes; ++i) order[i] = i;
+  rng_.Shuffle(order);
+  return order;
+}
+
+SchedulerAction RandomScheduler::Next(const ChannelView& view) {
+  // Exactly the historical Rng call sequence: one Uniform over the ready
+  // nodes, one Uniform over the chosen node's queue. Byte-identical runs
+  // per seed depend on this.
+  std::vector<NodeId> ready;
+  for (NodeId i = 0; i < view.queued_from.size(); ++i) {
+    if (!view.queued_from[i].empty()) ready.push_back(i);
+  }
+  if (ready.empty()) return {};
+  const NodeId node = ready[rng_.Uniform(ready.size())];
+  const std::size_t pick = rng_.Uniform(view.queued_from[node].size());
+  return SchedulerAction::Deliver(node, pick);
+}
+
+}  // namespace lamp

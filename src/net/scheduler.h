@@ -1,0 +1,113 @@
+#ifndef LAMP_NET_SCHEDULER_H_
+#define LAMP_NET_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transducer.h"
+
+/// \file
+/// Scheduling policy for the asynchronous network runner.
+///
+/// The runner (net/network.h) is the *mechanism*: it owns node states,
+/// channels and counters, and executes one SchedulerAction at a time. The
+/// Scheduler is the *policy*: at every decision point it is shown the
+/// channel contents and decides what happens next — which message is
+/// delivered, whether a delivery attempt fails (the sender retransmits),
+/// whether a message is duplicated, or whether a node crashes/restarts.
+///
+/// RandomScheduler reproduces the historical seeded behaviour exactly
+/// (same Rng call sequence), so Run(seed) is byte-identical to the
+/// pre-Scheduler runner for every seed. Adversarial and fault-injecting
+/// schedulers live in src/fault and build on this interface.
+
+namespace lamp {
+
+/// What the runner shows the scheduler at each decision point. All spans
+/// refer to runner-owned storage and are only valid during the Next call.
+struct ChannelView {
+  /// queued_from[node] lists the sender of every message waiting in that
+  /// node's channel, oldest first; indices align with the runner's queue.
+  const std::vector<std::vector<NodeId>>& queued_from;
+  /// node_up[node] is false while the node is crashed.
+  const std::vector<bool>& node_up;
+  /// Scheduler decisions executed so far (monotone; includes non-delivery
+  /// actions such as drops and crashes).
+  std::size_t step;
+};
+
+/// One decision. The runner validates and executes it.
+struct SchedulerAction {
+  enum class Kind : std::uint8_t {
+    kNone = 0,   // Nothing to do; the runner finishes if quiescent.
+    kDeliver,    // Deliver queue[node][index] and consume it.
+    kDrop,       // Fail this delivery attempt; the queued copy stays (the
+                 // sender retransmits), so delivery is only postponed.
+    kDuplicate,  // Deliver queue[node][index] but keep it queued: one
+                 // duplicate copy remains in flight.
+    kCrash,      // Take node down. `durable` selects whether its state
+                 // survives the outage.
+    kRestart,    // Bring node back up. OnStart fires again; after a
+                 // volatile crash the state resets to the initial local
+                 // database and everything the node had consumed is
+                 // retransmitted by the channel.
+  };
+
+  Kind kind = Kind::kNone;
+  NodeId node = 0;        // Receiver (deliveries) or crash/restart target.
+  std::size_t index = 0;  // Message index within the node's queue.
+  bool durable = false;   // Crash mode.
+
+  static SchedulerAction Deliver(NodeId node, std::size_t index) {
+    return {Kind::kDeliver, node, index, false};
+  }
+  static SchedulerAction Drop(NodeId node, std::size_t index) {
+    return {Kind::kDrop, node, index, false};
+  }
+  static SchedulerAction Duplicate(NodeId node, std::size_t index) {
+    return {Kind::kDuplicate, node, index, false};
+  }
+  static SchedulerAction Crash(NodeId node, bool durable) {
+    return {Kind::kCrash, node, 0, durable};
+  }
+  static SchedulerAction Restart(NodeId node) {
+    return {Kind::kRestart, node, 0, false};
+  }
+};
+
+/// The scheduling-policy interface.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Order in which the heartbeat (OnStart) transitions fire.
+  virtual std::vector<NodeId> StartOrder(std::size_t num_nodes) = 0;
+
+  /// The next action. Returning kNone asserts the network is quiescent
+  /// (every channel empty, every node up); the runner checks that.
+  virtual SchedulerAction Next(const ChannelView& view) = 0;
+
+  /// True when the runner must log consumed messages so a volatile
+  /// restart can retransmit them. Off by default: fault-free runs pay
+  /// nothing for the crash machinery.
+  virtual bool WantsRedeliveryLog() const { return false; }
+};
+
+/// The historical seeded behaviour: heartbeats in shuffled order, then
+/// repeatedly pick a uniform random nonempty channel and a uniform random
+/// queued message (arbitrary delay + reordering, no faults).
+class RandomScheduler : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  std::vector<NodeId> StartOrder(std::size_t num_nodes) override;
+  SchedulerAction Next(const ChannelView& view) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace lamp
+
+#endif  // LAMP_NET_SCHEDULER_H_

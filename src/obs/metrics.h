@@ -28,6 +28,11 @@
 ///   net.transitions            counter    deliveries to quiescence
 ///   net.broadcasts             counter    Broadcast() calls
 ///   net.message_size           histogram  facts per broadcast message
+///   net.fault.drops            counter    failed delivery attempts
+///   net.fault.duplicates       counter    duplicate deliveries
+///   net.fault.crashes          counter    node crashes
+///   net.fault.restarts         counter    node restarts
+///   net.fault.retransmits      counter    messages requeued on restart
 ///   datalog.iterations         counter    semi-naive rounds
 ///   datalog.facts_derived      counter    IDB facts derived
 ///   datalog.delta_size         histogram  per-iteration delta cardinality
@@ -136,6 +141,12 @@ inline constexpr std::string_view kNetFactsTransferred =
 inline constexpr std::string_view kNetTransitions = "net.transitions";
 inline constexpr std::string_view kNetBroadcasts = "net.broadcasts";
 inline constexpr std::string_view kNetMessageSize = "net.message_size";
+inline constexpr std::string_view kNetFaultDrops = "net.fault.drops";
+inline constexpr std::string_view kNetFaultDuplicates = "net.fault.duplicates";
+inline constexpr std::string_view kNetFaultCrashes = "net.fault.crashes";
+inline constexpr std::string_view kNetFaultRestarts = "net.fault.restarts";
+inline constexpr std::string_view kNetFaultRetransmits =
+    "net.fault.retransmits";
 inline constexpr std::string_view kDatalogIterations = "datalog.iterations";
 inline constexpr std::string_view kDatalogFactsDerived =
     "datalog.facts_derived";

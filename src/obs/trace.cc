@@ -26,6 +26,18 @@ std::string_view EventKindName(EventKind kind) {
       return "net.quiescent";
     case EventKind::kDatalogIteration:
       return "datalog.iteration";
+    case EventKind::kNetDrop:
+      return "net.drop";
+    case EventKind::kNetDuplicate:
+      return "net.duplicate";
+    case EventKind::kNetCrash:
+      return "net.crash";
+    case EventKind::kNetRestart:
+      return "net.restart";
+    case EventKind::kNetPartition:
+      return "net.partition";
+    case EventKind::kNetHeal:
+      return "net.heal";
   }
   return "unknown";
 }

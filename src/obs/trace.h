@@ -47,6 +47,14 @@ enum class EventKind : std::uint8_t {
   kNetQuiescent,       // value=total transitions performed
   kDatalogIteration,   // a=stratum, b=iteration within stratum,
                        //   value=delta cardinality
+  kNetDrop,            // a=receiver node, value=facts (attempt failed;
+                       //   the sender retransmits)
+  kNetDuplicate,       // a=receiver node, value=facts (extra copy stays
+                       //   in flight; a kNetDeliver event follows)
+  kNetCrash,           // a=node, b=1 when the outage is durable
+  kNetRestart,         // a=node, b=1 when the outage was durable
+  kNetPartition,       // a=isolated-group size, value=step
+  kNetHeal,            // value=step
 };
 
 /// Stable wire name of a kind ("mpc.server_load", "net.deliver", ...).

@@ -134,12 +134,106 @@ void RenderNet(const std::vector<Event>& events) {
     } else if (e.kind == "net.deliver") {
       std::printf("  %10.1fus  deliver    #%-4u -> node %u (%llu fact(s))\n",
                   t_us, e.b, e.a, static_cast<unsigned long long>(e.value));
+    } else if (e.kind == "net.drop") {
+      std::printf("  %10.1fus  drop       attempt #%-4u -> node %u fails"
+                  " (will retransmit)\n",
+                  t_us, e.b, e.a);
+    } else if (e.kind == "net.duplicate") {
+      std::printf("  %10.1fus  duplicate  #%-4u -> node %u (copy stays in"
+                  " flight)\n",
+                  t_us, e.b, e.a);
+    } else if (e.kind == "net.crash") {
+      std::printf("  %10.1fus  crash      node %u goes down (%s state)\n",
+                  t_us, e.a, e.value != 0 ? "durable" : "volatile");
+    } else if (e.kind == "net.restart") {
+      std::printf("  %10.1fus  restart    node %u back up (%llu message(s)"
+                  " requeued)\n",
+                  t_us, e.a, static_cast<unsigned long long>(e.value));
+    } else if (e.kind == "net.partition") {
+      std::printf("  %10.1fus  partition  %llu node(s) isolated\n", t_us,
+                  static_cast<unsigned long long>(e.value));
+    } else if (e.kind == "net.heal") {
+      std::printf("  %10.1fus  heal       partition removed\n", t_us);
     } else if (e.kind == "net.quiescent") {
       std::printf("  %10.1fus  quiescent  after %llu transition(s)\n", t_us,
                   static_cast<unsigned long long>(e.value));
     }
   }
   std::printf("\n");
+}
+
+// --- Two-trace diff -----------------------------------------------------
+
+/// One line of the diff view: the event as the timeline renders it,
+/// minus the wall-clock column (schedules are compared causally, so
+/// t_ns differences are noise).
+std::string EventKey(const Event& e) {
+  std::string key = e.kind;
+  key += " a=";
+  key += std::to_string(e.a);
+  key += " b=";
+  key += std::to_string(e.b);
+  key += " value=";
+  key += std::to_string(e.value);
+  return key;
+}
+
+std::vector<Event> NetEvents(const obs::JsonValue& trace) {
+  std::vector<Event> net;
+  for (Event& e : EventsFromJson(trace)) {
+    if (e.kind.rfind("net.", 0) == 0) net.push_back(std::move(e));
+  }
+  return net;
+}
+
+/// Aligns the two runs' net-event sequences by (kind, a, b, value) and
+/// reports the first step where they differ — for a witness/reference
+/// pair from the fault explorer, that is the first delivery (or injected
+/// fault) distinguishing the divergent schedule from the correct one.
+int DiffTraces(const obs::JsonValue& left, const obs::JsonValue& right,
+               const std::string& left_name,
+               const std::string& right_name) {
+  const std::vector<Event> a = NetEvents(left);
+  const std::vector<Event> b = NetEvents(right);
+  std::printf("diff: %s (%zu net event(s)) vs %s (%zu net event(s))\n\n",
+              left_name.c_str(), a.size(), right_name.c_str(), b.size());
+
+  std::size_t common = 0;
+  while (common < a.size() && common < b.size() &&
+         EventKey(a[common]) == EventKey(b[common])) {
+    ++common;
+  }
+  if (common == a.size() && common == b.size()) {
+    std::printf("traces are identical (%zu shared net event(s))\n", common);
+    return 0;
+  }
+
+  const std::size_t kContext = 4;
+  const std::size_t from = common > kContext ? common - kContext : 0;
+  std::printf("first divergence at net event #%zu (%zu shared before"
+              " it)\n\n",
+              common, common);
+  for (std::size_t i = from; i < common; ++i) {
+    std::printf("    #%-4zu  %s\n", i, EventKey(a[i]).c_str());
+  }
+  const std::size_t kAfter = 3;
+  for (std::size_t i = common; i < std::min(a.size(), common + kAfter);
+       ++i) {
+    std::printf("  < #%-4zu  %s\n", i, EventKey(a[i]).c_str());
+  }
+  if (common >= a.size()) {
+    std::printf("  < (end of %s)\n", left_name.c_str());
+  }
+  for (std::size_t i = common; i < std::min(b.size(), common + kAfter);
+       ++i) {
+    std::printf("  > #%-4zu  %s\n", i, EventKey(b[i]).c_str());
+  }
+  if (common >= b.size()) {
+    std::printf("  > (end of %s)\n", right_name.c_str());
+  }
+  std::printf("\n  (<) %s   (>) %s\n", left_name.c_str(),
+              right_name.c_str());
+  return 1;
 }
 
 void RenderDatalog(const std::vector<Event>& events) {
@@ -247,21 +341,58 @@ obs::JsonValue DemoNetTrace() {
   return obs::TraceToJson(tracer);
 }
 
+std::optional<obs::JsonValue> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_dump: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<obs::JsonValue> parsed = obs::JsonValue::Parse(buf.str());
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "trace_dump: %s is not valid JSON\n", path.c_str());
+  }
+  return parsed;
+}
+
 int Main(int argc, char** argv) {
   bool raw_json = false;
+  bool diff = false;
   std::string mode;
+  std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       raw_json = true;
+    } else if (arg == "--diff") {
+      diff = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: trace_dump [--json] (<trace.json> | --demo-mpc |"
-          " --demo-net)\n");
+          " --demo-net)\n"
+          "       trace_dump --diff <a.json> <b.json>\n"
+          "\n"
+          "--diff aligns two recordings' transducer-network events by\n"
+          "(kind, actor, payload), ignoring wall-clock time, and reports\n"
+          "the first divergent delivery — pair it with the witness and\n"
+          "reference traces written by fault_hunt.\n");
       return 0;
     } else {
+      files.push_back(arg);
       mode = arg;
     }
+  }
+  if (diff) {
+    if (files.size() != 2) {
+      std::fprintf(stderr, "trace_dump: --diff needs exactly two trace"
+                           " files\n");
+      return 2;
+    }
+    const std::optional<obs::JsonValue> left = LoadTrace(files[0]);
+    const std::optional<obs::JsonValue> right = LoadTrace(files[1]);
+    if (!left.has_value() || !right.has_value()) return 2;
+    return DiffTraces(*left, *right, files[0], files[1]);
   }
   if (mode.empty()) {
     std::fprintf(stderr,
@@ -276,19 +407,8 @@ int Main(int argc, char** argv) {
   } else if (mode == "--demo-net") {
     trace = DemoNetTrace();
   } else {
-    std::ifstream in(mode);
-    if (!in) {
-      std::fprintf(stderr, "trace_dump: cannot open %s\n", mode.c_str());
-      return 2;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::optional<obs::JsonValue> parsed = obs::JsonValue::Parse(buf.str());
-    if (!parsed.has_value()) {
-      std::fprintf(stderr, "trace_dump: %s is not valid JSON\n",
-                   mode.c_str());
-      return 2;
-    }
+    std::optional<obs::JsonValue> parsed = LoadTrace(mode);
+    if (!parsed.has_value()) return 2;
     trace = std::move(*parsed);
   }
 
