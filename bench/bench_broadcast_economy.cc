@@ -17,6 +17,7 @@
 #include "net/network.h"
 #include "net/programs.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -146,6 +147,7 @@ BENCHMARK(BM_EconomicalBroadcast)->Arg(200)->Arg(800);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

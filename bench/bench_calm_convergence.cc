@@ -16,6 +16,7 @@
 #include "net/consistency.h"
 #include "net/programs.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -126,6 +127,7 @@ BENCHMARK(BM_BroadcastRunTriangle)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

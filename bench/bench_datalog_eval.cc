@@ -12,6 +12,7 @@
 #include "datalog/program.h"
 #include "datalog/wellfounded.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -140,6 +141,7 @@ BENCHMARK(BM_WellFoundedWinMove)->Arg(16)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -29,6 +29,7 @@
 #include "net/network.h"
 #include "net/programs.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -171,6 +172,7 @@ BENCHMARK(BM_FaultSweepTcDuplicate)->Arg(2)->Arg(4);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

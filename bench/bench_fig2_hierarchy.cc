@@ -27,6 +27,7 @@
 #include "net/consistency.h"
 #include "net/programs.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -222,6 +223,7 @@ BENCHMARK(BM_MonotonicityClassifier);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintHierarchyTable();
   PrintStrategyTable();
   ::benchmark::Initialize(&argc, argv);

@@ -24,6 +24,7 @@
 #include "mpc/hypercube_run.h"
 #include "mpc/yannakakis.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -138,6 +139,7 @@ BENCHMARK(BM_YannakakisDangling)
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

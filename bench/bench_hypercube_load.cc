@@ -17,6 +17,7 @@
 #include "lp/edge_packing.h"
 #include "mpc/hypercube_run.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "obs/trace.h"
 #include "relational/generators.h"
 
@@ -89,7 +90,7 @@ void PrintTable() {
           .Param("m", m)
           .Metrics(registry)
           .Metric("predicted_max_load", predicted)
-          .WallMs(timer.ElapsedMs());
+          .WallNs(timer.ElapsedNs());
     }
   }
   std::printf(
@@ -137,6 +138,7 @@ BENCHMARK(BM_ShareOptimizationLp);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

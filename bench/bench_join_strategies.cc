@@ -20,6 +20,7 @@
 #include "mpc/join_strategies.h"
 #include "mpc/shares_skew.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -122,6 +123,7 @@ BENCHMARK(BM_FragmentReplicateJoin)->Arg(1000)->Arg(10000);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,7 @@
 #include "cq/eval.h"
 #include "cq/parser.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/instance.h"
 #include "scaleindep/access.h"
 
@@ -113,6 +114,7 @@ BENCHMARK(BM_FullEvaluation)
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

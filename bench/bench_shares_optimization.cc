@@ -16,6 +16,7 @@
 #include "cq/parser.h"
 #include "mpc/hypercube_run.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -99,6 +100,7 @@ BENCHMARK(BM_OptimizeIntegerShares)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -11,6 +11,7 @@
 
 #include "mapreduce/recursive.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -80,6 +81,7 @@ BENCHMARK(BM_DoublingTc)->RangeMultiplier(2)->Range(8, 64)->Complexity();
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -18,6 +18,7 @@
 #include "mpc/hypercube_run.h"
 #include "mpc/skew.h"
 #include "obs/bench_report.h"
+#include "par/thread_pool.h"
 #include "relational/generators.h"
 
 namespace {
@@ -105,6 +106,7 @@ BENCHMARK(BM_TwoRoundSkewResilient)->Arg(2000)->Arg(8000);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lamp::par::ConfigureFromCommandLine(&argc, argv);
   PrintTable();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

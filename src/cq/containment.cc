@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "cq/eval.h"
 #include "cq/valuation.h"
+#include "par/thread_pool.h"
 
 namespace lamp {
 
@@ -67,10 +68,11 @@ bool ViolatesContainmentOn(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2, const Instance& inst) {
   const Instance r1 = Evaluate(q1, inst);
   const Instance r2 = Evaluate(q2, inst);
-  for (const Fact& f : r1.AllFacts()) {
-    if (!r2.Contains(f)) return true;
-  }
-  return false;
+  bool violates = false;
+  r1.ForEachFact([&r2, &violates](const Fact& f) {
+    if (!r2.Contains(f)) violates = true;
+  });
+  return violates;
 }
 
 }  // namespace
@@ -149,6 +151,17 @@ bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
         return true;
       });
   return contained;
+}
+
+std::vector<std::uint8_t> ContainmentMatrix(
+    const std::vector<ConjunctiveQuery>& queries) {
+  const std::size_t n = queries.size();
+  std::vector<std::uint8_t> matrix(n * n, 0);
+  par::GlobalPool().ParallelFor(0, n * n, [&queries, &matrix,
+                                           n](std::size_t cell) {
+    matrix[cell] = IsContainedIn(queries[cell / n], queries[cell % n]) ? 1 : 0;
+  });
+  return matrix;
 }
 
 std::optional<Instance> FindContainmentCounterexample(

@@ -2,8 +2,10 @@
 #define LAMP_CQ_CONTAINMENT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "common/rng.h"
 #include "cq/cq.h"
@@ -27,6 +29,13 @@ namespace lamp {
 /// Exact containment test for queries without negation (inequalities on
 /// either side are supported). Requires the two queries to share \p schema.
 bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Pairwise containment matrix over a query family, the n*n independent
+/// IsContainedIn cells fanned across the lamp::par global pool.
+/// result[i * n + j] == 1 iff queries[i] is contained in queries[j]; the
+/// matrix is identical at every thread count.
+std::vector<std::uint8_t> ContainmentMatrix(
+    const std::vector<ConjunctiveQuery>& queries);
 
 /// Searches exhaustively for an instance I over a domain of
 /// \p domain_size fresh values with Q1(I) not subseteq Q2(I). All

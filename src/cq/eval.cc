@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
@@ -15,6 +15,13 @@ namespace {
 struct KeyHash {
   std::size_t operator()(const std::vector<std::int64_t>& key) const {
     return static_cast<std::size_t>(HashRange(key.begin(), key.end()));
+  }
+};
+
+struct RelMaskHash {
+  std::size_t operator()(
+      const std::pair<RelationId, std::uint64_t>& k) const {
+    return static_cast<std::size_t>(HashCombine(HashMix(k.first), k.second));
   }
 };
 
@@ -32,11 +39,16 @@ class IndexCache {
     auto& index = indexes_[{relation, mask}];
     if (!index.built) {
       for (const Fact& f : instance_.FactsOf(relation)) {
-        std::vector<std::int64_t> fact_key;
+        build_key_.clear();
         for (std::size_t pos = 0; pos < f.args.size(); ++pos) {
-          if ((mask >> pos) & 1) fact_key.push_back(f.args[pos].v);
+          if ((mask >> pos) & 1) build_key_.push_back(f.args[pos].v);
         }
-        index.buckets[std::move(fact_key)].push_back(&f);
+        auto it = index.buckets.find(build_key_);
+        if (it == index.buckets.end()) {
+          it = index.buckets.emplace(build_key_, std::vector<const Fact*>())
+                   .first;
+        }
+        it->second.push_back(&f);
       }
       index.built = true;
     }
@@ -53,7 +65,9 @@ class IndexCache {
   };
 
   const Instance& instance_;
-  std::map<std::pair<RelationId, std::uint64_t>, Index> indexes_;
+  std::vector<std::int64_t> build_key_;  // Reused across index builds.
+  std::unordered_map<std::pair<RelationId, std::uint64_t>, Index, RelMaskHash>
+      indexes_;
 };
 
 /// Backtracking matcher for the positive body with greedy static atom
@@ -63,6 +77,7 @@ class Matcher {
   Matcher(const ConjunctiveQuery& query, const Instance& instance)
       : query_(query), instance_(instance), cache_(instance) {
     order_ = GreedyOrder();
+    BuildPlans();
   }
 
   bool Run(const ValuationVisitor& visit) {
@@ -136,46 +151,98 @@ class Matcher {
     return true;
   }
 
+  /// A key-building step for one atom position, precomputed so Descend
+  /// never re-inspects Term tags. Constant entries always contribute to
+  /// the lookup key; variable entries contribute when currently bound.
+  struct KeyEntry {
+    bool is_const;
+    std::uint64_t bit;          // 1 << position.
+    std::int64_t const_value;   // Valid when is_const.
+    VarId var;                  // Valid when !is_const.
+  };
+
+  /// Evaluation plan of one ordered body atom: the constant part of the
+  /// index mask/key (fixed per query, computed once in the constructor)
+  /// plus the variable positions the per-fact unify loop has to touch.
+  struct AtomPlan {
+    RelationId relation;
+    std::uint64_t const_mask;
+    std::vector<KeyEntry> key_entries;  // Ascending position order.
+    std::vector<std::pair<std::size_t, VarId>> var_slots;  // Non-const.
+  };
+
+  void BuildPlans() {
+    plans_.reserve(order_.size());
+    for (std::size_t idx : order_) {
+      const Atom& atom = query_.body()[idx];
+      AtomPlan plan;
+      plan.relation = atom.relation;
+      plan.const_mask = 0;
+      for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
+        const Term& t = atom.terms[pos];
+        KeyEntry entry;
+        entry.is_const = t.IsConst();
+        entry.bit = std::uint64_t{1} << pos;
+        if (t.IsConst()) {
+          entry.const_value = t.constant.v;
+          entry.var = 0;
+          plan.const_mask |= entry.bit;
+        } else {
+          entry.const_value = 0;
+          entry.var = t.var;
+          plan.var_slots.emplace_back(pos, t.var);
+        }
+        plan.key_entries.push_back(entry);
+      }
+      plans_.push_back(std::move(plan));
+    }
+    // Per-depth scratch, reused across every Descend at that depth.
+    key_scratch_.resize(plans_.size());
+    newly_bound_scratch_.resize(plans_.size());
+  }
+
   bool Descend(std::size_t depth, Valuation& valuation,
                const ValuationVisitor& visit) {
-    if (depth == query_.body().size()) {
+    if (depth == plans_.size()) {
       if (!NegationSatisfied(valuation)) return true;
       return visit(valuation);
     }
-    const Atom& atom = query_.body()[order_[depth]];
+    const AtomPlan& plan = plans_[depth];
 
-    // Split positions into bound (hash key) and free.
-    std::uint64_t mask = 0;
-    std::vector<std::int64_t> key;
-    for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
-      const Term& t = atom.terms[pos];
-      if (t.IsConst()) {
-        mask |= std::uint64_t{1} << pos;
-        key.push_back(t.constant.v);
-      } else if (valuation.IsBound(t.var)) {
-        mask |= std::uint64_t{1} << pos;
-        key.push_back(valuation.Get(t.var).v);
+    // Assemble the lookup key: constants (precomputed) interleaved with
+    // the currently bound variables, in ascending position order.
+    std::uint64_t mask = plan.const_mask;
+    std::vector<std::int64_t>& key = key_scratch_[depth];
+    key.clear();
+    for (const KeyEntry& e : plan.key_entries) {
+      if (e.is_const) {
+        key.push_back(e.const_value);
+      } else if (valuation.IsBound(e.var)) {
+        mask |= e.bit;
+        key.push_back(valuation.Get(e.var).v);
       }
     }
 
     const std::vector<const Fact*>* bucket =
-        cache_.Lookup(atom.relation, mask, key);
+        cache_.Lookup(plan.relation, mask, key);
     if (bucket == nullptr) return true;
 
+    std::vector<VarId>& newly_bound = newly_bound_scratch_[depth];
     for (const Fact* fact : *bucket) {
-      // Unify free positions; also verify repeated free variables match.
-      std::vector<VarId> newly_bound;
+      // Unify free positions; also verify repeated free variables match
+      // (a variable repeated inside this atom: later positions see it
+      // bound and verify equality here).
+      newly_bound.clear();
       bool ok = true;
-      for (std::size_t pos = 0; pos < atom.terms.size() && ok; ++pos) {
-        const Term& t = atom.terms[pos];
-        if (t.IsConst()) continue;
-        if (valuation.IsBound(t.var)) {
-          ok = valuation.Get(t.var) == fact->args[pos];
+      for (const auto& [pos, var] : plan.var_slots) {
+        if (valuation.IsBound(var)) {
+          if (!(valuation.Get(var) == fact->args[pos])) {
+            ok = false;
+            break;
+          }
         } else {
-          valuation.Bind(t.var, fact->args[pos]);
-          newly_bound.push_back(t.var);
-          // A variable repeated inside this atom: later positions will see
-          // it bound and verify equality above.
+          valuation.Bind(var, fact->args[pos]);
+          newly_bound.push_back(var);
         }
       }
       if (ok && InequalitiesConsistent(valuation)) {
@@ -193,6 +260,9 @@ class Matcher {
   const Instance& instance_;
   IndexCache cache_;
   std::vector<std::size_t> order_;
+  std::vector<AtomPlan> plans_;
+  std::vector<std::vector<std::int64_t>> key_scratch_;
+  std::vector<std::vector<VarId>> newly_bound_scratch_;
 };
 
 }  // namespace

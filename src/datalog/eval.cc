@@ -91,10 +91,10 @@ Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
     // still empty, so this derives the base facts of the stratum).
     Instance delta;
     for (std::size_t idx : stratum) {
-      for (const Fact& f :
-           Evaluate(program.rules()[idx], current).AllFacts()) {
-        if (!current.Contains(f)) delta.Insert(f);
-      }
+      Evaluate(program.rules()[idx], current)
+          .ForEachFact([&current, &delta](const Fact& f) {
+            if (!current.Contains(f)) delta.Insert(f);
+          });
     }
     ++local_stats.iterations;
     RecordIteration(stratum_idx, iteration_idx++, delta.Size(), metrics);
@@ -105,15 +105,16 @@ Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
 
       // Working instance: current + delta re-tagged under delta relations.
       Instance working = current;
-      for (const Fact& f : delta.AllFacts()) {
+      delta.ForEachFact([&delta_rel, &working](const Fact& f) {
         working.Insert(Fact(delta_rel.at(f.relation), f.args));
-      }
+      });
 
       Instance next_delta;
       for (const DeltaRule& dr : delta_rules) {
-        for (const Fact& f : Evaluate(dr.query, working).AllFacts()) {
-          if (!current.Contains(f)) next_delta.Insert(f);
-        }
+        Evaluate(dr.query, working)
+            .ForEachFact([&current, &next_delta](const Fact& f) {
+              if (!current.Contains(f)) next_delta.Insert(f);
+            });
       }
       delta = std::move(next_delta);
       ++local_stats.iterations;
@@ -148,13 +149,14 @@ Instance EvaluateProgramNaive(Schema& schema, const DatalogProgram& program,
       ++local_stats.iterations;
       std::size_t derived_this_round = 0;
       for (std::size_t idx : stratum) {
-        for (const Fact& f :
-             Evaluate(program.rules()[idx], current).AllFacts()) {
-          if (current.Insert(f)) {
-            changed = true;
-            ++derived_this_round;
-          }
-        }
+        Evaluate(program.rules()[idx], current)
+            .ForEachFact([&current, &changed, &derived_this_round](
+                             const Fact& f) {
+              if (current.Insert(f)) {
+                changed = true;
+                ++derived_this_round;
+              }
+            });
       }
       local_stats.facts_derived += derived_this_round;
       RecordIteration(stratum_idx, iteration_idx++, derived_this_round,

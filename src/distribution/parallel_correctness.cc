@@ -5,16 +5,24 @@
 #include "common/check.h"
 #include "cq/eval.h"
 #include "cq/minimal.h"
+#include "par/thread_pool.h"
 
 namespace lamp {
 
 Instance DistributedEval(const ConjunctiveQuery& query,
                          const DistributionPolicy& policy,
                          const Instance& instance) {
+  // Nodes evaluate independently; folding the per-node results in
+  // ascending node order keeps the output identical to the serial loop.
+  const std::size_t n = policy.NumNodes();
+  std::vector<Instance> per_node(n);
+  par::GlobalPool().ParallelFor(
+      0, n, [&query, &policy, &instance, &per_node](std::size_t node) {
+        per_node[node] = Evaluate(
+            query, policy.LocalInstance(instance, static_cast<NodeId>(node)));
+      });
   Instance result;
-  for (NodeId node = 0; node < policy.NumNodes(); ++node) {
-    result.InsertAll(Evaluate(query, policy.LocalInstance(instance, node)));
-  }
+  for (const Instance& local : per_node) result.InsertAll(local);
   return result;
 }
 
@@ -23,10 +31,11 @@ bool IsParallelSoundOn(const ConjunctiveQuery& query,
                        const Instance& instance) {
   const Instance global = Evaluate(query, instance);
   const Instance distributed = DistributedEval(query, policy, instance);
-  for (const Fact& f : distributed.AllFacts()) {
-    if (!global.Contains(f)) return false;
-  }
-  return true;
+  bool sound = true;
+  distributed.ForEachFact([&global, &sound](const Fact& f) {
+    if (!global.Contains(f)) sound = false;
+  });
+  return sound;
 }
 
 bool IsParallelCompleteOn(const ConjunctiveQuery& query,
@@ -34,10 +43,11 @@ bool IsParallelCompleteOn(const ConjunctiveQuery& query,
                           const Instance& instance) {
   const Instance global = Evaluate(query, instance);
   const Instance distributed = DistributedEval(query, policy, instance);
-  for (const Fact& f : global.AllFacts()) {
-    if (!distributed.Contains(f)) return false;
-  }
-  return true;
+  bool complete = true;
+  global.ForEachFact([&distributed, &complete](const Fact& f) {
+    if (!distributed.Contains(f)) complete = false;
+  });
+  return complete;
 }
 
 bool IsParallelCorrectOn(const ConjunctiveQuery& query,
@@ -114,6 +124,17 @@ bool IsParallelCorrectUnion(const std::vector<ConjunctiveQuery>& union_queries,
     if (!ok) return false;
   }
   return true;
+}
+
+std::vector<std::uint8_t> ParallelCorrectnessSweep(
+    const std::vector<PcCheck>& checks) {
+  std::vector<std::uint8_t> verdicts(checks.size(), 0);
+  par::GlobalPool().ParallelFor(
+      0, checks.size(), [&checks, &verdicts](std::size_t i) {
+        verdicts[i] =
+            IsParallelCorrect(*checks[i].query, *checks[i].policy) ? 1 : 0;
+      });
+  return verdicts;
 }
 
 std::optional<Instance> FindPcCounterexample(const Schema& schema,

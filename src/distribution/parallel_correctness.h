@@ -75,6 +75,19 @@ bool IsMinimalForUnion(const std::vector<ConjunctiveQuery>& union_queries,
 bool IsParallelCorrectUnion(const std::vector<ConjunctiveQuery>& union_queries,
                             const DistributionPolicy& policy);
 
+/// One (query, policy) cell of a parallel-correctness sweep. Pointees must
+/// outlive the call.
+struct PcCheck {
+  const ConjunctiveQuery* query;
+  const DistributionPolicy* policy;
+};
+
+/// Decides IsParallelCorrect for every check, fanned across the lamp::par
+/// global pool (the checks are independent). verdicts[i] == 1 iff
+/// checks[i] is parallel-correct; identical at every thread count.
+std::vector<std::uint8_t> ParallelCorrectnessSweep(
+    const std::vector<PcCheck>& checks);
+
 /// Exhaustively searches instances over the policy's universe with at most
 /// \p max_facts facts (schema-typed) for one where the one-round evaluation
 /// is wrong. Returns the first counterexample found. Works for any query,

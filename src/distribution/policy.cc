@@ -5,9 +5,9 @@ namespace lamp {
 Instance DistributionPolicy::LocalInstance(const Instance& instance,
                                            NodeId node) const {
   Instance local;
-  for (const Fact& f : instance.AllFacts()) {
+  instance.ForEachFact([this, node, &local](const Fact& f) {
     if (IsResponsible(node, f)) local.Insert(f);
-  }
+  });
   return local;
 }
 
@@ -21,15 +21,11 @@ std::vector<NodeId> DistributionPolicy::ResponsibleNodes(
 }
 
 bool DistributionPolicy::SomeNodeHasAll(const Instance& facts) const {
-  const std::vector<Fact> all = facts.AllFacts();
   for (NodeId n = 0; n < NumNodes(); ++n) {
     bool has_all = true;
-    for (const Fact& f : all) {
-      if (!IsResponsible(n, f)) {
-        has_all = false;
-        break;
-      }
-    }
+    facts.ForEachFact([this, n, &has_all](const Fact& f) {
+      if (has_all && !IsResponsible(n, f)) has_all = false;
+    });
     if (has_all) return true;
   }
   return false;

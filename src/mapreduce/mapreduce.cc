@@ -15,12 +15,12 @@ Instance RunJob(const MapReduceJob& job, const Instance& input,
   // ordered map so the execution is deterministic.
   std::map<std::uint64_t, std::vector<Fact>> groups;
   std::size_t shuffled = 0;
-  for (const Fact& f : input.AllFacts()) {
+  input.ForEachFact([&job, &groups, &shuffled](const Fact& f) {
     for (KeyValue& kv : job.map(f)) {
       groups[kv.key].push_back(std::move(kv.value));
       ++shuffled;
     }
-  }
+  });
 
   // Reduce stage: apply rho per group.
   Instance output;

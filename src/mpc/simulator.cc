@@ -2,8 +2,21 @@
 
 #include "common/check.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 
 namespace lamp {
+
+namespace {
+
+/// One routed fact in a worker's outbox. The pointer aims into the source
+/// server's local instance, which is immutable for the whole communication
+/// phase — routing copies no facts.
+struct Routed {
+  const Fact* fact;
+  NodeId source;
+};
+
+}  // namespace
 
 MpcSimulator::MpcSimulator(std::size_t num_servers) {
   LAMP_CHECK(num_servers > 0);
@@ -16,10 +29,10 @@ void MpcSimulator::LoadInput(const Instance& global) {
   output_ = Instance();
   stats_ = RunStats();
   std::size_t i = 0;
-  for (const Fact& f : global.AllFacts()) {
+  global.ForEachFact([this, p, &i](const Fact& f) {
     locals_[i % p].Insert(f);
     ++i;
-  }
+  });
 }
 
 void MpcSimulator::LoadLocals(std::vector<Instance> locals) {
@@ -34,25 +47,53 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
   const auto round_idx = static_cast<std::uint32_t>(stats_.rounds.size());
   obs::Emit(obs::EventKind::kMpcRoundBegin, round_idx, 0, p);
 
-  // Communication phase.
+  par::ThreadPool& pool = par::GlobalPool();
+
+  // Communication phase, step 1: each worker routes a contiguous shard of
+  // source servers into its own per-target outbox. Within an outbox the
+  // routed facts appear in (source, fact, route-target) order — the order
+  // the serial loop would visit them.
   std::vector<Instance> received(p);
   RoundStats round;
   round.received.assign(p, 0);
   {
     obs::TraceSpan span("mpc.route", round_idx);
-    for (NodeId source = 0; source < p; ++source) {
-      for (const Fact& f : locals_[source].AllFacts()) {
-        for (NodeId target : route(source, f)) {
-          LAMP_CHECK(target < p);
-          // A fact kept at its current server is not communicated: it
-          // persists but does not count toward the load (the model's load
-          // is the data *received* by a server during the round).
-          if (received[target].Insert(f) && target != source) {
-            ++round.received[target];
+    const std::size_t shards = pool.NumChunks(p);
+    std::vector<std::vector<std::vector<Routed>>> outbox(shards);
+    pool.ParallelChunks(
+        0, p,
+        [this, p, &route, &outbox](std::size_t shard, std::size_t lo,
+                                   std::size_t hi) {
+          std::vector<std::vector<Routed>>& out = outbox[shard];
+          out.resize(p);
+          for (std::size_t source = lo; source < hi; ++source) {
+            const auto src = static_cast<NodeId>(source);
+            locals_[source].ForEachFact([p, &route, &out, src](const Fact& f) {
+              for (NodeId target : route(src, f)) {
+                LAMP_CHECK(target < p);
+                out[target].push_back(Routed{&f, src});
+              }
+            });
+          }
+        });
+
+    // Step 2: merge outboxes per target, ascending shard order. Targets are
+    // independent, so the merge itself fans out; the per-target insert
+    // sequence equals the serial one, keeping dedup decisions and load
+    // counts byte-identical. A fact kept at its current server is not
+    // communicated: it persists but does not count toward the load (the
+    // model's load is the data *received* by a server during the round).
+    pool.ParallelFor(0, p, [&received, &round, &outbox](std::size_t target) {
+      const auto tgt = static_cast<NodeId>(target);
+      std::size_t& load = round.received[target];
+      for (const auto& out : outbox) {
+        for (const Routed& r : out[target]) {
+          if (received[target].Insert(*r.fact) && tgt != r.source) {
+            ++load;
           }
         }
       }
-    }
+    });
   }
   std::size_t round_total = 0;
   if (obs::InstalledTracer() != nullptr) {
@@ -64,13 +105,20 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
   }
   stats_.rounds.push_back(std::move(round));
 
-  // Computation phase.
+  // Computation phase: servers are independent; results land in a
+  // per-server slot and are folded into output in ascending server order,
+  // matching the serial loop.
   {
     obs::TraceSpan span("mpc.compute", round_idx);
+    std::vector<ComputeResult> results(p);
+    pool.ParallelFor(0, p,
+                     [&compute, &received, &results](std::size_t server) {
+                       results[server] = compute(static_cast<NodeId>(server),
+                                                 received[server]);
+                     });
     for (NodeId server = 0; server < p; ++server) {
-      ComputeResult result = compute(server, received[server]);
-      locals_[server] = std::move(result.next_state);
-      output_.InsertAll(result.output);
+      locals_[server] = std::move(results[server].next_state);
+      output_.InsertAll(results[server].output);
     }
   }
   obs::Emit(obs::EventKind::kMpcRoundEnd, round_idx, 0, round_total);

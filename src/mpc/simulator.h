@@ -12,9 +12,19 @@
 /// The MPC execution model (Section 3 of the paper): p servers, rounds of a
 /// communication phase (every server routes each of its facts to a set of
 /// servers) followed by a computation phase (local function of the received
-/// data). The simulator is single-threaded and deterministic; what it
-/// *measures* — per-server received tuples — is exactly the quantity the
-/// surveyed load bounds speak about.
+/// data). What the simulator *measures* — per-server received tuples — is
+/// exactly the quantity the surveyed load bounds speak about.
+///
+/// Execution is parallel across the lamp::par global pool and
+/// *deterministic*: each worker routes a contiguous shard of source servers
+/// into per-(worker, target) outboxes, which are merged per target in
+/// ascending worker order. Because shards partition the sources in
+/// ascending order, that merge replays exactly the serial source-ascending
+/// insert sequence, so outputs, dedup decisions and RoundStats are
+/// byte-identical at every thread count (DESIGN.md §lamp::par). The Router
+/// and Computer callbacks are invoked concurrently when the pool has more
+/// than one lane and must therefore be thread-safe for distinct servers
+/// (the stock policies and CQ evaluation are; they share only const state).
 ///
 /// Accounting convention: the load of a server in a round is the number of
 /// distinct tuples it receives from *other* servers. A fact a server routes

@@ -271,10 +271,10 @@ std::vector<Instance> DistributeRoundRobin(const Instance& instance,
                                            std::size_t num_nodes) {
   std::vector<Instance> locals(num_nodes);
   std::size_t i = 0;
-  for (const Fact& f : instance.AllFacts()) {
+  instance.ForEachFact([&locals, num_nodes, &i](const Fact& f) {
     locals[i % num_nodes].Insert(f);
     ++i;
-  }
+  });
   return locals;
 }
 

@@ -1,7 +1,10 @@
 #include "obs/bench_report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+
+#include "par/thread_pool.h"
 
 namespace lamp::obs {
 
@@ -10,7 +13,9 @@ BenchReporter::Record::Record(std::string_view bench_name) {
   json_.Set("bench", bench_name);
   json_.Set("params", JsonValue::Object());
   json_.Set("metrics", JsonValue::Object());
+  json_.Set("threads", par::DefaultThreads());
   json_.Set("wall_ms", JsonValue());
+  json_.Set("wall_ns", JsonValue());
 }
 
 BenchReporter::Record& BenchReporter::Record::Param(std::string_view name,
@@ -42,6 +47,14 @@ BenchReporter::Record& BenchReporter::Record::Metrics(
 
 BenchReporter::Record& BenchReporter::Record::WallMs(double ms) {
   json_.Set("wall_ms", JsonValue(ms));
+  json_.Set("wall_ns",
+            JsonValue(static_cast<std::size_t>(std::llround(ms * 1e6))));
+  return *this;
+}
+
+BenchReporter::Record& BenchReporter::Record::WallNs(std::uint64_t ns) {
+  json_.Set("wall_ms", JsonValue(static_cast<double>(ns) / 1e6));
+  json_.Set("wall_ns", JsonValue(static_cast<std::size_t>(ns)));
   return *this;
 }
 

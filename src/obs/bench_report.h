@@ -2,6 +2,7 @@
 #define LAMP_OBS_BENCH_REPORT_H_
 
 #include <chrono>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <string_view>
@@ -19,7 +20,11 @@
 ///   {"bench": "hypercube_load",
 ///    "params": {"query": "triangle", "p": 64, "m": 20000},
 ///    "metrics": {"mpc.max_load": 812, ...},
-///    "wall_ms": 12.4}
+///    "threads": 8, "wall_ms": 12.4, "wall_ns": 12400000}
+///
+/// "threads" records lamp::par's configured lane count at record creation
+/// (the --threads / LAMP_THREADS value), and "wall_ns" the wall-clock in
+/// integer nanoseconds, so BENCH_*.json captures scaling curves directly.
 ///
 /// Destination: the file named by the LAMP_BENCH_JSON environment
 /// variable (appended, creating it if needed) so table output on stdout
@@ -39,6 +44,12 @@ class WallTimer {
                std::chrono::steady_clock::now() - start_)
         .count();
   }
+  std::uint64_t ElapsedNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
 
  private:
   std::chrono::steady_clock::time_point start_;
@@ -54,7 +65,10 @@ class BenchReporter {
     Record& Metric(std::string_view name, JsonValue value);
     /// Folds a whole registry snapshot into "metrics".
     Record& Metrics(const MetricsRegistry& registry);
+    /// Sets both "wall_ms" and the derived integer "wall_ns".
     Record& WallMs(double ms);
+    /// Exact nanosecond variant (WallTimer::ElapsedNs); also sets wall_ms.
+    Record& WallNs(std::uint64_t ns);
 
    private:
     friend class BenchReporter;

@@ -1,10 +1,35 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <atomic>
 #include <ostream>
 
 #include "common/check.h"
 
 namespace lamp::obs {
+
+namespace {
+
+/// Tracer epoch keys are process-unique and never reused, so a stale
+/// thread-local shard cache entry can only miss, never alias a new tracer
+/// (or a cleared one) by accident.
+std::atomic<std::uint64_t> g_next_tracer_key{1};
+
+struct ShardCache {
+  std::uint64_t key = 0;
+  void* shard = nullptr;
+};
+thread_local ShardCache t_shard_cache;
+
+}  // namespace
+
+/// One thread's ring. Only the owning thread writes it; readers run after
+/// the emitting parallel region has joined.
+struct Tracer::Shard {
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;     // Ring write cursor.
+  std::uint64_t total = 0;  // Events ever emitted by this thread.
+};
 
 std::string_view EventKindName(EventKind kind) {
   switch (kind) {
@@ -43,10 +68,13 @@ std::string_view EventKindName(EventKind kind) {
 }
 
 Tracer::Tracer(std::size_t capacity)
-    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+    : capacity_(capacity),
+      key_(g_next_tracer_key.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {
   LAMP_CHECK(capacity_ > 0);
-  ring_.reserve(capacity_);
 }
+
+Tracer::~Tracer() = default;
 
 std::uint64_t Tracer::NowNs() const {
   return static_cast<std::uint64_t>(
@@ -55,8 +83,31 @@ std::uint64_t Tracer::NowNs() const {
           .count());
 }
 
+Tracer::Shard& Tracer::ShardForThisThread() {
+  if (t_shard_cache.key == key_) {
+    return *static_cast<Shard*>(t_shard_cache.shard);
+  }
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  const std::thread::id tid = std::this_thread::get_id();
+  Shard* shard = nullptr;
+  for (auto& [id, s] : shards_) {
+    if (id == tid) {
+      shard = s.get();
+      break;
+    }
+  }
+  if (shard == nullptr) {
+    shards_.emplace_back(tid, std::make_unique<Shard>());
+    shard = shards_.back().second.get();
+    shard->ring.reserve(capacity_);
+  }
+  t_shard_cache = ShardCache{key_, shard};
+  return *shard;
+}
+
 void Tracer::Emit(EventKind kind, std::uint32_t a, std::uint32_t b,
                   std::uint64_t value, const char* label) {
+  Shard& s = ShardForThisThread();
   TraceEvent e;
   e.t_ns = NowNs();
   e.value = value;
@@ -64,36 +115,64 @@ void Tracer::Emit(EventKind kind, std::uint32_t a, std::uint32_t b,
   e.b = b;
   e.kind = kind;
   e.label = label;
-  if (ring_.size() < capacity_) {
-    ring_.push_back(e);
+  if (s.ring.size() < capacity_) {
+    s.ring.push_back(e);
   } else {
-    ring_[next_] = e;
+    s.ring[s.next] = e;
   }
-  next_ = (next_ + 1) % capacity_;
-  ++total_;
+  s.next = (s.next + 1) % capacity_;
+  ++s.total;
 }
 
-std::size_t Tracer::size() const { return ring_.size(); }
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  std::size_t n = 0;
+  for (const auto& [id, s] : shards_) n += s->ring.size();
+  return n;
+}
+
+std::uint64_t Tracer::total_emitted() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  std::uint64_t n = 0;
+  for (const auto& [id, s] : shards_) n += s->total;
+  return n;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  std::uint64_t n = 0;
+  for (const auto& [id, s] : shards_) n += s->total - s->ring.size();
+  return n;
+}
 
 std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
   std::vector<TraceEvent> out;
-  out.reserve(ring_.size());
-  if (ring_.size() < capacity_) {
-    // Not yet wrapped: chronological as stored.
-    out = ring_;
-  } else {
-    // next_ points at the oldest event once the ring is full.
-    for (std::size_t i = 0; i < ring_.size(); ++i) {
-      out.push_back(ring_[(next_ + i) % capacity_]);
+  for (const auto& [id, s] : shards_) {
+    out.reserve(out.size() + s->ring.size());
+    if (s->ring.size() < capacity_) {
+      // Not yet wrapped: chronological as stored.
+      out.insert(out.end(), s->ring.begin(), s->ring.end());
+    } else {
+      // next points at the oldest event once the ring is full.
+      for (std::size_t i = 0; i < s->ring.size(); ++i) {
+        out.push_back(s->ring[(s->next + i) % capacity_]);
+      }
     }
   }
+  // Merge shards chronologically; stable, so the single-shard case (every
+  // deterministic golden trace) keeps exact emission order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t_ns < b.t_ns;
+                   });
   return out;
 }
 
 void Tracer::Clear() {
-  ring_.clear();
-  next_ = 0;
-  total_ = 0;
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  shards_.clear();
+  key_ = g_next_tracer_key.fetch_add(1, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
 }
 

@@ -4,7 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
@@ -28,10 +32,14 @@
 /// fixed per EventKind — see the kind list. Labels must point to storage
 /// that outlives the tracer (string literals in practice).
 ///
-/// Installation is process-global and deliberately not thread-safe: the
-/// runtimes being traced are single-threaded and deterministic, and a
+/// Installation is process-global and deliberately not thread-safe: a
 /// global avoids threading a sink pointer through every simulator and
-/// network constructor.
+/// network constructor, and install/uninstall happens between runs.
+/// *Emitting*, however, is safe from lamp::par pool workers: each thread
+/// writes to its own ring-buffer shard (registered on first emit; lock-free
+/// afterwards), and Events() merges the shards chronologically. Read/Clear
+/// must not race emits — callers read after the pool has joined, which is
+/// what ParallelFor guarantees on return.
 
 namespace lamp::obs {
 
@@ -70,25 +78,32 @@ struct TraceEvent {
   const char* label = nullptr;  // May be nullptr; static storage only.
 };
 
-/// Fixed-capacity ring buffer of TraceEvents.
+/// Fixed-capacity ring buffer of TraceEvents, sharded per emitting thread.
+/// Each shard holds up to capacity() events; single-threaded runs use
+/// exactly one shard and behave like the classic single ring.
 class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
 
   explicit Tracer(std::size_t capacity = kDefaultCapacity);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
 
   void Emit(EventKind kind, std::uint32_t a, std::uint32_t b,
             std::uint64_t value, const char* label = nullptr);
 
-  /// Events oldest-to-newest (at most capacity() of them).
+  /// Events merged over all shards, chronological (stable by shard for
+  /// equal timestamps). With one emitting thread this is exactly the
+  /// oldest-to-newest ring content.
   std::vector<TraceEvent> Events() const;
 
+  /// Per-shard ring capacity.
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
-  std::uint64_t total_emitted() const { return total_; }
-  std::uint64_t dropped() const {
-    return total_ > ring_.size() ? total_ - ring_.size() : 0;
-  }
+  std::uint64_t total_emitted() const;
+  std::uint64_t dropped() const;
 
   void Clear();
 
@@ -96,11 +111,17 @@ class Tracer {
   std::uint64_t NowNs() const;
 
  private:
-  std::vector<TraceEvent> ring_;
+  struct Shard;
+
+  /// The calling thread's shard, registered on first use. Lock-free after
+  /// registration via a thread-local cache keyed by the tracer epoch key.
+  Shard& ShardForThisThread();
+
   std::size_t capacity_;
-  std::size_t next_ = 0;       // Ring write cursor.
-  std::uint64_t total_ = 0;    // Events ever emitted.
+  std::uint64_t key_;  // Process-unique; renewed by Clear (cache invalidation).
   std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex shards_mu_;
+  std::vector<std::pair<std::thread::id, std::unique_ptr<Shard>>> shards_;
 };
 
 namespace internal {

@@ -1,0 +1,216 @@
+#include "par/thread_pool.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+
+namespace lamp::par {
+
+namespace {
+
+/// Set for the lifetime of every pool worker; nested parallel entry points
+/// consult it to run inline instead of enqueueing (which could deadlock a
+/// fully busy fixed-size pool).
+thread_local bool t_on_worker = false;
+
+/// Book-keeping for one ParallelChunks call. Chunk tasks decrement
+/// `remaining` as they finish; the caller waits for zero. Errors are kept
+/// per chunk so the *lowest-indexed* failure is rethrown regardless of
+/// which chunk happened to fail first in wall-clock order.
+struct CallState {
+  explicit CallState(std::size_t chunks)
+      : remaining(chunks), errors(chunks) {}
+
+  std::mutex m;
+  std::condition_variable done;
+  std::size_t remaining;
+  std::vector<std::exception_ptr> errors;
+};
+
+void RethrowLowestChunkError(const std::vector<std::exception_ptr>& errors) {
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
+  LAMP_CHECK(num_threads_ > 0);
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained.
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+std::size_t ThreadPool::NumChunks(std::size_t n) const {
+  return n < num_threads_ ? n : num_threads_;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+void ThreadPool::ParallelChunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = NumChunks(n);
+  auto chunk_lo = [begin, n, chunks](std::size_t c) {
+    return begin + (n * c) / chunks;
+  };
+
+  if (chunks == 1 || OnWorkerThread()) {
+    // Inline path (serial pool, tiny range, or nested call from a worker):
+    // same chunk boundaries, same ascending order, same error policy.
+    std::vector<std::exception_ptr> errors(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      try {
+        body(c, chunk_lo(c), chunk_lo(c + 1));
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    }
+    RethrowLowestChunkError(errors);
+    return;
+  }
+
+  CallState state(chunks);
+  auto run_chunk = [&body, &state, &chunk_lo](std::size_t c) {
+    try {
+      body(c, chunk_lo(c), chunk_lo(c + 1));
+    } catch (...) {
+      state.errors[c] = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(state.m);
+    if (--state.remaining == 0) state.done.notify_one();
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      tasks_.emplace_back([&run_chunk, c] { run_chunk(c); });
+    }
+  }
+  work_ready_.notify_all();
+  run_chunk(0);
+
+  // Help drain the queue while waiting: on machines with fewer cores than
+  // lanes the caller doing chunk work is what keeps wall-clock flat.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+    }
+    if (!task) break;
+    task();
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.m);
+    state.done.wait(lock, [&state] { return state.remaining == 0; });
+  }
+  RethrowLowestChunkError(state.errors);
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body) {
+  ParallelChunks(begin, end,
+                 [&body](std::size_t, std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) body(i);
+                 });
+}
+
+namespace {
+
+std::mutex g_config_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_default_threads = 0;  // 0 = unset; fall back to LAMP_THREADS.
+
+std::size_t EnvThreads() {
+  const char* env = std::getenv("LAMP_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* endp = nullptr;
+  const long v = std::strtol(env, &endp, 10);
+  return (endp == env || v < 1) ? 1 : static_cast<std::size_t>(v);
+}
+
+std::size_t DefaultThreadsLocked() {
+  return g_default_threads != 0 ? g_default_threads : EnvThreads();
+}
+
+}  // namespace
+
+std::size_t DefaultThreads() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  return DefaultThreadsLocked();
+}
+
+void SetDefaultThreads(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_default_threads = n < 1 ? 1 : n;
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  const std::size_t want = DefaultThreadsLocked();
+  if (g_pool == nullptr || g_pool->num_threads() != want) {
+    g_pool = std::make_unique<ThreadPool>(want);
+  }
+  return *g_pool;
+}
+
+void ConfigureFromCommandLine(int* argc, char** argv) {
+  int out = 1;
+  std::size_t threads = 0;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < *argc) {
+      value = argv[++i];
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    char* endp = nullptr;
+    const long v = std::strtol(value, &endp, 10);
+    if (endp != value && v >= 1) threads = static_cast<std::size_t>(v);
+  }
+  argv[out] = nullptr;
+  *argc = out;
+  if (threads != 0) SetDefaultThreads(threads);
+}
+
+}  // namespace lamp::par

@@ -41,8 +41,25 @@ class Instance {
   /// Facts of one relation (empty if the relation never occurred).
   const std::vector<Fact>& FactsOf(RelationId relation) const;
 
-  /// All facts, in (relation, insertion) order.
+  /// All facts, in (relation, insertion) order. Materialises a copy —
+  /// hot paths iterate with ForEachFact instead.
   std::vector<Fact> AllFacts() const;
+
+  /// Calls visit(fact) for every fact in (relation, insertion) order —
+  /// the AllFacts order — without copying. References passed to the
+  /// visitor stay valid while the instance is not mutated.
+  template <typename Visitor>
+  void ForEachFact(Visitor&& visit) const {
+    for (const auto& facts : by_relation_) {
+      for (const Fact& f : facts) visit(f);
+    }
+  }
+
+  /// One past the largest RelationId ever inserted (the FactsOf range a
+  /// per-relation sweep has to cover).
+  RelationId NumRelationIds() const {
+    return static_cast<RelationId>(by_relation_.size());
+  }
 
   /// adom(I): the set of values occurring in some fact.
   std::set<Value> ActiveDomain() const;

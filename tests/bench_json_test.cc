@@ -44,13 +44,15 @@ void CheckBenchEmitsUniformJson(const std::string& binary) {
     const auto parsed = JsonValue::Parse(line);
     ASSERT_TRUE(parsed.has_value()) << "invalid JSON line: " << line;
     ASSERT_TRUE(parsed->IsObject());
-    // The uniform shape: bench, params, metrics, wall_ms — exactly, in
-    // order.
-    ASSERT_EQ(parsed->members().size(), 4u) << line;
+    // The uniform shape: bench, params, metrics, threads, wall_ms,
+    // wall_ns — exactly, in order.
+    ASSERT_EQ(parsed->members().size(), 6u) << line;
     EXPECT_EQ(parsed->members()[0].first, "bench");
     EXPECT_EQ(parsed->members()[1].first, "params");
     EXPECT_EQ(parsed->members()[2].first, "metrics");
-    EXPECT_EQ(parsed->members()[3].first, "wall_ms");
+    EXPECT_EQ(parsed->members()[3].first, "threads");
+    EXPECT_EQ(parsed->members()[4].first, "wall_ms");
+    EXPECT_EQ(parsed->members()[5].first, "wall_ns");
 
     const JsonValue* bench = parsed->Find("bench");
     ASSERT_TRUE(bench != nullptr && bench->IsString());
@@ -61,9 +63,15 @@ void CheckBenchEmitsUniformJson(const std::string& binary) {
     const JsonValue* metrics = parsed->Find("metrics");
     ASSERT_TRUE(metrics != nullptr && metrics->IsObject());
     EXPECT_GT(metrics->size(), 0u);
+    const JsonValue* threads = parsed->Find("threads");
+    ASSERT_TRUE(threads != nullptr && threads->IsNumber());
+    EXPECT_GE(threads->AsInt(), 1);
     const JsonValue* wall = parsed->Find("wall_ms");
     ASSERT_TRUE(wall != nullptr && wall->IsNumber());
     EXPECT_GE(wall->AsDouble(), 0.0);
+    const JsonValue* wall_ns = parsed->Find("wall_ns");
+    ASSERT_TRUE(wall_ns != nullptr && wall_ns->IsNumber());
+    EXPECT_GE(wall_ns->AsInt(), 0);
   }
   EXPECT_GT(records, 0u) << "no records in " << json_path;
   std::remove(json_path.c_str());

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "cq/containment.h"
 #include "cq/parser.h"
+#include "par/thread_pool.h"
 
 namespace lamp {
 namespace {
@@ -41,6 +45,26 @@ TEST_F(Figure1Queries, ContainmentMatchesFigure1b) {
   EXPECT_FALSE(IsContainedIn(q4_, q2_));
   EXPECT_FALSE(IsContainedIn(q4_, q3_));
   EXPECT_FALSE(IsContainedIn(q1_, q1_) == false);  // Reflexivity.
+}
+
+TEST_F(Figure1Queries, ContainmentMatrixAgreesWithPairwiseDecider) {
+  // The parallel sweep is just the n*n pairwise cells, fanned across the
+  // pool — identical to calling IsContainedIn per cell, at every thread
+  // count.
+  const std::vector<ConjunctiveQuery> family = {q1_, q2_, q3_, q4_};
+  for (std::size_t threads : {1, 4}) {
+    par::SetDefaultThreads(threads);
+    const std::vector<std::uint8_t> matrix = ContainmentMatrix(family);
+    ASSERT_EQ(matrix.size(), family.size() * family.size());
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      for (std::size_t j = 0; j < family.size(); ++j) {
+        EXPECT_EQ(matrix[i * family.size() + j] != 0,
+                  IsContainedIn(family[i], family[j]))
+            << "i=" << i << " j=" << j << " threads=" << threads;
+      }
+    }
+  }
+  par::SetDefaultThreads(1);
 }
 
 TEST(Containment, PathInLongerPath) {

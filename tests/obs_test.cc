@@ -320,19 +320,24 @@ TEST(BenchReporterTest, RecordsRenderAsUniformJsonLines) {
   }
   ASSERT_EQ(records.size(), 2u);
   for (const JsonValue& rec : records) {
-    // The uniform shape: bench, params, metrics, wall_ms — in order.
-    ASSERT_EQ(rec.members().size(), 4u);
+    // The uniform shape: bench, params, metrics, threads, wall_ms,
+    // wall_ns — in order.
+    ASSERT_EQ(rec.members().size(), 6u);
     EXPECT_EQ(rec.members()[0].first, "bench");
     EXPECT_EQ(rec.members()[1].first, "params");
     EXPECT_EQ(rec.members()[2].first, "metrics");
-    EXPECT_EQ(rec.members()[3].first, "wall_ms");
+    EXPECT_EQ(rec.members()[3].first, "threads");
+    EXPECT_EQ(rec.members()[4].first, "wall_ms");
+    EXPECT_EQ(rec.members()[5].first, "wall_ns");
     EXPECT_EQ(rec.Find("bench")->AsString(), "unit_test_bench");
+    EXPECT_GE(rec.Find("threads")->AsInt(), 1);
   }
   EXPECT_EQ(records[0].Find("params")->Find("p")->AsInt(), 64);
   EXPECT_EQ(records[0].Find("metrics")->Find("mpc.rounds")->AsInt(), 2);
   EXPECT_DOUBLE_EQ(records[0].Find("metrics")->Find("predicted")->AsDouble(),
                    123.5);
   EXPECT_DOUBLE_EQ(records[0].Find("wall_ms")->AsDouble(), 4.25);
+  EXPECT_EQ(records[0].Find("wall_ns")->AsInt(), 4250000);
 }
 
 TEST(BenchReporterTest, FlushAppendsToEnvSelectedFile) {

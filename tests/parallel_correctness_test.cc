@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "common/rng.h"
 #include "cq/parser.h"
 #include "distribution/parallel_correctness.h"
 #include "distribution/policies.h"
+#include "par/thread_pool.h"
 
 namespace lamp {
 namespace {
@@ -134,6 +138,31 @@ TEST(ParallelCorrectness, SplitJoinColumnsAreIncorrect) {
   const auto witness = FindPcCounterexample(schema, q, split, 2);
   ASSERT_TRUE(witness.has_value());
   EXPECT_FALSE(IsParallelCorrectOn(q, split, *witness));
+}
+
+TEST(ParallelCorrectness, SweepAgreesWithPerCheckDecider) {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,z) <- R(x,y), S(y,z)");
+  const RelationId r = schema.IdOf("R");
+  const LambdaPolicy broadcast(3, MakeUniverse(3),
+                               [](NodeId, const Fact&) { return true; });
+  const LambdaPolicy split(2, MakeUniverse(2),
+                           [r](NodeId node, const Fact& f) {
+                             return (f.relation == r) == (node == 0);
+                           });
+  const std::vector<PcCheck> checks = {{&q, &broadcast}, {&q, &split}};
+  // Fanned across the pool, verdicts are positionally stable and match
+  // the scalar decider at every thread count.
+  for (std::size_t threads : {1, 4}) {
+    par::SetDefaultThreads(threads);
+    const std::vector<std::uint8_t> verdicts =
+        ParallelCorrectnessSweep(checks);
+    ASSERT_EQ(verdicts.size(), 2u);
+    EXPECT_EQ(verdicts[0], 1) << "threads=" << threads;
+    EXPECT_EQ(verdicts[1], 0) << "threads=" << threads;
+  }
+  par::SetDefaultThreads(1);
 }
 
 TEST(ParallelCorrectness, CharacterizationAgreesWithSearchOnRandomPolicies) {
