@@ -148,7 +148,8 @@ BENCHMARK(BM_EconomicalBroadcast)->Arg(200)->Arg(800);
 
 int main(int argc, char** argv) {
   lamp::par::ConfigureFromCommandLine(&argc, argv);
-  PrintTable();
+  lamp::obs::ConfigureRepeatsFromCommandLine(&argc, argv);
+  lamp::obs::RunRepeated([] { PrintTable(); });
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

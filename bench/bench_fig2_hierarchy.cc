@@ -224,8 +224,11 @@ BENCHMARK(BM_MonotonicityClassifier);
 
 int main(int argc, char** argv) {
   lamp::par::ConfigureFromCommandLine(&argc, argv);
-  PrintHierarchyTable();
-  PrintStrategyTable();
+  lamp::obs::ConfigureRepeatsFromCommandLine(&argc, argv);
+  lamp::obs::RunRepeated([] {
+    PrintHierarchyTable();
+    PrintStrategyTable();
+  });
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -101,7 +101,8 @@ BENCHMARK(BM_OptimizeIntegerShares)->Arg(64)->Arg(256)->Arg(1024);
 
 int main(int argc, char** argv) {
   lamp::par::ConfigureFromCommandLine(&argc, argv);
-  PrintTable();
+  lamp::obs::ConfigureRepeatsFromCommandLine(&argc, argv);
+  lamp::obs::RunRepeated([] { PrintTable(); });
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

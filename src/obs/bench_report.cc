@@ -3,10 +3,74 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "par/thread_pool.h"
 
 namespace lamp::obs {
+
+namespace {
+
+int g_repeats = 1;
+int g_repeat_index = 0;
+
+/// LAMP_BENCH_META parsed once per process; nullopt when unset/invalid.
+const std::optional<JsonValue>& BenchMeta() {
+  static const std::optional<JsonValue> meta = []() -> std::optional<JsonValue> {
+    const char* text = std::getenv(kBenchMetaEnvVar);
+    if (text == nullptr || text[0] == '\0') return std::nullopt;
+    std::optional<JsonValue> parsed = JsonValue::Parse(text);
+    if (!parsed.has_value() || !parsed->IsObject()) {
+      std::fprintf(stderr,
+                   "bench_report: ignoring %s (not a JSON object)\n",
+                   kBenchMetaEnvVar);
+      return std::nullopt;
+    }
+    return parsed;
+  }();
+  return meta;
+}
+
+}  // namespace
+
+int ConfigureRepeatsFromCommandLine(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    int consumed = 0;
+    if (std::strcmp(arg, "--repeat") == 0 && i + 1 < *argc) {
+      value = argv[i + 1];
+      consumed = 2;
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      value = arg + 9;
+      consumed = 1;
+    }
+    if (value == nullptr) continue;
+    out = std::atoi(value);
+    for (int j = i + consumed; j < *argc; ++j) argv[j - consumed] = argv[j];
+    *argc -= consumed;
+    --i;
+  }
+  if (out < 1) out = 1;
+  g_repeats = out;
+  return out;
+}
+
+int BenchRepeats() { return g_repeats; }
+
+void SetBenchRepeatIndex(int index) { g_repeat_index = index; }
+
+int BenchRepeatIndex() { return g_repeat_index; }
+
+void RunRepeated(const std::function<void()>& body) {
+  for (int r = 0; r < g_repeats; ++r) {
+    SetBenchRepeatIndex(r);
+    body();
+  }
+  SetBenchRepeatIndex(0);
+}
 
 BenchReporter::Record::Record(std::string_view bench_name) {
   json_ = JsonValue::Object();
@@ -14,8 +78,10 @@ BenchReporter::Record::Record(std::string_view bench_name) {
   json_.Set("params", JsonValue::Object());
   json_.Set("metrics", JsonValue::Object());
   json_.Set("threads", par::DefaultThreads());
+  json_.Set("repeat", BenchRepeatIndex());
   json_.Set("wall_ms", JsonValue());
   json_.Set("wall_ns", JsonValue());
+  if (BenchMeta().has_value()) json_.Set("meta", *BenchMeta());
 }
 
 BenchReporter::Record& BenchReporter::Record::Param(std::string_view name,
@@ -81,15 +147,22 @@ void BenchReporter::Flush() {
   if (records_.empty()) return;
   const std::string lines = RenderJsonLines();
   const char* path = std::getenv(kBenchJsonEnvVar);
+  bool to_stdout = true;
   if (path != nullptr && path[0] != '\0') {
     std::FILE* f = std::fopen(path, "a");
     if (f != nullptr) {
       std::fwrite(lines.data(), 1, lines.size(), f);
       std::fclose(f);
+      to_stdout = false;
     } else {
-      std::fprintf(stderr, "bench_report: cannot open %s for append\n", path);
+      // Never drop records: fall back to the stdout path below.
+      std::fprintf(stderr,
+                   "bench_report: cannot open %s for append; writing"
+                   " records to stdout instead\n",
+                   path);
     }
-  } else {
+  }
+  if (to_stdout) {
     std::printf("# bench-json: %zu record(s) for %s\n", records_.size(),
                 bench_name_.c_str());
     std::fwrite(lines.data(), 1, lines.size(), stdout);

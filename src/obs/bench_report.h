@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -20,17 +21,25 @@
 ///   {"bench": "hypercube_load",
 ///    "params": {"query": "triangle", "p": 64, "m": 20000},
 ///    "metrics": {"mpc.max_load": 812, ...},
-///    "threads": 8, "wall_ms": 12.4, "wall_ns": 12400000}
+///    "threads": 8, "repeat": 0, "wall_ms": 12.4, "wall_ns": 12400000,
+///    "meta": {"git_rev": "a0ee471", ...}}
 ///
 /// "threads" records lamp::par's configured lane count at record creation
 /// (the --threads / LAMP_THREADS value), and "wall_ns" the wall-clock in
 /// integer nanoseconds, so BENCH_*.json captures scaling curves directly.
+/// "repeat" is the zero-based repetition index set by the --repeat flag
+/// (ConfigureRepeatsFromCommandLine / RunRepeated below); repeated runs
+/// let tools/bench_runner estimate run-to-run noise per configuration.
+/// "meta" appears only when the LAMP_BENCH_META environment variable
+/// holds a JSON object — bench_runner uses it to stamp every record with
+/// run provenance (git rev, date, host) without the bench knowing.
 ///
 /// Destination: the file named by the LAMP_BENCH_JSON environment
 /// variable (appended, creating it if needed) so table output on stdout
-/// stays human-readable; without the variable the records are printed to
-/// stdout after a "# bench-json:" marker line. One record per line means
-/// BENCH_*.json files diff cleanly across PRs.
+/// stays human-readable; without the variable — or when that file cannot
+/// be opened — the records are printed to stdout after a "# bench-json:"
+/// marker line. One record per line means BENCH_*.json files diff cleanly
+/// across PRs.
 
 namespace lamp::obs {
 
@@ -104,6 +113,29 @@ class BenchReporter {
 
 /// Name of the environment variable selecting the JSON destination file.
 inline constexpr const char* kBenchJsonEnvVar = "LAMP_BENCH_JSON";
+
+/// Environment variable holding a compact JSON object merged into every
+/// record as "meta" (run provenance: git rev, date, host, ...). Invalid
+/// or non-object content is ignored with a warning on stderr.
+inline constexpr const char* kBenchMetaEnvVar = "LAMP_BENCH_META";
+
+/// Strips "--repeat N" / "--repeat=N" from argv (ahead of downstream flag
+/// parsers such as google-benchmark) and stores the value, clamped to
+/// >= 1. Returns the configured repeat count. Every binary under bench/
+/// calls this right after par::ConfigureFromCommandLine.
+int ConfigureRepeatsFromCommandLine(int* argc, char** argv);
+
+/// Configured repeat count (default 1).
+int BenchRepeats();
+
+/// Zero-based index stamped into the "repeat" field of records created
+/// afterwards. RunRepeated advances it; tests may set it directly.
+void SetBenchRepeatIndex(int index);
+int BenchRepeatIndex();
+
+/// Runs \p body once per configured repeat, setting the stamped repeat
+/// index to 0..BenchRepeats()-1 around each call.
+void RunRepeated(const std::function<void()>& body);
 
 }  // namespace lamp::obs
 

@@ -1,0 +1,151 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace lamp::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+
+double ToUs(std::uint64_t t_ns) { return static_cast<double>(t_ns) / 1e3; }
+
+JsonValue MetadataEvent(const char* name, int tid, std::string_view value) {
+  JsonValue e = JsonValue::Object();
+  e.Set("name", name);
+  e.Set("ph", "M");
+  e.Set("pid", kPid);
+  e.Set("tid", tid);
+  JsonValue args = JsonValue::Object();
+  args.Set("name", value);
+  e.Set("args", std::move(args));
+  return e;
+}
+
+JsonValue CounterEvent(std::string_view name, double ts_us, int tid,
+                       std::string_view series, std::uint64_t value) {
+  JsonValue e = JsonValue::Object();
+  e.Set("name", name);
+  e.Set("ph", "C");
+  e.Set("ts", ts_us);
+  e.Set("pid", kPid);
+  e.Set("tid", tid);
+  JsonValue args = JsonValue::Object();
+  args.Set(series, static_cast<std::size_t>(value));
+  e.Set("args", std::move(args));
+  return e;
+}
+
+}  // namespace
+
+JsonValue ChromeTraceFromTraceJson(const JsonValue& trace) {
+  JsonValue events = JsonValue::Array();
+  events.PushBack(MetadataEvent("process_name", 0, "lamp"));
+
+  const JsonValue* in_events = trace.Find("events");
+
+  // Thread-name metadata for every shard that appears; emitted up front so
+  // viewers label tracks before the first real event.
+  std::set<int> shards;
+  if (in_events != nullptr && in_events->IsArray()) {
+    for (std::size_t i = 0; i < in_events->size(); ++i) {
+      const JsonValue* shard = in_events->at(i).Find("shard");
+      shards.insert(shard != nullptr && shard->IsNumber()
+                        ? static_cast<int>(shard->AsInt())
+                        : 0);
+    }
+  }
+  if (shards.empty()) shards.insert(0);
+  for (int s : shards) {
+    events.PushBack(MetadataEvent("thread_name", s,
+                                  "tracer shard " + std::to_string(s)));
+  }
+
+  if (in_events != nullptr && in_events->IsArray()) {
+    for (std::size_t i = 0; i < in_events->size(); ++i) {
+      const JsonValue& in = in_events->at(i);
+      std::uint64_t t_ns = 0;
+      std::uint64_t value = 0;
+      std::uint32_t a = 0;
+      std::uint32_t b = 0;
+      int tid = 0;
+      std::string kind;
+      std::string label;
+      if (const auto* v = in.Find("t_ns")) {
+        t_ns = static_cast<std::uint64_t>(v->AsInt());
+      }
+      if (const auto* v = in.Find("value")) {
+        value = static_cast<std::uint64_t>(v->AsInt());
+      }
+      if (const auto* v = in.Find("a")) a = static_cast<std::uint32_t>(v->AsInt());
+      if (const auto* v = in.Find("b")) b = static_cast<std::uint32_t>(v->AsInt());
+      if (const auto* v = in.Find("shard")) tid = static_cast<int>(v->AsInt());
+      if (const auto* v = in.Find("kind")) kind = v->AsString();
+      if (const auto* v = in.Find("label")) label = v->AsString();
+
+      if (kind == "span") {
+        // The span event lands at its end; value carries the duration.
+        JsonValue e = JsonValue::Object();
+        e.Set("name", label.empty() ? "span" : label);
+        e.Set("ph", "X");
+        e.Set("ts", ToUs(t_ns >= value ? t_ns - value : 0));
+        e.Set("dur", ToUs(value));
+        e.Set("pid", kPid);
+        e.Set("tid", tid);
+        JsonValue args = JsonValue::Object();
+        args.Set("a", static_cast<std::size_t>(a));
+        e.Set("args", std::move(args));
+        events.PushBack(std::move(e));
+        continue;
+      }
+
+      JsonValue e = JsonValue::Object();
+      e.Set("name", kind.empty() ? "event" : kind);
+      e.Set("ph", "i");
+      e.Set("ts", ToUs(t_ns));
+      e.Set("pid", kPid);
+      e.Set("tid", tid);
+      e.Set("s", "t");
+      JsonValue args = JsonValue::Object();
+      args.Set("a", static_cast<std::size_t>(a));
+      args.Set("b", static_cast<std::size_t>(b));
+      args.Set("value", static_cast<std::size_t>(value));
+      if (!label.empty()) args.Set("label", label);
+      e.Set("args", std::move(args));
+      events.PushBack(std::move(e));
+
+      // Load-like kinds additionally feed a counter track.
+      if (kind == "mpc.round_end") {
+        events.PushBack(
+            CounterEvent("mpc.round_load", ToUs(t_ns), tid, "tuples", value));
+      } else if (kind == "mpc.server_load") {
+        events.PushBack(
+            CounterEvent("mpc.server_load", ToUs(t_ns), tid, "tuples", value));
+      } else if (kind == "net.broadcast" || kind == "net.deliver") {
+        events.PushBack(
+            CounterEvent("net.message_facts", ToUs(t_ns), tid, "facts", value));
+      } else if (kind == "datalog.iteration") {
+        events.PushBack(
+            CounterEvent("datalog.delta", ToUs(t_ns), tid, "facts", value));
+      }
+    }
+  }
+
+  JsonValue out = JsonValue::Object();
+  out.Set("traceEvents", std::move(events));
+  out.Set("displayTimeUnit", "ms");
+  JsonValue other = JsonValue::Object();
+  other.Set("source", "lamp.trace.v1");
+  if (const auto* v = trace.Find("dropped")) other.Set("dropped", *v);
+  out.Set("otherData", std::move(other));
+  return out;
+}
+
+JsonValue ChromeTraceFromTracer(const Tracer& tracer) {
+  return ChromeTraceFromTraceJson(TraceToJson(tracer));
+}
+
+}  // namespace lamp::obs

@@ -145,28 +145,44 @@ std::uint64_t Tracer::dropped() const {
   return n;
 }
 
-std::vector<TraceEvent> Tracer::Events() const {
+std::vector<Tracer::ShardedEvent> Tracer::ShardedEvents() const {
   std::lock_guard<std::mutex> lock(shards_mu_);
-  std::vector<TraceEvent> out;
+  std::vector<ShardedEvent> out;
+  std::uint32_t shard_index = 0;
   for (const auto& [id, s] : shards_) {
     out.reserve(out.size() + s->ring.size());
     if (s->ring.size() < capacity_) {
       // Not yet wrapped: chronological as stored.
-      out.insert(out.end(), s->ring.begin(), s->ring.end());
+      for (const TraceEvent& e : s->ring) {
+        out.push_back(ShardedEvent{e, shard_index});
+      }
     } else {
       // next points at the oldest event once the ring is full.
       for (std::size_t i = 0; i < s->ring.size(); ++i) {
-        out.push_back(s->ring[(s->next + i) % capacity_]);
+        out.push_back(
+            ShardedEvent{s->ring[(s->next + i) % capacity_], shard_index});
       }
     }
+    ++shard_index;
   }
   // Merge shards chronologically; stable, so the single-shard case (every
   // deterministic golden trace) keeps exact emission order.
   std::stable_sort(out.begin(), out.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.t_ns < b.t_ns;
+                   [](const ShardedEvent& a, const ShardedEvent& b) {
+                     return a.event.t_ns < b.event.t_ns;
                    });
   return out;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  for (const ShardedEvent& se : ShardedEvents()) out.push_back(se.event);
+  return out;
+}
+
+std::size_t Tracer::num_shards() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return shards_.size();
 }
 
 void Tracer::Clear() {
@@ -188,14 +204,17 @@ JsonValue TraceToJson(const Tracer& tracer) {
   out.Set("capacity", tracer.capacity());
   out.Set("total_emitted", static_cast<std::size_t>(tracer.total_emitted()));
   out.Set("dropped", static_cast<std::size_t>(tracer.dropped()));
+  out.Set("shards", tracer.num_shards());
   JsonValue events = JsonValue::Array();
-  for (const TraceEvent& e : tracer.Events()) {
+  for (const Tracer::ShardedEvent& se : tracer.ShardedEvents()) {
+    const TraceEvent& e = se.event;
     JsonValue je = JsonValue::Object();
     je.Set("t_ns", static_cast<std::size_t>(e.t_ns));
     je.Set("kind", EventKindName(e.kind));
     je.Set("a", static_cast<std::size_t>(e.a));
     je.Set("b", static_cast<std::size_t>(e.b));
     je.Set("value", static_cast<std::size_t>(e.value));
+    je.Set("shard", static_cast<std::size_t>(se.shard));
     if (e.label != nullptr) je.Set("label", e.label);
     events.PushBack(std::move(je));
   }

@@ -99,6 +99,18 @@ class Tracer {
   /// oldest-to-newest ring content.
   std::vector<TraceEvent> Events() const;
 
+  /// Like Events(), but each event carries the index of the shard (the
+  /// emitting thread's registration order) it came from. Shard indices are
+  /// what the Chrome Trace exporter maps to tids.
+  struct ShardedEvent {
+    TraceEvent event;
+    std::uint32_t shard = 0;
+  };
+  std::vector<ShardedEvent> ShardedEvents() const;
+
+  /// Number of per-thread shards registered so far.
+  std::size_t num_shards() const;
+
   /// Per-shard ring capacity.
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
@@ -166,10 +178,13 @@ class TraceSpan {
     if (tracer_ != nullptr) start_ns_ = tracer_->NowNs();
   }
   ~TraceSpan() {
-    if (tracer_ != nullptr) {
-      tracer_->Emit(EventKind::kSpan, a_, 0, tracer_->NowNs() - start_ns_,
-                    label_);
-    }
+    if (tracer_ == nullptr) return;
+    // A span may outlive the ScopedTracer that installed its sink, in
+    // which case the captured pointer can dangle. Emit only while the
+    // installation is unchanged; otherwise the span is dropped.
+    if (internal::g_tracer != tracer_) return;
+    tracer_->Emit(EventKind::kSpan, a_, 0, tracer_->NowNs() - start_ns_,
+                  label_);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -183,8 +198,10 @@ class TraceSpan {
 
 /// Serialises a trace:
 ///   {"schema": "lamp.trace.v1", "capacity": N, "total_emitted": N,
-///    "dropped": N, "events": [{"t_ns":..,"kind":"..","a":..,"b":..,
-///    "value":..,"label":..}, ...]}
+///    "dropped": N, "shards": N, "events": [{"t_ns":..,"kind":"..",
+///    "a":..,"b":..,"value":..,"shard":..,"label":..}, ...]}
+/// "shard" is the emitting thread's shard index (0 in single-threaded
+/// runs); readers treat a missing "shard" as 0.
 JsonValue TraceToJson(const Tracer& tracer);
 void WriteTraceJson(const Tracer& tracer, std::ostream& os);
 

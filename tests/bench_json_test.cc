@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,7 +23,16 @@ namespace {
 
 std::vector<std::string> g_bench_binaries;
 
-void CheckBenchEmitsUniformJson(const std::string& binary) {
+// Options for one validation run: repeat count and whether the record
+// should carry the bench_runner-style "meta" object (set via
+// LAMP_BENCH_META).
+struct RunCheck {
+  int repeat = 1;
+  bool with_meta = false;
+};
+
+void CheckBenchEmitsUniformJson(const std::string& binary,
+                                const RunCheck& check) {
   const std::string json_path =
       ::testing::TempDir() + "/lamp_bench_json_test.jsonl";
   std::remove(json_path.c_str());
@@ -30,29 +40,40 @@ void CheckBenchEmitsUniformJson(const std::string& binary) {
   // The filter matches no registered benchmark, so only PrintTable (and
   // with it the BenchReporter flush) runs — the table is the slow part we
   // actually want to validate, the microbenchmarks are not.
-  const std::string cmd = "LAMP_BENCH_JSON='" + json_path + "' '" + binary +
-                          "' --benchmark_filter='$^' > /dev/null 2>&1";
+  std::string cmd = "LAMP_BENCH_JSON='" + json_path + "' ";
+  if (check.with_meta) {
+    cmd += "LAMP_BENCH_META='{\"git_rev\":\"test\"}' ";
+  }
+  cmd += "'" + binary + "' --repeat " + std::to_string(check.repeat) +
+         " --benchmark_filter='$^' > /dev/null 2>&1";
   ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
 
   std::ifstream in(json_path);
   ASSERT_TRUE(in.is_open()) << "bench wrote no " << json_path;
   std::string line;
   std::size_t records = 0;
+  int max_repeat_seen = -1;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     ++records;
     const auto parsed = JsonValue::Parse(line);
     ASSERT_TRUE(parsed.has_value()) << "invalid JSON line: " << line;
     ASSERT_TRUE(parsed->IsObject());
-    // The uniform shape: bench, params, metrics, threads, wall_ms,
-    // wall_ns — exactly, in order.
-    ASSERT_EQ(parsed->members().size(), 6u) << line;
+    // The uniform shape: bench, params, metrics, threads, repeat,
+    // wall_ms, wall_ns — exactly, in order — plus a trailing "meta"
+    // object when LAMP_BENCH_META is set.
+    const std::size_t want = check.with_meta ? 8u : 7u;
+    ASSERT_EQ(parsed->members().size(), want) << line;
     EXPECT_EQ(parsed->members()[0].first, "bench");
     EXPECT_EQ(parsed->members()[1].first, "params");
     EXPECT_EQ(parsed->members()[2].first, "metrics");
     EXPECT_EQ(parsed->members()[3].first, "threads");
-    EXPECT_EQ(parsed->members()[4].first, "wall_ms");
-    EXPECT_EQ(parsed->members()[5].first, "wall_ns");
+    EXPECT_EQ(parsed->members()[4].first, "repeat");
+    EXPECT_EQ(parsed->members()[5].first, "wall_ms");
+    EXPECT_EQ(parsed->members()[6].first, "wall_ns");
+    if (check.with_meta) {
+      EXPECT_EQ(parsed->members()[7].first, "meta");
+    }
 
     const JsonValue* bench = parsed->Find("bench");
     ASSERT_TRUE(bench != nullptr && bench->IsString());
@@ -66,14 +87,29 @@ void CheckBenchEmitsUniformJson(const std::string& binary) {
     const JsonValue* threads = parsed->Find("threads");
     ASSERT_TRUE(threads != nullptr && threads->IsNumber());
     EXPECT_GE(threads->AsInt(), 1);
+    const JsonValue* repeat = parsed->Find("repeat");
+    ASSERT_TRUE(repeat != nullptr && repeat->IsNumber());
+    EXPECT_GE(repeat->AsInt(), 0);
+    EXPECT_LT(repeat->AsInt(), check.repeat);
+    max_repeat_seen =
+        std::max(max_repeat_seen, static_cast<int>(repeat->AsInt()));
     const JsonValue* wall = parsed->Find("wall_ms");
     ASSERT_TRUE(wall != nullptr && wall->IsNumber());
     EXPECT_GE(wall->AsDouble(), 0.0);
     const JsonValue* wall_ns = parsed->Find("wall_ns");
     ASSERT_TRUE(wall_ns != nullptr && wall_ns->IsNumber());
     EXPECT_GE(wall_ns->AsInt(), 0);
+    if (check.with_meta) {
+      const JsonValue* meta = parsed->Find("meta");
+      ASSERT_TRUE(meta != nullptr && meta->IsObject());
+      const JsonValue* rev = meta->Find("git_rev");
+      ASSERT_TRUE(rev != nullptr && rev->IsString());
+      EXPECT_EQ(rev->AsString(), "test");
+    }
   }
   EXPECT_GT(records, 0u) << "no records in " << json_path;
+  // Every repeat index up to --repeat N-1 must actually appear.
+  EXPECT_EQ(max_repeat_seen, check.repeat - 1);
   std::remove(json_path.c_str());
 }
 
@@ -83,8 +119,19 @@ TEST(BenchJsonTest, AllListedBenchesEmitUniformJsonRecords) {
          "tests/CMakeLists.txt)";
   for (const std::string& binary : g_bench_binaries) {
     SCOPED_TRACE(binary);
-    CheckBenchEmitsUniformJson(binary);
+    CheckBenchEmitsUniformJson(binary, RunCheck{});
   }
+}
+
+TEST(BenchJsonTest, RepeatAndMetaStamping) {
+  ASSERT_FALSE(g_bench_binaries.empty())
+      << "pass bench binary paths on the command line (see "
+         "tests/CMakeLists.txt)";
+  // One binary suffices: --repeat/--meta handling lives in the shared
+  // BenchReporter, not the individual benches.
+  SCOPED_TRACE(g_bench_binaries.front());
+  CheckBenchEmitsUniformJson(g_bench_binaries.front(),
+                             RunCheck{/*repeat=*/2, /*with_meta=*/true});
 }
 
 }  // namespace

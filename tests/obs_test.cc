@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -269,6 +270,40 @@ TEST(TracerTest, NullSinkRecordsNothingAndIsCheap) {
   EXPECT_LT(elapsed, 5.0);
 }
 
+TEST(TracerTest, SpanOutlivingScopedTracerIsDroppedSafely) {
+  // The span captures the installed tracer at construction. If the
+  // installation changes before the span ends, emitting through the
+  // captured pointer could dangle — the destructor must notice and drop
+  // the event instead.
+  auto tracer = std::make_unique<Tracer>();
+  auto install = std::make_unique<ScopedTracer>(*tracer);
+  auto span = std::make_unique<TraceSpan>("outlives", 1);
+  install.reset();  // Uninstalls; the span's pointer is now stale.
+  tracer.reset();   // And now dangling.
+  span.reset();     // Must not crash, must not emit.
+
+  // A different tracer installed in between must not receive the span
+  // either: the event belongs to the uninstalled recording.
+  Tracer replacement;
+  Tracer original;
+  {
+    ScopedTracer outer(original);
+    auto inner_span = std::make_unique<TraceSpan>("swapped", 2);
+    ScopedTracer swap(replacement);
+    inner_span.reset();
+  }
+  EXPECT_EQ(original.total_emitted(), 0u);
+  EXPECT_EQ(replacement.total_emitted(), 0u);
+
+  // The unchanged-installation case still records.
+  Tracer stable;
+  {
+    ScopedTracer install_stable(stable);
+    TraceSpan span_ok("ok", 3);
+  }
+  EXPECT_EQ(stable.total_emitted(), 1u);
+}
+
 TEST(TracerTest, TraceToJsonSchema) {
   Tracer tracer(8);
   {
@@ -281,10 +316,12 @@ TEST(TracerTest, TraceToJsonSchema) {
   EXPECT_EQ(json.Find("schema")->AsString(), "lamp.trace.v1");
   EXPECT_EQ(json.Find("total_emitted")->AsInt(), 3);
   EXPECT_EQ(json.Find("dropped")->AsInt(), 0);
+  EXPECT_EQ(json.Find("shards")->AsInt(), 1);
   const JsonValue* events = json.Find("events");
   ASSERT_NE(events, nullptr);
   ASSERT_EQ(events->size(), 3u);
   EXPECT_EQ(events->at(0).Find("kind")->AsString(), "mpc.round_begin");
+  EXPECT_EQ(events->at(0).Find("shard")->AsInt(), 0);
   EXPECT_EQ(events->at(1).Find("kind")->AsString(), "mpc.server_load");
   EXPECT_EQ(events->at(1).Find("b")->AsInt(), 3);
   EXPECT_EQ(events->at(2).Find("kind")->AsString(), "span");
@@ -320,17 +357,19 @@ TEST(BenchReporterTest, RecordsRenderAsUniformJsonLines) {
   }
   ASSERT_EQ(records.size(), 2u);
   for (const JsonValue& rec : records) {
-    // The uniform shape: bench, params, metrics, threads, wall_ms,
-    // wall_ns — in order.
-    ASSERT_EQ(rec.members().size(), 6u);
+    // The uniform shape: bench, params, metrics, threads, repeat,
+    // wall_ms, wall_ns — in order ("meta" only with LAMP_BENCH_META).
+    ASSERT_EQ(rec.members().size(), 7u);
     EXPECT_EQ(rec.members()[0].first, "bench");
     EXPECT_EQ(rec.members()[1].first, "params");
     EXPECT_EQ(rec.members()[2].first, "metrics");
     EXPECT_EQ(rec.members()[3].first, "threads");
-    EXPECT_EQ(rec.members()[4].first, "wall_ms");
-    EXPECT_EQ(rec.members()[5].first, "wall_ns");
+    EXPECT_EQ(rec.members()[4].first, "repeat");
+    EXPECT_EQ(rec.members()[5].first, "wall_ms");
+    EXPECT_EQ(rec.members()[6].first, "wall_ns");
     EXPECT_EQ(rec.Find("bench")->AsString(), "unit_test_bench");
     EXPECT_GE(rec.Find("threads")->AsInt(), 1);
+    EXPECT_GE(rec.Find("repeat")->AsInt(), 0);
   }
   EXPECT_EQ(records[0].Find("params")->Find("p")->AsInt(), 64);
   EXPECT_EQ(records[0].Find("metrics")->Find("mpc.rounds")->AsInt(), 2);
@@ -366,6 +405,41 @@ TEST(BenchReporterTest, FlushAppendsToEnvSelectedFile) {
   }
   EXPECT_EQ(ps, (std::vector<std::int64_t>{8, 16}));
   std::remove(path.c_str());
+}
+
+TEST(BenchReporterTest, FlushFallsBackToStdoutWhenFileUnopenable) {
+  // Records must never be dropped: pointing LAMP_BENCH_JSON into a
+  // directory that does not exist sends them down the stdout path.
+  ASSERT_EQ(setenv(kBenchJsonEnvVar,
+                   "/nonexistent-dir-for-lamp-test/bench.json", 1),
+            0);
+  ::testing::internal::CaptureStdout();
+  {
+    BenchReporter reporter("fallback_bench");
+    reporter.NewRecord().Param("p", 4).WallMs(1.0);
+  }
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  ASSERT_EQ(unsetenv(kBenchJsonEnvVar), 0);
+  EXPECT_NE(out.find("# bench-json:"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"bench\":\"fallback_bench\""), std::string::npos)
+      << out;
+}
+
+TEST(BenchReporterTest, RepeatIndexIsStamped) {
+  SetBenchRepeatIndex(2);
+  BenchReporter reporter("repeat_bench");
+  reporter.NewRecord().Param("p", 1).WallMs(1.0);
+  SetBenchRepeatIndex(0);
+  const std::string lines = reporter.RenderJsonLines();
+  const auto rec = JsonValue::Parse(lines.substr(0, lines.find('\n')));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->Find("repeat")->AsInt(), 2);
+  {
+    // Drain without writing to the environment-selected file.
+    ::testing::internal::CaptureStdout();
+    reporter.Flush();
+    ::testing::internal::GetCapturedStdout();
+  }
 }
 
 }  // namespace

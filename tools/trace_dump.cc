@@ -5,6 +5,10 @@
 //   trace_dump --demo-mpc      trace a HyperCube triangle run, render it
 //   trace_dump --demo-net      trace a broadcast transducer run, render it
 //   trace_dump ... --json      emit the raw trace JSON instead
+//   trace_dump ... --chrome    emit Chrome Trace Event Format JSON (open
+//                              in Perfetto / chrome://tracing)
+//   trace_dump ... --strict    exit non-zero when the trace reports
+//                              dropped events (ring overflow)
 //
 // The MPC section renders one heatmap row per round (per-server load as
 // block glyphs, normalised to the round maximum) so routing skew is
@@ -26,6 +30,7 @@
 #include "mpc/hypercube_run.h"
 #include "net/network.h"
 #include "net/programs.h"
+#include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "relational/generators.h"
@@ -356,8 +361,17 @@ std::optional<obs::JsonValue> LoadTrace(const std::string& path) {
   return parsed;
 }
 
+// The header's dropped count; a truncated trace must never render as if
+// it were complete.
+std::uint64_t DroppedCount(const obs::JsonValue& trace) {
+  const obs::JsonValue* v = trace.Find("dropped");
+  return v == nullptr ? 0 : static_cast<std::uint64_t>(v->AsInt());
+}
+
 int Main(int argc, char** argv) {
   bool raw_json = false;
+  bool chrome = false;
+  bool strict = false;
   bool diff = false;
   std::string mode;
   std::vector<std::string> files;
@@ -365,14 +379,24 @@ int Main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       raw_json = true;
+    } else if (arg == "--chrome") {
+      chrome = true;
+    } else if (arg == "--strict") {
+      strict = true;
     } else if (arg == "--diff") {
       diff = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: trace_dump [--json] (<trace.json> | --demo-mpc |"
-          " --demo-net)\n"
+          "usage: trace_dump [--json | --chrome] [--strict]"
+          " (<trace.json> | --demo-mpc | --demo-net)\n"
           "       trace_dump --diff <a.json> <b.json>\n"
           "\n"
+          "--chrome converts the trace to the Chrome Trace Event Format;\n"
+          "save it to a file and open it at ui.perfetto.dev or in\n"
+          "chrome://tracing (shards map to threads, spans to slices,\n"
+          "loads to counter tracks).\n"
+          "--strict exits with status 3 when the trace header reports\n"
+          "dropped events, so pipelines notice truncated recordings.\n"
           "--diff aligns two recordings' transducer-network events by\n"
           "(kind, actor, payload), ignoring wall-clock time, and reports\n"
           "the first divergent delivery — pair it with the witness and\n"
@@ -412,11 +436,22 @@ int Main(int argc, char** argv) {
     trace = std::move(*parsed);
   }
 
+  const std::uint64_t dropped = DroppedCount(trace);
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "trace_dump: WARNING: trace dropped %llu event(s) to ring"
+                 " overflow — the rendered timeline is TRUNCATED (record"
+                 " with a larger Tracer capacity to keep everything)\n",
+                 static_cast<unsigned long long>(dropped));
+  }
   if (raw_json) {
     std::printf("%s\n", trace.Dump(2).c_str());
+  } else if (chrome) {
+    std::printf("%s\n", obs::ChromeTraceFromTraceJson(trace).Dump(1).c_str());
   } else {
     Render(trace);
   }
+  if (dropped > 0 && strict) return 3;
   return 0;
 }
 
