@@ -53,30 +53,38 @@ void ConjunctiveQuery::SetNegatedRelation(std::size_t index,
   negated_[index].relation = relation;
 }
 
-void ConjunctiveQuery::Validate() const {
+std::optional<std::string> ConjunctiveQuery::SafetyViolation() const {
   const std::set<VarId> body_vars = BodyVars();
   for (const Term& t : head_.terms) {
-    if (t.IsVar()) {
-      LAMP_CHECK_MSG(body_vars.count(t.var) > 0,
-                     "unsafe query: head variable not in positive body");
+    if (t.IsVar() && body_vars.count(t.var) == 0) {
+      return "head variable '" + VarName(t.var) +
+             "' does not occur in a positive body atom";
     }
   }
   for (const Atom& atom : negated_) {
     for (const Term& t : atom.terms) {
-      if (t.IsVar()) {
-        LAMP_CHECK_MSG(body_vars.count(t.var) > 0,
-                       "unsafe query: negated variable not in positive body");
+      if (t.IsVar() && body_vars.count(t.var) == 0) {
+        return "variable '" + VarName(t.var) +
+               "' of a negated atom does not occur in a positive body atom";
       }
     }
   }
   for (const auto& [a, b] : inequalities_) {
     for (const Term& t : {a, b}) {
-      if (t.IsVar()) {
-        LAMP_CHECK_MSG(
-            body_vars.count(t.var) > 0,
-            "unsafe query: inequality variable not in positive body");
+      if (t.IsVar() && body_vars.count(t.var) == 0) {
+        return "variable '" + VarName(t.var) +
+               "' of an inequality does not occur in a positive body atom";
       }
     }
+  }
+  return std::nullopt;
+}
+
+void ConjunctiveQuery::Validate() const {
+  const std::optional<std::string> violation = SafetyViolation();
+  if (violation.has_value()) {
+    const std::string message = "unsafe query: " + *violation;
+    LAMP_CHECK_MSG(false, message.c_str());
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef LAMP_CQ_CQ_H_
 #define LAMP_CQ_CQ_H_
 
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -58,6 +59,12 @@ class ConjunctiveQuery {
   /// Used by the well-founded evaluator to point negation at the shadow
   /// relation holding the current assumed set.
   void SetNegatedRelation(std::size_t index, RelationId relation);
+
+  /// First safety violation as a human-readable message (naming the
+  /// variable and where it occurs), or nullopt when the query is safe.
+  /// The non-aborting core of Validate(), used by the static analyzer
+  /// (src/sa) to lint unvalidated rules.
+  std::optional<std::string> SafetyViolation() const;
 
   /// Aborts if the query violates the safety requirements above.
   void Validate() const;

@@ -5,10 +5,17 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/interner.h"
 
 namespace lamp {
 
 namespace {
+
+/// Internal signal for syntax errors; caught at the TryParseQuery boundary
+/// so untrusted input (lint files) reports instead of aborting.
+struct ParseError {
+  std::string message;
+};
 
 /// Hand-rolled recursive-descent parser over a string_view cursor.
 class Parser {
@@ -20,7 +27,7 @@ class Parser {
     query_.SetHead(ParseAtom());
     SkipSpace();
     if (!Consume("<-")) {
-      LAMP_CHECK_MSG(Consume(":-"), "expected '<-' or ':-' after head");
+      Require(Consume(":-"), "expected '<-' or ':-' after head");
     }
     ParseItem();
     SkipSpace();
@@ -28,12 +35,15 @@ class Parser {
       ParseItem();
       SkipSpace();
     }
-    LAMP_CHECK_MSG(pos_ == text_.size(), "trailing input after query");
-    query_.Validate();
+    Require(pos_ == text_.size(), "trailing input after query");
     return std::move(query_);
   }
 
  private:
+  static void Require(bool cond, std::string message) {
+    if (!cond) throw ParseError{std::move(message)};
+  }
+
   void SkipSpace() {
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_]))) {
@@ -63,13 +73,13 @@ class Parser {
             text_[pos_] == '_')) {
       ++pos_;
     }
-    LAMP_CHECK_MSG(pos_ > start, "expected a name");
+    Require(pos_ > start, "expected a name");
     return std::string(text_.substr(start, pos_ - start));
   }
 
   Term ParseTerm() {
     SkipSpace();
-    LAMP_CHECK_MSG(pos_ < text_.size(), "expected a term");
+    Require(pos_ < text_.size(), "expected a term");
     const char c = text_[pos_];
     if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
       const std::size_t start = pos_;
@@ -86,21 +96,30 @@ class Parser {
 
   Atom ParseAtom() {
     const std::string name = ParseName();
-    LAMP_CHECK_MSG(Consume("("), "expected '(' after relation name");
+    Require(Consume("("), "expected '(' after relation name");
     std::vector<Term> terms;
     if (!PeekChar(')')) {
       terms.push_back(ParseTerm());
       while (Consume(",")) terms.push_back(ParseTerm());
     }
-    LAMP_CHECK_MSG(Consume(")"), "expected ')'");
+    Require(Consume(")"), "expected ')'");
+    // Pre-check the arity so an inconsistent use is a parse error instead
+    // of the checked abort inside Schema::AddRelation.
+    const RelationId existing = schema_.TryIdOf(name);
+    if (existing != Interner::kNotFound &&
+        schema_.ArityOf(existing) != terms.size()) {
+      Require(false, "relation '" + name + "' used with arity " +
+                         std::to_string(terms.size()) +
+                         " but registered with arity " +
+                         std::to_string(schema_.ArityOf(existing)));
+    }
     const RelationId rel = schema_.AddRelation(name, terms.size());
-    LAMP_CHECK_MSG(schema_.ArityOf(rel) == terms.size(),
-                   "relation used with inconsistent arity");
     return Atom(rel, std::move(terms));
   }
 
   void ParseItem() {
     SkipSpace();
+    Require(pos_ < text_.size(), "expected a body item");
     if (Consume("!") && !PeekEquals()) {
       query_.AddNegatedAtom(ParseAtom());
       return;
@@ -118,7 +137,7 @@ class Parser {
       pos_ = save;
     }
     const Term lhs = ParseTerm();
-    LAMP_CHECK_MSG(Consume("!="), "expected '!=' in comparison");
+    Require(Consume("!="), "expected '!=' in comparison");
     const Term rhs = ParseTerm();
     query_.AddInequality(lhs, rhs);
   }
@@ -128,7 +147,7 @@ class Parser {
   // forbids, so '!' followed by '=' is a syntax error we surface clearly).
   bool PeekEquals() {
     if (pos_ < text_.size() && text_[pos_] == '=') {
-      LAMP_CHECK_MSG(false, "'!=' must be preceded by a term");
+      Require(false, "'!=' must be preceded by a term");
     }
     return false;
   }
@@ -142,7 +161,22 @@ class Parser {
 }  // namespace
 
 ConjunctiveQuery ParseQuery(Schema& schema, std::string_view text) {
-  return Parser(schema, text).Parse();
+  CqParseResult result = TryParseQuery(schema, text);
+  if (!result.ok()) {
+    LAMP_CHECK_MSG(false, result.error.c_str());
+  }
+  result.query->Validate();
+  return std::move(*result.query);
+}
+
+CqParseResult TryParseQuery(Schema& schema, std::string_view text) {
+  CqParseResult result;
+  try {
+    result.query = Parser(schema, text).Parse();
+  } catch (const ParseError& e) {
+    result.error = e.message;
+  }
+  return result;
 }
 
 }  // namespace lamp

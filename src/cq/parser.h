@@ -1,6 +1,8 @@
 #ifndef LAMP_CQ_PARSER_H_
 #define LAMP_CQ_PARSER_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "cq/cq.h"
@@ -25,6 +27,22 @@ namespace lamp {
 /// Parses \p text into a validated ConjunctiveQuery. Aborts with a message
 /// on syntax errors (the parser is for trusted, in-repo query literals).
 ConjunctiveQuery ParseQuery(Schema& schema, std::string_view text);
+
+/// Outcome of the non-aborting parse: either a query (parsed but NOT
+/// safety-validated — the caller runs its own checks, e.g. the sa lint's
+/// safety pass) or an error message.
+struct CqParseResult {
+  std::optional<ConjunctiveQuery> query;
+  std::string error;  // Non-empty iff !query.
+
+  bool ok() const { return query.has_value(); }
+};
+
+/// Error-returning variant of ParseQuery for untrusted input (lint
+/// fixtures, lamp_lint command-line files). Never aborts on syntax or
+/// arity errors and does not Validate() the result; new relation names
+/// encountered before the error are still registered in \p schema.
+CqParseResult TryParseQuery(Schema& schema, std::string_view text);
 
 }  // namespace lamp
 

@@ -82,6 +82,13 @@ std::optional<Stratification> DatalogProgram::Stratify() const {
   return strata;
 }
 
+bool DatalogProgram::HasNegation() const {
+  for (const ConjunctiveQuery& rule : rules_) {
+    if (!rule.negated().empty()) return true;
+  }
+  return false;
+}
+
 bool DatalogProgram::IsSemiPositive() const {
   const std::set<RelationId> idb = IdbRelations();
   for (const ConjunctiveQuery& rule : rules_) {

@@ -48,6 +48,9 @@ class DatalogProgram {
   /// recursion (e.g. win-move).
   std::optional<Stratification> Stratify() const;
 
+  /// True when some rule has a negated atom.
+  bool HasNegation() const;
+
   /// True when every negated atom refers to an extensional relation.
   bool IsSemiPositive() const;
 

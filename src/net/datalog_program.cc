@@ -1,18 +1,39 @@
 #include "net/datalog_program.h"
 
+#include <cstdio>
+#include <optional>
+#include <string>
+
 #include "common/check.h"
 #include "datalog/eval.h"
+#include "sa/depgraph.h"
 
 namespace lamp {
 
 DistributedDatalogProgram::DistributedDatalogProgram(
     Schema& schema, const DatalogProgram& program)
     : schema_(schema), program_(program), idb_(program.IdbRelations()) {
-  for (const ConjunctiveQuery& rule : program.rules()) {
-    LAMP_CHECK_MSG(rule.negated().empty(),
-                   "distributed pipelining requires a negation-free "
-                   "(monotone) program");
+  if (!program.HasNegation()) return;
+  // Negation is only meaningful under a stratification; without one the
+  // evaluator has no semantics to pipeline at all, so refuse outright —
+  // with the concrete cycle, courtesy of the static analyzer.
+  const sa::DependencyGraph graph(program);
+  const std::optional<sa::NegationCycle> cycle = graph.FindNegationCycle();
+  if (cycle.has_value()) {
+    const std::string message =
+        "distributed pipelining requires a stratifiable program: " +
+        sa::DescribeNegationCycle(schema, *cycle);
+    LAMP_CHECK_MSG(false, message.c_str());
   }
+  // Stratified negation is accepted but flagged: pipelining re-derives
+  // from whatever subset of the instance has arrived, which is only
+  // guaranteed eventually consistent for monotone (negation-free)
+  // programs — a node may transiently output facts a later message
+  // retracts the support of (CALM; see src/fault's confluence checker).
+  std::fprintf(stderr,
+               "[lamp.net] warning: program uses stratified negation; "
+               "distributed pipelining is only eventually consistent for "
+               "its monotone (negation-free) part\n");
 }
 
 void DistributedDatalogProgram::OnStart(NodeContext& ctx) {

@@ -20,8 +20,15 @@
 
 namespace lamp {
 
-/// Runs \p program (negation-free Datalog) distributed. \p schema is the
-/// shared schema (extended with the engine's delta relations).
+/// Runs \p program distributed. \p schema is the shared schema (extended
+/// with the engine's delta relations).
+///
+/// Negation policy (checked at construction via sa/depgraph.h): an
+/// unstratifiable program is rejected with its negation-cycle witness —
+/// there is no stratified semantics to pipeline. A program with
+/// *stratified* negation is accepted with a warning to stderr: the
+/// eventual-consistency guarantee of IDB pipelining only covers the
+/// monotone (negation-free) part.
 class DistributedDatalogProgram : public TransducerProgram {
  public:
   DistributedDatalogProgram(Schema& schema, const DatalogProgram& program);

@@ -1,0 +1,71 @@
+#ifndef LAMP_SA_CATALOG_H_
+#define LAMP_SA_CATALOG_H_
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sa/fragment.h"
+
+/// \file
+/// The in-repo example program catalog: the witness programs of the
+/// Figure 2 hierarchy, each with its *expected* static classification and
+/// its *expected* dynamic monotonicity verdicts (with the falsifier
+/// bounds that witness them). The catalog is what ties the certify side
+/// (sa/fragment.h) to the falsify side (datalog/monotone.h):
+///
+///  * tools/lamp_lint --builtin analyzes these programs and, in --strict
+///    mode, fails when an analysis disagrees with the expectation;
+///  * tests/sa_crossval_test.cc runs the dynamic falsifiers over every
+///    entry and checks certificates are never contradicted by a witness
+///    and refutations are backed by one (or a documented gap).
+
+namespace lamp::sa {
+
+struct ProgramAnalysis;  // analyzer.h
+
+/// One example program plus its ground-truth expectations.
+struct CatalogEntry {
+  std::string_view id;     // Stable name, e.g. "tc".
+  std::string_view title;  // One-line description.
+  /// Program text in .dl syntax, including @edb/@output pragmas.
+  std::string_view text;
+
+  /// Expected strongest certified fragment; nullopt = outside all three.
+  std::optional<Fragment> expected_fragment;
+  bool expected_stratified = true;
+
+  /// Whether the dynamic falsifiers apply (false for win_move: without a
+  /// stratification the evaluator has no semantics to falsify against —
+  /// that *is* the point of the entry).
+  bool run_falsifier = true;
+  /// FindMonotonicityViolation bounds: base universe size, fresh values
+  /// for the addition, max facts per instance.
+  std::size_t domain_size = 2;
+  std::size_t extra_values = 1;
+  std::size_t max_facts = 3;
+  /// Expected dynamic verdict per MonotonicityKind (kPlain,
+  /// kDomainDistinct, kDomainDisjoint): true = no violation within the
+  /// bounds.
+  std::array<bool, 3> expected_monotone = {true, true, true};
+};
+
+/// All catalog entries, in a fixed order.
+const std::vector<CatalogEntry>& ExampleCatalog();
+
+/// Lookup by id; nullptr when unknown.
+const CatalogEntry* FindCatalogEntry(std::string_view id);
+
+/// Compares an analysis of \p entry.text against the entry's
+/// expectations; returns one human-readable line per mismatch (empty =
+/// the analysis agrees with the catalog's ground truth). Expected
+/// unstratifiability is not a mismatch — it is what the entry documents.
+std::vector<std::string> CheckCatalogExpectations(
+    const CatalogEntry& entry, const ProgramAnalysis& analysis);
+
+}  // namespace lamp::sa
+
+#endif  // LAMP_SA_CATALOG_H_

@@ -1,0 +1,246 @@
+#include "sa/depgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace lamp::sa {
+
+std::string DescribeNegationCycle(const Schema& schema,
+                                  const NegationCycle& cycle) {
+  std::string out = "negation cycle ";
+  for (std::size_t i = 0; i < cycle.relations.size(); ++i) {
+    out += schema.NameOf(cycle.relations[i]);
+    out += i == 0 ? " -!-> " : " -> ";
+  }
+  if (!cycle.relations.empty()) out += schema.NameOf(cycle.relations[0]);
+  out += " (negated in rule " + std::to_string(cycle.rule_index) + ")";
+  return out;
+}
+
+DependencyGraph::DependencyGraph(const DatalogProgram& program)
+    : program_(program), idb_(program.IdbRelations()) {
+  const std::vector<ConjunctiveQuery>& rules = program.rules();
+  for (std::size_t k = 0; k < rules.size(); ++k) {
+    const ConjunctiveQuery& rule = rules[k];
+    const RelationId head = rule.head().relation;
+    used_.insert(head);
+    for (std::size_t i = 0; i < rule.body().size(); ++i) {
+      const RelationId body = rule.body()[i].relation;
+      used_.insert(body);
+      edges_.push_back({head, body, false, k, i});
+    }
+    for (std::size_t i = 0; i < rule.negated().size(); ++i) {
+      const RelationId body = rule.negated()[i].relation;
+      used_.insert(body);
+      edges_.push_back({head, body, true, k, i});
+    }
+  }
+
+  // Dense indexing over the used relations.
+  std::vector<RelationId> nodes(used_.begin(), used_.end());
+  std::map<RelationId, std::size_t> dense;
+  for (std::size_t i = 0; i < nodes.size(); ++i) dense[nodes[i]] = i;
+  std::vector<std::vector<std::size_t>> adj(nodes.size());
+  for (const DepEdge& e : edges_) {
+    adj[dense[e.head]].push_back(dense[e.body]);
+  }
+
+  // Iterative Tarjan. Components are emitted callees-first, which is the
+  // reverse topological order the stratifier wants.
+  const std::size_t n = nodes.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> scc_stack;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t next_child;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> call_stack{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::size_t v = frame.node;
+      if (frame.next_child < adj[v].size()) {
+        const std::size_t w = adj[v][frame.next_child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<RelationId> component;
+        while (true) {
+          const std::size_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          component.push_back(nodes[w]);
+          if (w == v) break;
+        }
+        std::sort(component.begin(), component.end());
+        const std::size_t id = components_.size();
+        for (RelationId rel : component) component_of_[rel] = id;
+        components_.push_back(std::move(component));
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        Frame& parent = call_stack.back();
+        lowlink[parent.node] = std::min(lowlink[parent.node], lowlink[v]);
+      }
+    }
+  }
+}
+
+std::size_t DependencyGraph::ComponentOf(RelationId rel) const {
+  const auto it = component_of_.find(rel);
+  LAMP_CHECK_MSG(it != component_of_.end(),
+                 "relation does not occur in the program");
+  return it->second;
+}
+
+bool DependencyGraph::IsStratifiable() const {
+  for (const DepEdge& e : edges_) {
+    if (e.negative && idb_.count(e.body) > 0 &&
+        ComponentOf(e.head) == ComponentOf(e.body)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<StratumAssignment> DependencyGraph::Stratify() const {
+  // Stratum per component, filled in reverse topological (emission)
+  // order so every dependency is final before it is read. Negation on an
+  // EDB relation does not force a bump: extensional relations are fully
+  // known from stratum 0 (this matches DatalogProgram::Stratify and the
+  // evaluator).
+  if (!IsStratifiable()) return std::nullopt;
+  std::vector<std::size_t> component_stratum(components_.size(), 0);
+
+  // Relax component strata to the least fixpoint. The condensation is a
+  // DAG, so |components| passes suffice; we iterate until stable for
+  // simplicity (programs are small).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const DepEdge& e : edges_) {
+      const std::size_t head_comp = ComponentOf(e.head);
+      const std::size_t body_comp = ComponentOf(e.body);
+      if (head_comp == body_comp) continue;
+      const bool body_idb = idb_.count(e.body) > 0;
+      if (!body_idb) continue;  // EDB bodies sit at stratum 0 for free.
+      const std::size_t need =
+          component_stratum[body_comp] + (e.negative ? 1 : 0);
+      if (component_stratum[head_comp] < need) {
+        component_stratum[head_comp] = need;
+        changed = true;
+      }
+    }
+  }
+
+  StratumAssignment out;
+  for (RelationId rel : used_) {
+    out.relation_stratum[rel] =
+        idb_.count(rel) > 0 ? component_stratum[ComponentOf(rel)] : 0;
+  }
+
+  // Group rules by their head's stratum, densely renumbered bottom-up.
+  std::set<std::size_t> raw_used;
+  const std::vector<ConjunctiveQuery>& rules = program_.rules();
+  for (const ConjunctiveQuery& rule : rules) {
+    raw_used.insert(out.relation_stratum.at(rule.head().relation));
+  }
+  std::map<std::size_t, std::size_t> dense;
+  std::size_t next = 0;
+  for (std::size_t s : raw_used) dense[s] = next++;
+  out.rule_strata.assign(next == 0 ? 1 : next, {});
+  for (std::size_t k = 0; k < rules.size(); ++k) {
+    out.rule_strata[dense[out.relation_stratum.at(rules[k].head().relation)]]
+        .push_back(k);
+  }
+  out.num_strata = out.rule_strata.size();
+  return out;
+}
+
+std::optional<NegationCycle> DependencyGraph::FindNegationCycle() const {
+  for (const DepEdge& e : edges_) {
+    if (!e.negative || idb_.count(e.body) == 0) continue;
+    const std::size_t comp = ComponentOf(e.head);
+    if (ComponentOf(e.body) != comp) continue;
+
+    NegationCycle cycle;
+    cycle.rule_index = e.rule_index;
+    cycle.atom_index = e.atom_index;
+    cycle.relations.push_back(e.head);
+    if (e.body != e.head) {
+      // BFS from e.body back to e.head inside the component.
+      std::map<RelationId, RelationId> parent;
+      std::deque<RelationId> queue{e.body};
+      parent[e.body] = e.body;
+      while (!queue.empty() && parent.count(e.head) == 0) {
+        const RelationId cur = queue.front();
+        queue.pop_front();
+        for (const DepEdge& step : edges_) {
+          if (step.head != cur) continue;
+          if (component_of_.at(step.body) != comp) continue;
+          if (parent.count(step.body) > 0) continue;
+          parent[step.body] = cur;
+          queue.push_back(step.body);
+        }
+      }
+      LAMP_CHECK(parent.count(e.head) > 0);  // Same SCC => path exists.
+      std::vector<RelationId> path;
+      for (RelationId cur = e.head; cur != e.body; cur = parent.at(cur)) {
+        path.push_back(cur);
+      }
+      path.push_back(e.body);
+      // path is head..body following parents; the walk is body -> head.
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        if (*it != e.head) cycle.relations.push_back(*it);
+      }
+    }
+    return cycle;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> DependencyGraph::UnreachableRules(
+    const std::vector<RelationId>& outputs) const {
+  std::set<RelationId> reached;
+  std::deque<RelationId> queue;
+  for (RelationId rel : outputs) {
+    if (reached.insert(rel).second) queue.push_back(rel);
+  }
+  while (!queue.empty()) {
+    const RelationId cur = queue.front();
+    queue.pop_front();
+    for (const DepEdge& e : edges_) {
+      if (e.head != cur) continue;
+      if (reached.insert(e.body).second) queue.push_back(e.body);
+    }
+  }
+  std::vector<std::size_t> unreachable;
+  const std::vector<ConjunctiveQuery>& rules = program_.rules();
+  for (std::size_t k = 0; k < rules.size(); ++k) {
+    if (reached.count(rules[k].head().relation) == 0) {
+      unreachable.push_back(k);
+    }
+  }
+  return unreachable;
+}
+
+}  // namespace lamp::sa

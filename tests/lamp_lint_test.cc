@@ -1,0 +1,150 @@
+// Golden-file tests for the static analyzer's "lamp.sa.v1" JSON
+// diagnostics document (src/sa/analyzer.h) — the same document
+// tools/lamp_lint --json emits. Three fixtures cover the three verdict
+// shapes: a clean stratified program, an unstratifiable one (negation
+// cycle witness) and one full of range-restriction violations. Each must
+// match tests/golden/sa_<name>.json byte for byte.
+//
+// Regenerate the goldens after an intentional format change with:
+//   LAMP_REGEN_GOLDEN=1 ./build/tests/lamp_lint_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "sa/analyzer.h"
+
+#ifndef LAMP_TESTS_DIR
+#error "tests/CMakeLists.txt must define LAMP_TESTS_DIR"
+#endif
+
+namespace lamp::sa {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::stringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+struct Analyzed {
+  Schema schema;
+  ProgramAnalysis analysis;
+};
+
+Analyzed AnalyzeFixture(const std::string& name) {
+  Analyzed result;
+  result.analysis = AnalyzeProgramText(
+      result.schema,
+      ReadFileOrDie(std::string(LAMP_TESTS_DIR) + "/data/sa/" + name +
+                    ".dl"));
+  result.analysis.name = name;
+  return result;
+}
+
+void CheckGolden(const std::string& name) {
+  const Analyzed a = AnalyzeFixture(name);
+  const std::string got =
+      AnalysisToJson(a.schema, a.analysis).Dump(2) + "\n";
+  const std::string golden_path =
+      std::string(LAMP_TESTS_DIR) + "/golden/sa_" + name + ".json";
+
+  if (std::getenv("LAMP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << golden_path;
+    out << got;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.is_open()) << "missing golden " << golden_path
+                            << " — regenerate with LAMP_REGEN_GOLDEN=1";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "lamp.sa.v1 output drifted from the golden. If the change is "
+         "intentional, rerun with LAMP_REGEN_GOLDEN=1.";
+
+  // The document must stay parseable JSON regardless of the diff.
+  EXPECT_TRUE(obs::JsonValue::Parse(got).has_value());
+}
+
+TEST(LampLintGoldenTest, CleanProgram) { CheckGolden("clean"); }
+
+TEST(LampLintGoldenTest, UnstratifiableProgram) {
+  CheckGolden("unstratifiable");
+}
+
+TEST(LampLintGoldenTest, UnsafeProgram) { CheckGolden("unsafe"); }
+
+// Structural guards independent of the golden bytes, so a bad regen
+// cannot silently bless a wrong analysis.
+
+TEST(LampLintFixtureTest, CleanHasNoDiagnostics) {
+  const Analyzed a = AnalyzeFixture("clean");
+  EXPECT_TRUE(a.analysis.parse_ok);
+  EXPECT_EQ(a.analysis.ErrorCount(), 0u);
+  EXPECT_EQ(a.analysis.WarningCount(), 0u);
+  ASSERT_TRUE(a.analysis.strata.has_value());
+  EXPECT_EQ(a.analysis.strata->num_strata, 2u);
+  ASSERT_TRUE(a.analysis.fragments.strongest.has_value());
+  EXPECT_EQ(*a.analysis.fragments.strongest, Fragment::kSemiConnected);
+}
+
+TEST(LampLintFixtureTest, UnstratifiableNamesTheCycle) {
+  const Analyzed a = AnalyzeFixture("unstratifiable");
+  EXPECT_FALSE(a.analysis.strata.has_value());
+  ASSERT_EQ(a.analysis.ErrorCount(), 1u);
+  bool found = false;
+  for (const LintDiagnostic& d : a.analysis.diagnostics) {
+    if (d.pass != "stratification") continue;
+    found = true;
+    EXPECT_EQ(d.severity, LintSeverity::kError);
+    EXPECT_NE(d.message.find("Win"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("Lose"), std::string::npos) << d.message;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(a.analysis.fragments.strongest.has_value());
+}
+
+TEST(LampLintFixtureTest, UnsafeFlagsEveryViolationWithLines) {
+  const Analyzed a = AnalyzeFixture("unsafe");
+  std::size_t safety = 0;
+  for (const LintDiagnostic& d : a.analysis.diagnostics) {
+    if (d.pass != "safety") continue;
+    ++safety;
+    EXPECT_EQ(d.severity, LintSeverity::kError);
+    EXPECT_GT(d.line, 0) << d.message;  // Source lines must be mapped.
+  }
+  EXPECT_EQ(safety, 3u);  // Head var, negated var, inequality var.
+  bool dead = false;
+  for (const LintDiagnostic& d : a.analysis.diagnostics) {
+    dead = dead || d.pass == "dead-rule";
+  }
+  EXPECT_TRUE(dead) << "Q(x) cannot reach the declared output H";
+}
+
+TEST(LampLintFixtureTest, ParseErrorsAreDiagnosticsNotAborts) {
+  Schema schema;
+  const ProgramAnalysis analysis = AnalyzeProgramText(
+      schema, "H(x) <- E(x,y)\nH(x <- E(x,y)\nH(x) <- E(x,y,z)\n");
+  EXPECT_FALSE(analysis.parse_ok);
+  EXPECT_EQ(analysis.program.rules().size(), 1u);
+  std::size_t parse_errors = 0;
+  for (const LintDiagnostic& d : analysis.diagnostics) {
+    if (d.pass == "parse") {
+      ++parse_errors;
+      EXPECT_EQ(d.severity, LintSeverity::kError);
+    }
+  }
+  EXPECT_EQ(parse_errors, 2u);  // Malformed atom; arity mismatch.
+}
+
+}  // namespace
+}  // namespace lamp::sa
