@@ -144,6 +144,28 @@ Shares UniformShares(const ConjunctiveQuery& query, std::size_t budget) {
   return Shares(k, share);
 }
 
+double ExpectedHyperCubeLoad(const ConjunctiveQuery& query,
+                             const Shares& shares,
+                             const std::vector<double>& atom_sizes) {
+  LAMP_CHECK(shares.size() == query.NumVars());
+  LAMP_CHECK(atom_sizes.size() == query.body().size());
+  double load = 0.0;
+  for (std::size_t a = 0; a < query.body().size(); ++a) {
+    double denom = 1.0;
+    // A repeated variable constrains only one dimension; count each
+    // variable once per atom (matches ConstrainByAtom's coordinates).
+    std::vector<bool> seen(shares.size(), false);
+    for (const Term& t : query.body()[a].terms) {
+      if (t.IsVar() && !seen[t.var]) {
+        seen[t.var] = true;
+        denom *= static_cast<double>(shares[t.var]);
+      }
+    }
+    load += atom_sizes[a] / denom;
+  }
+  return load;
+}
+
 Shares OptimizeIntegerShares(const ConjunctiveQuery& query,
                              std::size_t budget,
                              const std::vector<double>& atom_sizes) {

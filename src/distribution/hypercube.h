@@ -75,6 +75,18 @@ class HypercubePolicy : public DistributionPolicy {
 /// Example 3.2 special case alpha_x = alpha_y = alpha_z = p^(1/3).
 Shares UniformShares(const ConjunctiveQuery& query, std::size_t budget);
 
+/// Expected per-server load of the HyperCube distribution with the given
+/// \p shares:  sum_atoms m_atom / prod_{v in atom} alpha_v.  Each tuple of
+/// atom e lands on a uniformly-hashed cell of the e-dimensions, so this is
+/// the exact expectation for every input — including skewed ones. (What
+/// skew breaks is the *concentration* of the maximum around this value:
+/// a heavy hitter pins one coordinate and a single cell receives the
+/// whole heavy group. The audit layer exploits exactly that gap.) This is
+/// the same objective OptimizeIntegerShares minimizes.
+double ExpectedHyperCubeLoad(const ConjunctiveQuery& query,
+                             const Shares& shares,
+                             const std::vector<double>& atom_sizes);
+
 /// Best integer shares with product <= \p budget, minimizing the expected
 /// per-server load  sum_atoms m_atom / prod_{v in atom} alpha_v  given the
 /// relation sizes \p atom_sizes (one per body atom). Exhaustive search over

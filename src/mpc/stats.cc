@@ -47,6 +47,26 @@ void RunStats::ToMetrics(obs::MetricsRegistry& registry) const {
   }
 }
 
+obs::JsonValue RunStats::ToJson() const {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  obs::JsonValue round_list = obs::JsonValue::Array();
+  for (const RoundStats& r : rounds) {
+    obs::JsonValue round = obs::JsonValue::Object();
+    round.Set("max", r.MaxLoad());
+    round.Set("total", r.TotalLoad());
+    obs::JsonValue received = obs::JsonValue::Array();
+    for (const std::size_t load : r.received) {
+      received.PushBack(obs::JsonValue(load));
+    }
+    round.Set("received", std::move(received));
+    round_list.PushBack(std::move(round));
+  }
+  doc.Set("rounds", std::move(round_list));
+  doc.Set("max_load", MaxLoad());
+  doc.Set("total_communication", TotalCommunication());
+  return doc;
+}
+
 std::string RunStats::ToString() const {
   std::ostringstream os;
   for (std::size_t i = 0; i < rounds.size(); ++i) {

@@ -50,6 +50,13 @@ struct RunStats {
   /// One line per round: "round 0: max=12 total=96".
   std::string ToString() const;
 
+  /// Full per-round/per-server load profile:
+  ///   {"rounds":[{"max":..,"total":..,"received":[..]},...],
+  ///    "max_load":..,"total_communication":..}
+  /// This is the measured side of an audit record (obs/audit/audit.h);
+  /// tools/obs_audit renders it as a per-server heatmap.
+  obs::JsonValue ToJson() const;
+
   /// Exports under the obs naming convention: mpc.rounds, mpc.max_load,
   /// mpc.total_communication plus the per-round mpc.round.* histograms.
   /// Counters accumulate when the registry already holds earlier runs.

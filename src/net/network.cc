@@ -72,10 +72,17 @@ NetworkRunResult TransducerNetwork::RunWith(Scheduler& scheduler) {
 
   // One queued message. The sender is tracked so schedulers can express
   // channel-level faults (partitions, starvation) and so a volatile
-  // restart can requeue exactly what the node had consumed.
+  // restart can requeue exactly what the node had consumed. Each message
+  // also carries its Lamport causal depth (heartbeat broadcasts are depth
+  // 1; a message sent while processing a delivery is one deeper than the
+  // deepest message its sender had consumed) and the transition index of
+  // that deepest consumed message (+1; 0 = heartbeat origin) — the parent
+  // pointer obs/audit/causal.h walks to reconstruct critical paths.
   struct InFlight {
     NodeId from;
     Message payload;
+    std::uint64_t depth = 1;
+    std::uint32_t parent = 0;
   };
 
   std::vector<Instance> states = locals_;
@@ -98,6 +105,19 @@ NetworkRunResult TransducerNetwork::RunWith(Scheduler& scheduler) {
   obs::Counter& broadcasts = result.metrics.GetCounter(obs::kNetBroadcasts);
   obs::Histogram& message_size =
       result.metrics.GetHistogram(obs::kNetMessageSize);
+  obs::Histogram& causal_depth =
+      result.metrics.GetHistogram(obs::kNetCausalDepth);
+
+  // Lamport causal tracking: clock[v] = deepest message node v has
+  // consumed (0 before any delivery); dominant[v] = transition index + 1
+  // of the delivery that set it. Crash/restart leaves both untouched —
+  // even a volatile restart only resets *state*, not what the channel
+  // history already forced the node to have seen.
+  std::vector<std::uint64_t> clock(n, 0);
+  std::vector<std::uint32_t> dominant(n, 0);
+  std::uint64_t max_depth = 0;
+  bool has_output = false;
+  std::uint64_t first_output_depth = 0;
 
   auto dispatch = [&](NodeId from, std::vector<Message>& outgoing) {
     for (Message& msg : outgoing) {
@@ -109,27 +129,55 @@ NetworkRunResult TransducerNetwork::RunWith(Scheduler& scheduler) {
                 static_cast<std::uint32_t>(from), 0, msg.size());
       for (NodeId to = 0; to < n; ++to) {
         if (to == from) continue;
-        queue[to].push_back({from, msg});
+        queue[to].push_back({from, msg, clock[from] + 1, dominant[from]});
         queued_from[to].push_back(from);
       }
     }
     outgoing.clear();
   };
 
-  auto deliver = [&](NodeId node, const Message& payload) {
+  // Called after a transition of \p node that may have produced output;
+  // records the causal depth of the first output and emits kNetOutput
+  // (b = transition + 1, 0 for heartbeats) whenever output grew.
+  auto note_output = [&](NodeId node, std::size_t before,
+                         std::uint32_t transition_plus_1,
+                         std::uint64_t depth) {
+    if (outputs[node].Size() == before) return;
+    if (!has_output) {
+      has_output = true;
+      first_output_depth = depth;
+    }
+    obs::Emit(obs::EventKind::kNetOutput, static_cast<std::uint32_t>(node),
+              transition_plus_1, depth);
+  };
+
+  auto deliver = [&](NodeId node, const InFlight& msg) {
+    const auto t = static_cast<std::uint32_t>(transitions.value());
     obs::Emit(obs::EventKind::kNetDeliver, static_cast<std::uint32_t>(node),
-              static_cast<std::uint32_t>(transitions.value()),
-              payload.size());
+              t, msg.payload.size());
+    obs::Emit(obs::EventKind::kNetCausalDeliver,
+              static_cast<std::uint32_t>(node), t,
+              (msg.depth << 32) | msg.parent);
+    causal_depth.Observe(static_cast<double>(msg.depth));
+    if (msg.depth > max_depth) max_depth = msg.depth;
+    if (msg.depth > clock[node]) {
+      clock[node] = msg.depth;
+      dominant[node] = t + 1;
+    }
+    const std::size_t out_before = outputs[node].Size();
     RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
-    program_.OnReceive(ctx, payload);
+    program_.OnReceive(ctx, msg.payload);
+    note_output(node, out_before, t + 1, msg.depth);
     dispatch(node, ctx.outgoing());
     transitions.Increment();
   };
 
   auto heartbeat = [&](NodeId node) {
     obs::Emit(obs::EventKind::kNetStart, static_cast<std::uint32_t>(node));
+    const std::size_t out_before = outputs[node].Size();
     RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
     program_.OnStart(ctx);
+    note_output(node, out_before, 0, clock[node]);
     dispatch(node, ctx.outgoing());
   };
 
@@ -166,7 +214,7 @@ NetworkRunResult TransducerNetwork::RunWith(Scheduler& scheduler) {
                           static_cast<std::ptrdiff_t>(action.index));
         queued_from[node].erase(queued_from[node].begin() +
                                 static_cast<std::ptrdiff_t>(action.index));
-        deliver(node, msg.payload);
+        deliver(node, msg);
         if (keep_log) consumed[node].push_back(std::move(msg));
         break;
       }
@@ -185,7 +233,7 @@ NetworkRunResult TransducerNetwork::RunWith(Scheduler& scheduler) {
         result.metrics.GetCounter(obs::kNetFaultDuplicates).Increment();
         obs::Emit(obs::EventKind::kNetDuplicate,
                   static_cast<std::uint32_t>(node), 0, msg.payload.size());
-        deliver(node, msg.payload);
+        deliver(node, msg);
         if (keep_log) consumed[node].push_back(msg);
         break;
       }
@@ -229,6 +277,10 @@ NetworkRunResult TransducerNetwork::RunWith(Scheduler& scheduler) {
     ++step;
   }
   obs::Emit(obs::EventKind::kNetQuiescent, 0, 0, transitions.value());
+  result.metrics.GetGauge(obs::kNetCausalMaxDepth)
+      .Set(static_cast<double>(max_depth));
+  result.metrics.GetGauge(obs::kNetCoordinationDepth)
+      .Set(static_cast<double>(first_output_depth));
 
   for (const Instance& out : outputs) result.output.InsertAll(out);
   return result;
@@ -242,8 +294,15 @@ NetworkRunResult TransducerNetwork::RunWithoutDelivery() {
 
   for (NodeId node = 0; node < n; ++node) {
     obs::Emit(obs::EventKind::kNetStart, static_cast<std::uint32_t>(node));
+    const std::size_t out_before = outputs[node].Size();
     RunnerContext ctx(node, n, states[node], outputs[node], policy_, aware_);
     program_.OnStart(ctx);
+    if (outputs[node].Size() != out_before) {
+      // Output during a heartbeat is causal depth 0 by definition: no
+      // message was ever read.
+      obs::Emit(obs::EventKind::kNetOutput, static_cast<std::uint32_t>(node),
+                0, 0);
+    }
     // Messages are sent into the void: counted, never delivered.
     for (const Message& msg : ctx.outgoing()) {
       result.metrics.GetCounter(obs::kNetMessagesSent).Add(n - 1);
@@ -254,6 +313,8 @@ NetworkRunResult TransducerNetwork::RunWithoutDelivery() {
           .Observe(static_cast<double>(msg.size()));
     }
   }
+  result.metrics.GetGauge(obs::kNetCausalMaxDepth).Set(0.0);
+  result.metrics.GetGauge(obs::kNetCoordinationDepth).Set(0.0);
   for (const Instance& out : outputs) result.output.InsertAll(out);
   return result;
 }

@@ -47,6 +47,21 @@ struct NetworkRunResult {
   std::size_t transitions() const {
     return metrics.CounterValue(obs::kNetTransitions);
   }
+  /// Causal depth at which the run produced its first output fact
+  /// (net.coordination_depth). 0 = output appeared during a heartbeat,
+  /// before any message was read — the coordination-free profile; also 0
+  /// when the run produced no output at all. The paper's Section 5.1
+  /// definition asks for *some* ideal distribution with this profile, so
+  /// the certification probe evaluates it on DistributeReplicated locals.
+  std::size_t coordination_depth() const {
+    const obs::Gauge* g = metrics.FindGauge(obs::kNetCoordinationDepth);
+    return g == nullptr ? 0 : static_cast<std::size_t>(g->value());
+  }
+  /// Deepest Lamport causal depth delivered (net.causal_max_depth).
+  std::size_t causal_max_depth() const {
+    const obs::Gauge* g = metrics.FindGauge(obs::kNetCausalMaxDepth);
+    return g == nullptr ? 0 : static_cast<std::size_t>(g->value());
+  }
 };
 
 /// One transducer network execution environment.

@@ -1,0 +1,226 @@
+#include "obs/audit/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace lamp::obs::audit {
+
+bool AuditRecord::Pass() const {
+  if (!bound.has_bound) return true;
+  return static_cast<double>(measured_max_load) <= bound.tuples * slack;
+}
+
+double AuditRecord::Headroom() const {
+  if (!bound.has_bound) return 0.0;
+  const double measured =
+      static_cast<double>(measured_max_load == 0 ? 1 : measured_max_load);
+  return bound.tuples * slack / measured;
+}
+
+JsonValue AuditRecord::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", "lamp.audit.v1");
+  doc.Set("bench", bench);
+  doc.Set("label", label);
+  doc.Set("strategy", StrategyName(strategy));
+  doc.Set("p", p);
+  doc.Set("params", params);
+  if (bound.has_bound) {
+    doc.Set("bound", bound.tuples);
+    doc.Set("bound_formula", bound.formula);
+    doc.Set("headroom", Headroom());
+  } else {
+    doc.Set("bound", JsonValue());
+    doc.Set("bound_formula", JsonValue());
+    doc.Set("headroom", JsonValue());
+  }
+  doc.Set("slack", slack);
+  doc.Set("measured_max_load", measured_max_load);
+  doc.Set("rounds", rounds);
+  doc.Set("total_communication", total_communication);
+  doc.Set("worst_round", worst_round);
+  JsonValue loads = JsonValue::Array();
+  for (const std::size_t load : per_server) loads.PushBack(JsonValue(load));
+  doc.Set("per_server", std::move(loads));
+  doc.Set("pass", Pass());
+  doc.Set("expected_violation", expected_violation);
+  return doc;
+}
+
+std::optional<AuditRecord> AuditRecord::FromJson(const JsonValue& doc) {
+  if (!doc.IsObject()) return std::nullopt;
+  const JsonValue* tag = doc.Find("schema");
+  if (tag == nullptr || !tag->IsString() || tag->AsString() != "lamp.audit.v1") {
+    return std::nullopt;
+  }
+  const JsonValue* bench = doc.Find("bench");
+  const JsonValue* label = doc.Find("label");
+  const JsonValue* strategy = doc.Find("strategy");
+  const JsonValue* p = doc.Find("p");
+  const JsonValue* slack = doc.Find("slack");
+  const JsonValue* measured = doc.Find("measured_max_load");
+  if (bench == nullptr || !bench->IsString() || label == nullptr ||
+      !label->IsString() || strategy == nullptr || !strategy->IsString() ||
+      p == nullptr || slack == nullptr || measured == nullptr) {
+    return std::nullopt;
+  }
+  AuditRecord record;
+  record.bench = bench->AsString();
+  record.label = label->AsString();
+  record.strategy = StrategyFromName(strategy->AsString());
+  record.p = static_cast<std::size_t>(p->AsInt());
+  record.slack = slack->AsDouble();
+  record.measured_max_load = static_cast<std::size_t>(measured->AsInt());
+  if (const JsonValue* params = doc.Find("params");
+      params != nullptr && params->IsObject()) {
+    record.params = *params;
+  }
+  if (const JsonValue* bound = doc.Find("bound");
+      bound != nullptr && bound->IsNumber()) {
+    record.bound.has_bound = true;
+    record.bound.tuples = bound->AsDouble();
+    if (const JsonValue* formula = doc.Find("bound_formula");
+        formula != nullptr && formula->IsString()) {
+      record.bound.formula = formula->AsString();
+    }
+  }
+  if (const JsonValue* rounds = doc.Find("rounds"); rounds != nullptr) {
+    record.rounds = static_cast<std::size_t>(rounds->AsInt());
+  }
+  if (const JsonValue* total = doc.Find("total_communication");
+      total != nullptr) {
+    record.total_communication = static_cast<std::size_t>(total->AsInt());
+  }
+  if (const JsonValue* worst = doc.Find("worst_round"); worst != nullptr) {
+    record.worst_round = static_cast<std::size_t>(worst->AsInt());
+  }
+  if (const JsonValue* loads = doc.Find("per_server");
+      loads != nullptr && loads->IsArray()) {
+    for (std::size_t i = 0; i < loads->size(); ++i) {
+      record.per_server.push_back(
+          static_cast<std::size_t>(loads->at(i).AsInt()));
+    }
+  }
+  if (const JsonValue* expected = doc.Find("expected_violation");
+      expected != nullptr && expected->IsBool()) {
+    record.expected_violation = expected->AsBool();
+  }
+  return record;
+}
+
+AuditRecord MakeAuditRecord(std::string bench, std::string label,
+                            Strategy strategy, std::size_t p, LoadBound bound,
+                            const RunStats& stats, double slack) {
+  AuditRecord record;
+  record.bench = std::move(bench);
+  record.label = std::move(label);
+  record.strategy = strategy;
+  record.p = p;
+  record.bound = std::move(bound);
+  record.slack = slack;
+  record.measured_max_load = stats.MaxLoad();
+  record.rounds = stats.NumRounds();
+  record.total_communication = stats.TotalCommunication();
+  for (std::size_t r = 0; r < stats.rounds.size(); ++r) {
+    if (stats.rounds[r].MaxLoad() == record.measured_max_load) {
+      record.worst_round = r;
+      record.per_server = stats.rounds[r].received;
+      break;
+    }
+  }
+  return record;
+}
+
+AuditSink::~AuditSink() { Flush(); }
+
+void AuditSink::Add(AuditRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::size_t AuditSink::ExpectedViolations() const {
+  std::size_t n = 0;
+  for (const AuditRecord& r : records_) {
+    if (!r.Pass() && r.expected_violation) ++n;
+  }
+  return n;
+}
+
+std::size_t AuditSink::HardViolations() const {
+  std::size_t n = 0;
+  for (const AuditRecord& r : records_) {
+    if (r.HardViolation()) ++n;
+  }
+  return n;
+}
+
+std::string AuditSink::RenderJsonLines() const {
+  std::string out;
+  for (const AuditRecord& r : records_) {
+    out += r.ToJson().Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+void AuditSink::Flush() {
+  if (records_.empty()) return;
+  const std::string lines = RenderJsonLines();
+  const char* path = std::getenv(kAuditJsonEnvVar);
+  bool to_stdout = true;
+  if (path != nullptr && path[0] != '\0') {
+    std::FILE* f = std::fopen(path, "a");
+    if (f != nullptr) {
+      std::fwrite(lines.data(), 1, lines.size(), f);
+      std::fclose(f);
+      to_stdout = false;
+    } else {
+      std::fprintf(stderr,
+                   "audit: cannot open %s for append; writing records to"
+                   " stdout instead\n",
+                   path);
+    }
+  }
+  if (to_stdout) {
+    std::printf("# audit-json: %zu record(s)\n", records_.size());
+    std::fwrite(lines.data(), 1, lines.size(), stdout);
+  }
+  records_.clear();
+}
+
+AuditSink& GlobalAuditSink() {
+  static AuditSink* sink = new AuditSink();
+  return *sink;
+}
+
+bool HardFailRequested() {
+  const char* v = std::getenv(kAuditHardFailEnvVar);
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0;
+}
+
+int FinalizeGlobalAudit() {
+  AuditSink& sink = GlobalAuditSink();
+  const bool hard = HardFailRequested();
+  std::size_t hard_violations = 0;
+  for (const AuditRecord& r : sink.records()) {
+    if (!r.HardViolation()) continue;
+    ++hard_violations;
+    std::fprintf(stderr,
+                 "audit: %s/%s (%s, p=%zu) measured max load %zu exceeds"
+                 " bound %.1f x slack %.2f\n",
+                 r.bench.c_str(), r.label.c_str(),
+                 std::string(StrategyName(r.strategy)).c_str(), r.p,
+                 r.measured_max_load, r.bound.tuples, r.slack);
+  }
+  sink.Flush();
+  if (hard && hard_violations > 0) {
+    std::fprintf(stderr, "audit: %zu hard bound violation(s); failing\n",
+                 hard_violations);
+    return kAuditHardFailExit;
+  }
+  return 0;
+}
+
+}  // namespace lamp::obs::audit

@@ -1,0 +1,133 @@
+#ifndef LAMP_OBS_AUDIT_AUDIT_H_
+#define LAMP_OBS_AUDIT_AUDIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpc/stats.h"
+#include "obs/audit/bounds.h"
+#include "obs/json.h"
+
+/// \file
+/// Load-bound audit records ("lamp.audit.v1").
+///
+/// One record holds a single MPC run against the theoretical bound its
+/// strategy promises: the measured per-server/per-round loads from
+/// RunStats next to the catalog-derived LoadBound, a headroom ratio
+/// (bound * slack / measured; > 1 means the run respected the bound) and
+/// a pass verdict. Records flow through the same channel as bench
+/// records: appended as JSON lines to the file named by LAMP_AUDIT_JSON,
+/// or printed after a "# audit-json:" marker when the variable is unset.
+///
+/// Hard-fail mode (LAMP_AUDIT_HARD_FAIL=1, or the bench_runner
+/// --audit-hard-fail gate) turns an *unexpected* bound violation into a
+/// nonzero exit: FinalizeGlobalAudit() returns kAuditHardFailExit and the
+/// bench main() propagates it. Records can opt out via
+/// `expected_violation` — that is how deliberately skewed workloads
+/// (repartition under a heavy hitter, one-round HyperCube on skewed
+/// data) stay pinned as *demonstrations* of the theory's preconditions
+/// without failing the suite.
+
+namespace lamp::obs::audit {
+
+/// Slack multiplier absorbing the constants the Theta-bounds hide
+/// (hashing variance, balls-into-bins maxima). Calibrated against the
+/// repo's bench workloads; see EXPERIMENTS.md for the calibration runs.
+inline constexpr double kDefaultSlack = 3.0;
+
+/// Exit code of a hard audit failure (distinct from test-failure 1 and
+/// usage-error 2 conventions).
+inline constexpr int kAuditHardFailExit = 4;
+
+/// Environment variable naming the JSON-lines destination file.
+inline constexpr const char* kAuditJsonEnvVar = "LAMP_AUDIT_JSON";
+
+/// Environment variable enabling hard-fail mode ("1"/"true").
+inline constexpr const char* kAuditHardFailEnvVar = "LAMP_AUDIT_HARD_FAIL";
+
+/// One audited run.
+struct AuditRecord {
+  std::string bench;   // Binary name ("hypercube_load", ...).
+  std::string label;   // Configuration ("triangle/p=64", ...).
+  Strategy strategy = Strategy::kNone;
+  std::size_t p = 0;   // Servers.
+  JsonValue params = JsonValue::Object();  // Free-form workload params.
+
+  LoadBound bound;     // has_bound=false => loads recorded, no verdict.
+  double slack = kDefaultSlack;
+
+  std::size_t measured_max_load = 0;  // RunStats::MaxLoad().
+  std::size_t rounds = 0;
+  std::size_t total_communication = 0;
+  std::size_t worst_round = 0;  // Round achieving the max load.
+  std::vector<std::size_t> per_server;  // Loads of the worst round.
+
+  bool expected_violation = false;  // Exempt from hard fail.
+
+  /// measured <= bound * slack (true when there is no bound).
+  bool Pass() const;
+
+  /// bound * slack / max(measured, 1); 0 when there is no bound. > 1 is
+  /// headroom, < 1 is violation depth.
+  double Headroom() const;
+
+  /// True when this record should fail a hard-fail gate.
+  bool HardViolation() const { return !Pass() && !expected_violation; }
+
+  JsonValue ToJson() const;
+  static std::optional<AuditRecord> FromJson(const JsonValue& doc);
+};
+
+/// Builds a record from a finished run: fills the measured side from
+/// \p stats (max load, rounds, communication, worst-round profile).
+AuditRecord MakeAuditRecord(std::string bench, std::string label,
+                            Strategy strategy, std::size_t p, LoadBound bound,
+                            const RunStats& stats,
+                            double slack = kDefaultSlack);
+
+/// Collects records and flushes them as JSON lines, mirroring
+/// BenchReporter's destination contract (see file comment).
+class AuditSink {
+ public:
+  AuditSink() = default;
+  ~AuditSink();
+  AuditSink(const AuditSink&) = delete;
+  AuditSink& operator=(const AuditSink&) = delete;
+
+  void Add(AuditRecord record);
+
+  const std::vector<AuditRecord>& records() const { return records_; }
+  std::size_t NumRecords() const { return records_.size(); }
+
+  /// Records failing Pass() but marked expected (informational).
+  std::size_t ExpectedViolations() const;
+  /// Records that trip a hard-fail gate.
+  std::size_t HardViolations() const;
+
+  std::string RenderJsonLines() const;
+
+  /// Writes pending records to LAMP_AUDIT_JSON (append) or stdout after a
+  /// "# audit-json:" marker, then clears them.
+  void Flush();
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+/// Process-global sink shared by a bench binary's configurations.
+AuditSink& GlobalAuditSink();
+
+/// True when LAMP_AUDIT_HARD_FAIL requests hard-fail mode.
+bool HardFailRequested();
+
+/// Flushes the global sink; in hard-fail mode, prints every hard
+/// violation to stderr and returns kAuditHardFailExit when any exists
+/// (0 otherwise). Bench main()s call this after RunRepeated and
+/// propagate the exit code.
+int FinalizeGlobalAudit();
+
+}  // namespace lamp::obs::audit
+
+#endif  // LAMP_OBS_AUDIT_AUDIT_H_

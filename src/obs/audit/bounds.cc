@@ -1,0 +1,144 @@
+#include "obs/audit/bounds.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "lp/edge_packing.h"
+
+namespace lamp::obs::audit {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+double TotalBodySize(const ConjunctiveQuery& query, const Schema& schema,
+                     const Catalog& catalog) {
+  double total = 0.0;
+  for (const double m : BodyAtomSizes(query, schema, catalog)) total += m;
+  return total;
+}
+
+}  // namespace
+
+std::string_view StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kHyperCube:
+      return "hypercube";
+    case Strategy::kRepartition:
+      return "repartition";
+    case Strategy::kFragmentReplicate:
+      return "fragment_replicate";
+    case Strategy::kSharesSkew:
+      return "shares_skew";
+    case Strategy::kSkewResilient:
+      return "skew_resilient";
+    case Strategy::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+Strategy StrategyFromName(std::string_view name) {
+  if (name == "hypercube") return Strategy::kHyperCube;
+  if (name == "repartition") return Strategy::kRepartition;
+  if (name == "fragment_replicate") return Strategy::kFragmentReplicate;
+  if (name == "shares_skew") return Strategy::kSharesSkew;
+  if (name == "skew_resilient") return Strategy::kSkewResilient;
+  return Strategy::kNone;
+}
+
+LoadBound NoBound() { return LoadBound{}; }
+
+std::vector<double> BodyAtomSizes(const ConjunctiveQuery& query,
+                                  const Schema& schema,
+                                  const Catalog& catalog) {
+  std::vector<double> sizes;
+  sizes.reserve(query.body().size());
+  for (const Atom& atom : query.body()) {
+    sizes.push_back(static_cast<double>(
+        catalog.CardinalityOf(schema.NameOf(atom.relation))));
+  }
+  return sizes;
+}
+
+LoadBound HyperCubeBound(const ConjunctiveQuery& query, const Schema& schema,
+                         const Catalog& catalog, const Shares& shares) {
+  LAMP_CHECK(shares.size() == query.NumVars());
+  const std::vector<double> sizes = BodyAtomSizes(query, schema, catalog);
+  LoadBound bound;
+  bound.has_bound = true;
+  bound.tuples = ExpectedHyperCubeLoad(query, shares, sizes);
+  std::size_t grid = 1;
+  for (const std::size_t s : shares) grid *= s;
+  bound.formula = "sum_e m_e/prod_{v in e} a_v = " + FormatDouble(bound.tuples) +
+                  " (grid " + std::to_string(grid) + ")";
+  return bound;
+}
+
+LoadBound SkewResilientBound(const ConjunctiveQuery& query,
+                             const Schema& schema, const Catalog& catalog,
+                             std::size_t p) {
+  const double tau = FractionalEdgePackingValue(query);
+  LAMP_CHECK(tau > 0.0);
+  const double denom = std::pow(static_cast<double>(p), 1.0 / tau);
+  LoadBound bound;
+  bound.has_bound = true;
+  bound.tuples = TotalBodySize(query, schema, catalog) / denom;
+  bound.formula = "sum_e m_e/p^{1/tau*} = " + FormatDouble(bound.tuples) +
+                  " (tau*=" + FormatDouble(tau) + ", p=" + std::to_string(p) +
+                  ")";
+  return bound;
+}
+
+LoadBound RepartitionBound(const ConjunctiveQuery& query, const Schema& schema,
+                           const Catalog& catalog, std::size_t p) {
+  LAMP_CHECK(p > 0);
+  LoadBound bound;
+  bound.has_bound = true;
+  bound.tuples = TotalBodySize(query, schema, catalog) / static_cast<double>(p);
+  bound.formula =
+      "m/p = " + FormatDouble(bound.tuples) + " (p=" + std::to_string(p) + ")";
+  return bound;
+}
+
+LoadBound SqrtPBound(const ConjunctiveQuery& query, const Schema& schema,
+                     const Catalog& catalog, std::size_t p) {
+  LAMP_CHECK(p > 0);
+  const auto g = static_cast<std::size_t>(
+      std::floor(std::sqrt(static_cast<double>(p)) + 1e-9));
+  const double denom = static_cast<double>(g < 1 ? 1 : g);
+  LoadBound bound;
+  bound.has_bound = true;
+  bound.tuples = TotalBodySize(query, schema, catalog) / denom;
+  bound.formula = "m/floor(sqrt p) = " + FormatDouble(bound.tuples) +
+                  " (p=" + std::to_string(p) + ")";
+  return bound;
+}
+
+LoadBound BoundFor(Strategy strategy, const ConjunctiveQuery& query,
+                   const Schema& schema, const Catalog& catalog, std::size_t p,
+                   const Shares* shares) {
+  switch (strategy) {
+    case Strategy::kHyperCube:
+      LAMP_CHECK_MSG(shares != nullptr,
+                     "HyperCube bound needs the share vector");
+      return HyperCubeBound(query, schema, catalog, *shares);
+    case Strategy::kRepartition:
+      return RepartitionBound(query, schema, catalog, p);
+    case Strategy::kFragmentReplicate:
+    case Strategy::kSharesSkew:
+      return SqrtPBound(query, schema, catalog, p);
+    case Strategy::kSkewResilient:
+      return SkewResilientBound(query, schema, catalog, p);
+    case Strategy::kNone:
+      return NoBound();
+  }
+  return NoBound();
+}
+
+}  // namespace lamp::obs::audit

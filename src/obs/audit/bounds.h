@@ -1,0 +1,96 @@
+#ifndef LAMP_OBS_AUDIT_BOUNDS_H_
+#define LAMP_OBS_AUDIT_BOUNDS_H_
+
+#include <string>
+#include <string_view>
+
+#include "cq/cq.h"
+#include "distribution/hypercube.h"
+#include "obs/audit/catalog.h"
+
+/// \file
+/// Theoretical per-server load bounds, one per distribution strategy the
+/// repo implements (Section 3 of the paper), computed from the statistics
+/// catalog so the audit layer can hold every measured run against the
+/// bound it claims to reproduce:
+///
+///   HyperCube        exact expected load  sum_e m_e / prod_{v in e} a_v
+///                    (the Theta(m/p^{1/tau*}) optimum on skew-free data;
+///                    the expectation is exact for *every* input, skew
+///                    only breaks the concentration of the max around it)
+///   Repartition      m / p      (hash-partition on the join key; degrades
+///                    to Omega(m) under a heavy hitter)
+///   FragmentReplicate / SharesSkew
+///                    m / floor(sqrt p)  (skew-independent one-round join)
+///   SkewResilient    sum_e m_e / p^{1/tau*}  (the multi-round algorithm
+///                    recovers the skew-free exponent on skewed data)
+///
+/// A bound is a *pass threshold*, not a prediction: the auditor compares
+/// measured max load against bound * slack, where slack absorbs hashing
+/// variance (balls-into-bins constants the Theta hides). Strategies with
+/// no closed-form bound (plan cascades, Yannakakis, GYM) audit as kNone:
+/// the record still carries the measured loads, just no verdict.
+
+namespace lamp::obs::audit {
+
+/// The distribution strategy a run claims to implement.
+enum class Strategy {
+  kHyperCube,          // One-round HyperCube/Shares with explicit shares.
+  kRepartition,        // Hash-repartition on the shared variables.
+  kFragmentReplicate,  // Row x column grid broadcast join.
+  kSharesSkew,         // Heavy-hitter-aware shares (skew join).
+  kSkewResilient,      // Multi-round skew-resilient algorithm.
+  kNone,               // No closed-form bound; record loads only.
+};
+
+/// Stable wire name ("hypercube", "repartition", ...).
+std::string_view StrategyName(Strategy strategy);
+
+/// Parses a wire name; kNone for anything unknown.
+Strategy StrategyFromName(std::string_view name);
+
+/// One computed bound. `tuples` is the threshold in tuples-per-server;
+/// `formula` renders how it was derived, for reports.
+struct LoadBound {
+  bool has_bound = false;
+  double tuples = 0.0;
+  std::string formula;
+};
+
+/// No closed-form bound (Strategy::kNone).
+LoadBound NoBound();
+
+/// Relation sizes of the query's positive body atoms, from the catalog.
+/// Atoms over relations the catalog does not know get size 0.
+std::vector<double> BodyAtomSizes(const ConjunctiveQuery& query,
+                                  const Schema& schema,
+                                  const Catalog& catalog);
+
+/// Exact expected HyperCube load for the given shares (see file comment).
+LoadBound HyperCubeBound(const ConjunctiveQuery& query, const Schema& schema,
+                         const Catalog& catalog, const Shares& shares);
+
+/// Asymptotic skew-free optimum sum_e m_e / p^{1/tau*}; used for
+/// multi-round skew-resilient runs where no single share vector applies.
+LoadBound SkewResilientBound(const ConjunctiveQuery& query,
+                             const Schema& schema, const Catalog& catalog,
+                             std::size_t p);
+
+/// Repartition bound m_total / p over the query's body relations.
+LoadBound RepartitionBound(const ConjunctiveQuery& query, const Schema& schema,
+                           const Catalog& catalog, std::size_t p);
+
+/// Skew-independent bound m_total / floor(sqrt p) for fragment-replicate
+/// style grids (also the SharesSkew guarantee).
+LoadBound SqrtPBound(const ConjunctiveQuery& query, const Schema& schema,
+                     const Catalog& catalog, std::size_t p);
+
+/// The bound a strategy promises, dispatching on \p strategy. kHyperCube
+/// requires \p shares (one per query variable); the others ignore it.
+LoadBound BoundFor(Strategy strategy, const ConjunctiveQuery& query,
+                   const Schema& schema, const Catalog& catalog, std::size_t p,
+                   const Shares* shares = nullptr);
+
+}  // namespace lamp::obs::audit
+
+#endif  // LAMP_OBS_AUDIT_BOUNDS_H_

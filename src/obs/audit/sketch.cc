@@ -1,0 +1,88 @@
+#include "obs/audit/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lamp::obs::audit {
+
+SpaceSavingSketch::SpaceSavingSketch(std::size_t capacity)
+    : capacity_(capacity) {
+  LAMP_CHECK(capacity_ >= 1);
+}
+
+void SpaceSavingSketch::Observe(std::int64_t value) {
+  ++stream_length_;
+  auto it = counters_.find(value);
+  if (it != counters_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(value, Counter{1, 0});
+    return;
+  }
+  // Evict the minimum-count entry; the map's value order makes the choice
+  // of minimum deterministic. The newcomer inherits the evicted count as
+  // its error bound (it may have occurred up to that often before being
+  // tracked).
+  auto min_it = counters_.begin();
+  for (auto cand = counters_.begin(); cand != counters_.end(); ++cand) {
+    if (cand->second.count < min_it->second.count) min_it = cand;
+  }
+  const std::uint64_t min_count = min_it->second.count;
+  counters_.erase(min_it);
+  counters_.emplace(value, Counter{min_count + 1, min_count});
+}
+
+std::vector<SketchEntry> SpaceSavingSketch::Entries() const {
+  std::vector<SketchEntry> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [value, c] : counters_) {
+    entries.push_back({value, c.count, c.error});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  return entries;
+}
+
+std::vector<SketchEntry> SpaceSavingSketch::TopK(std::size_t k) const {
+  std::vector<SketchEntry> entries = Entries();
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+std::uint64_t SpaceSavingSketch::MaxFrequencyLowerBound() const {
+  std::uint64_t best = 0;
+  for (const auto& [value, c] : counters_) {
+    (void)value;
+    best = std::max(best, c.count - c.error);
+  }
+  return best;
+}
+
+double EstimateZipfExponent(const std::vector<SketchEntry>& entries) {
+  if (entries.size() < 3) return 0.0;
+  // Least squares of y = log(count) on x = log(rank), rank starting at 1.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].count == 0) return 0.0;
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(static_cast<double>(entries[i].count));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom <= 0) return 0.0;
+  const double slope = (n * sxy - sx * sy) / denom;
+  return std::max(0.0, -slope);
+}
+
+}  // namespace lamp::obs::audit

@@ -1,0 +1,86 @@
+#ifndef LAMP_OBS_AUDIT_SKETCH_H_
+#define LAMP_OBS_AUDIT_SKETCH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+/// \file
+/// The Space-Saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi,
+/// ICDT'05) and a Zipf skew estimator on top of it.
+///
+/// The statistics catalog (obs/audit/catalog.h) needs per-column heavy
+/// hitters to decide whether a workload is skewed — the quantity that
+/// separates the paper's skew-free HyperCube bound m/p^{1/tau*} from the
+/// skew-resistant m/sqrt(p) algorithms. Exact per-column frequency maps
+/// would work at bench scale, but the catalog is the seed of the
+/// ROADMAP-2 planner, which must not assume instances fit a frequency
+/// map; Space-Saving gives the classic bounded-memory guarantee instead:
+///
+///   with k counters over a stream of length N,
+///     count(v) - error(v) <= true_freq(v) <= count(v)
+///   for every *tracked* value, every value with true frequency > N/k is
+///   tracked, and every error(v) <= N/k.
+///
+/// The property test in tests/audit_test.cc checks exactly these three
+/// invariants against exact counts over seeded Zipf streams.
+
+namespace lamp::obs::audit {
+
+/// One tracked stream value with its overestimated count and the upper
+/// bound on the overestimate.
+struct SketchEntry {
+  std::int64_t value = 0;
+  std::uint64_t count = 0;  // Overestimate: true frequency <= count.
+  std::uint64_t error = 0;  // count - error <= true frequency.
+};
+
+/// Space-Saving with a fixed number of counters. Deterministic: ties on
+/// eviction break towards the smallest tracked value, so identical
+/// streams produce identical sketches on every platform.
+class SpaceSavingSketch {
+ public:
+  /// \p capacity = k, the number of counters (>= 1).
+  explicit SpaceSavingSketch(std::size_t capacity);
+
+  void Observe(std::int64_t value);
+
+  /// Stream length so far.
+  std::uint64_t StreamLength() const { return stream_length_; }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Tracked entries sorted by count descending (ties: smaller value
+  /// first). The full sketch content, at most capacity() entries.
+  std::vector<SketchEntry> Entries() const;
+
+  /// The \p k heaviest entries (prefix of Entries()).
+  std::vector<SketchEntry> TopK(std::size_t k) const;
+
+  /// Guaranteed lower bound on the maximum frequency of any value:
+  /// max over tracked entries of count - error (0 on an empty stream).
+  std::uint64_t MaxFrequencyLowerBound() const;
+
+ private:
+  struct Counter {
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t stream_length_ = 0;
+  // Ordered by value: deterministic iteration for eviction tie-breaks.
+  std::map<std::int64_t, Counter> counters_;
+};
+
+/// Least-squares estimate of the Zipf exponent s from the top ranks of a
+/// frequency profile: fits log(count) = c - s*log(rank) over \p entries
+/// (already sorted by count descending) and returns max(s, 0). Returns 0
+/// when fewer than 3 entries or when all counts are equal — a uniform
+/// profile has no skew. This is a coarse diagnostic (the audit only needs
+/// "roughly uniform" vs "heavy-tailed"), not a maximum-likelihood fit.
+double EstimateZipfExponent(const std::vector<SketchEntry>& entries);
+
+}  // namespace lamp::obs::audit
+
+#endif  // LAMP_OBS_AUDIT_SKETCH_H_

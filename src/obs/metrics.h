@@ -33,6 +33,11 @@
 ///   net.fault.crashes          counter    node crashes
 ///   net.fault.restarts         counter    node restarts
 ///   net.fault.retransmits      counter    messages requeued on restart
+///   net.causal_depth           histogram  Lamport depth per delivery
+///   net.causal_max_depth       gauge      max delivered causal depth
+///   net.coordination_depth     gauge      causal depth of the first
+///                                         output fact (0 = produced at a
+///                                         heartbeat: coordination-free)
 ///   datalog.iterations         counter    semi-naive rounds
 ///   datalog.facts_derived      counter    IDB facts derived
 ///   datalog.delta_size         histogram  per-iteration delta cardinality
@@ -70,6 +75,13 @@ class Gauge {
 /// Exact-percentile histogram: keeps every sample (bench-scale run
 /// lengths make that cheap) and answers nearest-rank percentiles, so
 /// p50/p95/p99 agree with a sorted reference to the sample.
+///
+/// Every summary accessor is a *total function* on the empty histogram:
+/// Count() is 0 and Sum/Mean/Min/Max/Percentile(q) all return 0.0 without
+/// touching the (empty) sample vector. There is no "no data" sentinel —
+/// callers that need to distinguish "no samples" from "all samples are 0"
+/// check Count() first. Percentile additionally clamps q to [0, 100], so
+/// out-of-range quantiles are not undefined behaviour either.
 class Histogram {
  public:
   void Observe(double v);
@@ -147,6 +159,10 @@ inline constexpr std::string_view kNetFaultCrashes = "net.fault.crashes";
 inline constexpr std::string_view kNetFaultRestarts = "net.fault.restarts";
 inline constexpr std::string_view kNetFaultRetransmits =
     "net.fault.retransmits";
+inline constexpr std::string_view kNetCausalDepth = "net.causal_depth";
+inline constexpr std::string_view kNetCausalMaxDepth = "net.causal_max_depth";
+inline constexpr std::string_view kNetCoordinationDepth =
+    "net.coordination_depth";
 inline constexpr std::string_view kDatalogIterations = "datalog.iterations";
 inline constexpr std::string_view kDatalogFactsDerived =
     "datalog.facts_derived";

@@ -63,6 +63,10 @@ std::string_view EventKindName(EventKind kind) {
       return "net.partition";
     case EventKind::kNetHeal:
       return "net.heal";
+    case EventKind::kNetCausalDeliver:
+      return "net.causal_deliver";
+    case EventKind::kNetOutput:
+      return "net.output";
   }
   return "unknown";
 }

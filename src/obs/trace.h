@@ -63,6 +63,15 @@ enum class EventKind : std::uint8_t {
   kNetRestart,         // a=node, b=1 when the outage was durable
   kNetPartition,       // a=isolated-group size, value=step
   kNetHeal,            // value=step
+  kNetCausalDeliver,   // a=receiver node, b=transition index of this
+                       //   delivery, value=(depth << 32) | (parent
+                       //   transition index + 1; 0 = heartbeat origin).
+                       //   depth is the message's Lamport causal depth;
+                       //   obs/audit/causal.h reconstructs critical paths
+                       //   from these events.
+  kNetOutput,          // a=node, b=transition index + 1 (0 = produced
+                       //   during a heartbeat), value=causal depth at
+                       //   which the first new output fact appeared
 };
 
 /// Stable wire name of a kind ("mpc.server_load", "net.deliver", ...).

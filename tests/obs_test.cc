@@ -132,12 +132,36 @@ TEST(MetricsTest, CounterAndGauge) {
 }
 
 TEST(MetricsTest, EmptyHistogramIsAllZero) {
+  // Every accessor is a total function on the empty histogram (the
+  // documented contract in metrics.h): all-zero, never a crash or NaN,
+  // including the percentile edge values and out-of-range q (clamped).
   Histogram h;
   EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
   EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
   EXPECT_DOUBLE_EQ(h.Min(), 0.0);
   EXPECT_DOUBLE_EQ(h.Max(), 0.0);
-  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  for (double q : {0.0, 50.0, 100.0, -3.0, 250.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 0.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.P50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.P95(), 0.0);
+  EXPECT_DOUBLE_EQ(h.P99(), 0.0);
+  // Serialisation of the empty histogram is well-formed, not garbage.
+  const JsonValue snapshot = h.ToJson();
+  ASSERT_TRUE(snapshot.IsObject());
+  const JsonValue* count = snapshot.Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->Dump(), "0");
+}
+
+TEST(MetricsTest, PercentileClampsOutOfRangeQ) {
+  Histogram h;
+  h.Observe(1.0);
+  h.Observe(2.0);
+  h.Observe(3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(-10.0), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(1000.0), 3.0);
 }
 
 TEST(MetricsTest, HistogramPercentilesMatchSortedReference) {

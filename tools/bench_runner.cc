@@ -9,11 +9,17 @@
 //   bench_runner --baseline BENCH_baseline.json  compare + gate (exit 1)
 //   bench_runner --baseline B.json --update      rewrite the baseline
 //   bench_runner --compare RECORDS.jsonl ...     skip running; diff files
+//   bench_runner --audit AUDIT.jsonl             collect lamp.audit.v1
+//                                                records from the benches
+//   bench_runner --audit A.jsonl --audit-hard-fail
+//                                                exit 4 on any unexpected
+//                                                load-bound violation
 //
 // Every record is stamped with run provenance (git rev, ISO date, host,
 // repeat index) so BENCH_report.json is a self-describing point on the
 // PR-to-PR perf trajectory. Exit codes: 0 ok, 1 regression, 2 usage or
-// environment error (missing binary, bench failed, unreadable baseline).
+// environment error (missing binary, bench failed, unreadable baseline),
+// 4 audit hard-fail (obs/audit/audit.h).
 
 #include <unistd.h>
 
@@ -29,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/audit/audit.h"
 #include "obs/bench_report.h"
 #include "obs/json.h"
 #include "obs/perfdb.h"
@@ -44,9 +51,11 @@ struct Options {
   std::string baseline;          // --baseline file.
   std::string compare;           // --compare: records file standing in for a run.
   std::string filter;            // Substring filter on manifest names.
+  std::string audit;             // --audit: lamp.audit.v1 JSON-lines sink.
   std::vector<int> threads{1};   // --threads 1,4
   int repeat = 1;
   bool update_baseline = false;
+  bool audit_hard_fail = false;
   obs::DiffThresholds thresholds;
 };
 
@@ -61,6 +70,10 @@ void Usage() {
       "  --filter SUBSTR   only manifest entries whose name contains SUBSTR\n"
       "  --out FILE        aggregated report (default BENCH_report.json)\n"
       "  --md FILE         also write the comparison as markdown\n"
+      "  --audit FILE      collect the benches' lamp.audit.v1 records into\n"
+      "                    FILE and print a load-bound summary\n"
+      "  --audit-hard-fail exit 4 when any record violates its bound\n"
+      "                    without being marked expected (needs --audit)\n"
       "  --baseline FILE   compare against a baseline; exit 1 on regression\n"
       "  --update          rewrite --baseline from this run and exit 0\n"
       "  --compare FILE    don't run benches; read records/report/baseline\n"
@@ -244,22 +257,37 @@ int RunSuite(const Options& opt, const obs::JsonValue& meta, obs::PerfDb* db) {
     return 2;
   }
 
+  // Validate the whole selection before running anything: a manifest
+  // entry whose binary is missing used to surface only when the run
+  // reached it, wasting every bench before it. Collect all problems.
+  std::vector<std::string> missing;
+  for (const ManifestEntry& e : selected) {
+    const std::string bin = opt.bin_dir + "/" + e.bin;
+    if (::access(bin.c_str(), X_OK) != 0) {
+      missing.push_back(e.name + " -> " + bin);
+    }
+  }
+  if (!missing.empty()) {
+    std::fprintf(stderr,
+                 "bench_runner: %zu manifest entr%s name no built bench"
+                 " binary (build the bench targets, or pass --bin-dir):\n",
+                 missing.size(), missing.size() == 1 ? "y" : "ies");
+    for (const std::string& m : missing) {
+      std::fprintf(stderr, "  %s\n", m.c_str());
+    }
+    return 2;
+  }
+
   const std::string records_path =
       opt.out + ".records.tmp";  // One shared append target, wiped first.
   std::remove(records_path.c_str());
+  if (!opt.audit.empty()) std::remove(opt.audit.c_str());
   const std::string meta_json = meta.Dump();
 
   std::size_t run = 0;
   const std::size_t total = selected.size() * opt.threads.size();
   for (const ManifestEntry& e : selected) {
     const std::string bin = opt.bin_dir + "/" + e.bin;
-    if (::access(bin.c_str(), X_OK) != 0) {
-      std::fprintf(stderr,
-                   "bench_runner: %s is not an executable (build the bench"
-                   " targets, or pass --bin-dir)\n",
-                   bin.c_str());
-      return 2;
-    }
     for (int t : opt.threads) {
       ++run;
       std::printf("[%zu/%zu] %s --threads %d --repeat %d\n", run, total,
@@ -267,12 +295,20 @@ int RunSuite(const Options& opt, const obs::JsonValue& meta, obs::PerfDb* db) {
       std::fflush(stdout);
       // The filter '$^' matches no registered microbenchmark, so only the
       // instrumented table section (and its reporter flush) executes.
+      // The audit sink is shared the same way as the records sink; the
+      // children never hard-fail themselves (the runner gates once over
+      // the aggregate, keeping per-bench exit codes clean).
+      const std::string audit_env =
+          opt.audit.empty()
+              ? std::string()
+              : std::string(obs::audit::kAuditJsonEnvVar) + "=" +
+                    Quoted(opt.audit) + " ";
       const std::string cmd =
-          std::string(obs::kBenchJsonEnvVar) + "=" + Quoted(records_path) +
-          " " + obs::kBenchMetaEnvVar + "=" + Quoted(meta_json) + " " +
-          Quoted(bin) + " --threads " + std::to_string(t) + " --repeat " +
-          std::to_string(opt.repeat) + " --benchmark_filter='$^'" +
-          " > /dev/null";
+          audit_env + std::string(obs::kBenchJsonEnvVar) + "=" +
+          Quoted(records_path) + " " + obs::kBenchMetaEnvVar + "=" +
+          Quoted(meta_json) + " " + Quoted(bin) + " --threads " +
+          std::to_string(t) + " --repeat " + std::to_string(opt.repeat) +
+          " --benchmark_filter='$^'" + " > /dev/null";
       const int status = std::system(cmd.c_str());
       if (status != 0) {
         std::fprintf(stderr, "bench_runner: %s exited with status %d\n",
@@ -296,6 +332,69 @@ int RunSuite(const Options& opt, const obs::JsonValue& meta, obs::PerfDb* db) {
   std::printf("collected %zu record(s) across %zu configuration(s)%s\n",
               db->NumRecords(), db->Summaries().size(),
               stats.malformed > 0 ? " (some lines were malformed)" : "");
+  return 0;
+}
+
+/// Summarises the lamp.audit.v1 records the benches appended to
+/// opt.audit; returns kAuditHardFailExit when --audit-hard-fail is set
+/// and some record violates its bound without being marked expected.
+int SummarizeAudit(const Options& opt) {
+  const std::optional<std::string> text = ReadFile(opt.audit);
+  if (!text.has_value() || text->empty()) {
+    std::fprintf(stderr, "bench_runner: benches emitted no audit records"
+                         " into %s\n",
+                 opt.audit.c_str());
+    // A hard-fail run that audited nothing is itself a failure: the gate
+    // would otherwise pass vacuously when the benches lose their audit
+    // instrumentation.
+    return opt.audit_hard_fail ? 2 : 0;
+  }
+  std::size_t total = 0, passed = 0, expected = 0;
+  std::vector<const obs::audit::AuditRecord*> hard;
+  std::vector<obs::audit::AuditRecord> records;
+  std::istringstream lines(*text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::optional<obs::JsonValue> doc = obs::JsonValue::Parse(line);
+    std::optional<obs::audit::AuditRecord> record;
+    if (doc.has_value()) record = obs::audit::AuditRecord::FromJson(*doc);
+    if (!record.has_value()) {
+      std::fprintf(stderr, "bench_runner: malformed audit record in %s\n",
+                   opt.audit.c_str());
+      continue;
+    }
+    records.push_back(std::move(*record));
+  }
+  for (const obs::audit::AuditRecord& r : records) {
+    ++total;
+    if (r.Pass()) {
+      ++passed;
+    } else if (r.expected_violation) {
+      ++expected;
+    }
+  }
+  for (const obs::audit::AuditRecord& r : records) {
+    if (r.HardViolation()) hard.push_back(&r);
+  }
+  std::printf("audit: %zu record(s) in %s — %zu within bound, %zu expected"
+              " violation(s), %zu hard violation(s)\n",
+              total, opt.audit.c_str(), passed, expected, hard.size());
+  for (const obs::audit::AuditRecord* r : hard) {
+    std::fprintf(stderr,
+                 "audit VIOLATION: %s/%s (%s, p=%zu) measured %zu vs bound"
+                 " %.1f x slack %.1f\n",
+                 r->bench.c_str(), r->label.c_str(),
+                 std::string(obs::audit::StrategyName(r->strategy)).c_str(),
+                 r->p, r->measured_max_load, r->bound.tuples, r->slack);
+  }
+  if (opt.audit_hard_fail && !hard.empty()) {
+    std::printf("audit gate: FAIL (%zu unexpected load-bound"
+                " violation(s))\n",
+                hard.size());
+    return obs::audit::kAuditHardFailExit;
+  }
+  if (opt.audit_hard_fail) std::printf("audit gate: ok\n");
   return 0;
 }
 
@@ -351,6 +450,12 @@ int Main(int argc, char** argv) {
       const char* v = next("--compare");
       if (v == nullptr) return 2;
       opt.compare = v;
+    } else if (arg == "--audit") {
+      const char* v = next("--audit");
+      if (v == nullptr) return 2;
+      opt.audit = v;
+    } else if (arg == "--audit-hard-fail") {
+      opt.audit_hard_fail = true;
     } else if (arg == "--update") {
       opt.update_baseline = true;
     } else if (arg == "--rel-tol") {
@@ -378,6 +483,15 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "bench_runner: --update needs --baseline\n");
     return 2;
   }
+  if (opt.audit_hard_fail && opt.audit.empty()) {
+    std::fprintf(stderr, "bench_runner: --audit-hard-fail needs --audit\n");
+    return 2;
+  }
+  if (!opt.audit.empty() && !opt.compare.empty()) {
+    std::fprintf(stderr, "bench_runner: --audit needs a real run, not"
+                         " --compare\n");
+    return 2;
+  }
 
   const obs::JsonValue meta = RunMetadata(opt);
   obs::PerfDb db;
@@ -403,6 +517,11 @@ int Main(int argc, char** argv) {
       return 2;
     }
     std::printf("wrote %s\n", opt.out.c_str());
+
+    if (!opt.audit.empty()) {
+      const int audit_status = SummarizeAudit(opt);
+      if (audit_status != 0) return audit_status;
+    }
   }
 
   if (opt.baseline.empty()) return 0;

@@ -9,6 +9,8 @@
 //                              in Perfetto / chrome://tracing)
 //   trace_dump ... --strict    exit non-zero when the trace reports
 //                              dropped events (ring overflow)
+//   trace_dump ... --stats     print per-kind event counts and drop
+//                              totals only (ring-buffer sizing view)
 //
 // The MPC section renders one heatmap row per round (per-server load as
 // block glyphs, normalised to the round maximum) so routing skew is
@@ -283,6 +285,62 @@ void RenderSpans(const std::vector<Event>& events) {
   std::printf("\n");
 }
 
+/// The --stats view: how full the ring got and what filled it. Everything
+/// a user needs to size Tracer capacity without opening a Chrome trace:
+/// kept/emitted/dropped totals plus per-kind counts of the kept events.
+void RenderStats(const obs::JsonValue& trace) {
+  std::uint64_t total = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t shards = 0;
+  if (const auto* v = trace.Find("total_emitted")) {
+    total = static_cast<std::uint64_t>(v->AsInt());
+  }
+  if (const auto* v = trace.Find("dropped")) {
+    dropped = static_cast<std::uint64_t>(v->AsInt());
+  }
+  if (const auto* v = trace.Find("capacity")) {
+    capacity = static_cast<std::uint64_t>(v->AsInt());
+  }
+  if (const auto* v = trace.Find("shards")) {
+    shards = static_cast<std::uint64_t>(v->AsInt());
+  }
+  const std::vector<Event> events = EventsFromJson(trace);
+
+  std::printf("emitted:  %llu\n", static_cast<unsigned long long>(total));
+  std::printf("kept:     %zu\n", events.size());
+  std::printf("dropped:  %llu (ring overflow)\n",
+              static_cast<unsigned long long>(dropped));
+  std::printf("capacity: %llu per shard, %llu shard(s)\n",
+              static_cast<unsigned long long>(capacity),
+              static_cast<unsigned long long>(shards));
+  if (dropped > 0 && capacity > 0) {
+    // Suggest the next power of two that would have held everything.
+    std::uint64_t need = 1;
+    const std::uint64_t per_shard =
+        shards > 0 ? (total + shards - 1) / shards : total;
+    while (need < per_shard) need <<= 1;
+    std::printf("          (a capacity of %llu per shard would have kept"
+                " every event)\n",
+                static_cast<unsigned long long>(need));
+  }
+  if (events.empty()) return;
+  std::printf("\nper-kind counts:\n");
+  std::map<std::string, std::uint64_t> by_kind;
+  for (const Event& e : events) ++by_kind[e.kind];
+  std::vector<std::pair<std::string, std::uint64_t>> sorted(by_kind.begin(),
+                                                            by_kind.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& x, const auto& y) {
+              if (x.second != y.second) return x.second > y.second;
+              return x.first < y.first;
+            });
+  for (const auto& [kind, count] : sorted) {
+    std::printf("  %-20s %llu\n", kind.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+}
+
 void Render(const obs::JsonValue& trace) {
   const obs::JsonValue* schema = trace.Find("schema");
   if (schema == nullptr || schema->AsString() != "lamp.trace.v1") {
@@ -373,6 +431,7 @@ int Main(int argc, char** argv) {
   bool chrome = false;
   bool strict = false;
   bool diff = false;
+  bool stats = false;
   std::string mode;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -385,9 +444,11 @@ int Main(int argc, char** argv) {
       strict = true;
     } else if (arg == "--diff") {
       diff = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: trace_dump [--json | --chrome] [--strict]"
+          "usage: trace_dump [--json | --chrome | --stats] [--strict]"
           " (<trace.json> | --demo-mpc | --demo-net)\n"
           "       trace_dump --diff <a.json> <b.json>\n"
           "\n"
@@ -397,6 +458,9 @@ int Main(int argc, char** argv) {
           "loads to counter tracks).\n"
           "--strict exits with status 3 when the trace header reports\n"
           "dropped events, so pipelines notice truncated recordings.\n"
+          "--stats prints only per-kind event counts plus the\n"
+          "kept/emitted/dropped totals — enough to size the Tracer ring\n"
+          "buffer without rendering the timeline.\n"
           "--diff aligns two recordings' transducer-network events by\n"
           "(kind, actor, payload), ignoring wall-clock time, and reports\n"
           "the first divergent delivery — pair it with the witness and\n"
@@ -448,6 +512,8 @@ int Main(int argc, char** argv) {
     std::printf("%s\n", trace.Dump(2).c_str());
   } else if (chrome) {
     std::printf("%s\n", obs::ChromeTraceFromTraceJson(trace).Dump(1).c_str());
+  } else if (stats) {
+    RenderStats(trace);
   } else {
     Render(trace);
   }
