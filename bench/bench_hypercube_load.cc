@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +24,7 @@
 #include "par/thread_pool.h"
 #include "obs/trace.h"
 #include "relational/generators.h"
+#include "transport/transport.h"
 
 namespace {
 
@@ -60,11 +62,14 @@ Instance MatchingInput(Schema& schema, const ConjunctiveQuery& q,
 void PrintTable() {
   const std::size_t m = 20000;
   obs::BenchReporter reporter("hypercube_load");
+  const std::string transport_name(
+      transport::TransportKindName(transport::ActiveKind()));
   std::printf(
-      "# E3: HyperCube load vs p on skew-free (matching) data, m=%zu\n"
+      "# E3: HyperCube load vs p on skew-free (matching) data, m=%zu, "
+      "transport=%s\n"
       "# columns: query  tau*  p  shares  max-load  k*m/p^(1/tau*)  "
       "ratio\n",
-      m);
+      m, transport_name.c_str());
   for (const QuerySpec& spec : kQueries) {
     Schema schema;
     const ConjunctiveQuery q = ParseQuery(schema, spec.text);
@@ -92,6 +97,7 @@ void PrintTable() {
           .Param("p", p)
           .Param("actual_p", actual_p)
           .Param("m", m)
+          .Param("transport", transport_name)
           .Metrics(registry)
           .Metric("predicted_max_load", predicted)
           .WallNs(timer.ElapsedNs());
@@ -104,6 +110,7 @@ void PrintTable() {
           run.stats);
       audit.params.Set("m", m);
       audit.params.Set("tau_star", tau);
+      audit.params.Set("transport", transport_name);
       obs::audit::GlobalAuditSink().Add(std::move(audit));
     }
   }
@@ -153,6 +160,7 @@ BENCHMARK(BM_ShareOptimizationLp);
 
 int main(int argc, char** argv) {
   lamp::par::ConfigureFromCommandLine(&argc, argv);
+  lamp::transport::ConfigureFromCommandLine(&argc, argv);
   lamp::obs::ConfigureRepeatsFromCommandLine(&argc, argv);
   lamp::obs::RunRepeated([] { PrintTable(); });
   ::benchmark::Initialize(&argc, argv);

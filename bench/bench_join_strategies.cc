@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
@@ -25,6 +26,7 @@
 #include "obs/bench_report.h"
 #include "par/thread_pool.h"
 #include "relational/generators.h"
+#include "transport/transport.h"
 
 namespace {
 
@@ -63,11 +65,14 @@ struct Workload {
 void PrintTable() {
   const std::size_t m = 20000;
   Workload w(m);
+  const std::string transport_name(
+      transport::TransportKindName(transport::ActiveKind()));
   std::printf(
-      "# E1: one-round join strategies (Example 3.1), m=%zu per relation\n"
+      "# E1: one-round join strategies (Example 3.1), m=%zu per relation, "
+      "transport=%s\n"
       "# columns: p  repart(skew-free)  m/p  repart(skewed)  "
       "fragrep(skewed)  m/sqrt(p)  shares-skew(skewed)\n",
-      m);
+      m, transport_name.c_str());
   obs::BenchReporter reporter("join_strategies");
   const obs::audit::Catalog free_catalog =
       obs::audit::BuildCatalog(w.schema, w.skew_free);
@@ -82,6 +87,7 @@ void PrintTable() {
         obs::audit::BoundFor(strategy, w.query, w.schema, catalog, p),
         stats);
     record.params.Set("m", w.m);
+    record.params.Set("transport", transport_name);
     record.expected_violation = expected_violation;
     obs::audit::GlobalAuditSink().Add(std::move(record));
   };
@@ -112,6 +118,7 @@ void PrintTable() {
     reporter.NewRecord()
         .Param("p", p)
         .Param("m", m)
+        .Param("transport", transport_name)
         .Metric("repartition.skew_free.mpc.max_load",
                 repart_free.stats.MaxLoad())
         .Metric("repartition.skewed.mpc.max_load",
@@ -154,6 +161,7 @@ BENCHMARK(BM_FragmentReplicateJoin)->Arg(1000)->Arg(10000);
 
 int main(int argc, char** argv) {
   lamp::par::ConfigureFromCommandLine(&argc, argv);
+  lamp::transport::ConfigureFromCommandLine(&argc, argv);
   lamp::obs::ConfigureRepeatsFromCommandLine(&argc, argv);
   lamp::obs::RunRepeated([] { PrintTable(); });
   ::benchmark::Initialize(&argc, argv);

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +24,7 @@
 #include "obs/bench_report.h"
 #include "par/thread_pool.h"
 #include "relational/generators.h"
+#include "transport/transport.h"
 
 namespace {
 
@@ -59,12 +61,14 @@ struct Workload {
 void PrintTable() {
   const std::size_t m = 20000;
   Workload w(m);
+  const std::string transport_name(
+      transport::TransportKindName(transport::ActiveKind()));
   std::printf(
       "# E2: triangle rounds-vs-skew (Example 3.1(2), Section 3.2), "
-      "m=%zu\n"
+      "m=%zu, transport=%s\n"
       "# columns: p  1rnd(skew-free)  m/p^(2/3)  1rnd(skewed)  "
       "2rnd(skewed)\n",
-      m);
+      m, transport_name.c_str());
   obs::BenchReporter reporter("triangle_rounds");
   const obs::audit::Catalog free_catalog =
       obs::audit::BuildCatalog(w.schema, w.skew_free);
@@ -86,6 +90,7 @@ void PrintTable() {
                                    uniform),
         one_free.stats);
     a_free.params.Set("m", w.m);
+    a_free.params.Set("transport", transport_name);
     obs::audit::GlobalAuditSink().Add(std::move(a_free));
     // One round on skewed data: Section 3.2's point is that the heavy
     // y-value floods one slice of the cube, so the measured max drifts
@@ -99,6 +104,7 @@ void PrintTable() {
                                    uniform),
         one_skew.stats);
     a_skew.params.Set("m", w.m);
+    a_skew.params.Set("transport", transport_name);
     a_skew.expected_violation = true;
     obs::audit::GlobalAuditSink().Add(std::move(a_skew));
     // Two rounds recover the skew-free exponent on the same skewed input.
@@ -108,6 +114,7 @@ void PrintTable() {
                                        p),
         two_skew.stats);
     a_two.params.Set("m", w.m);
+    a_two.params.Set("transport", transport_name);
     obs::audit::GlobalAuditSink().Add(std::move(a_two));
     std::printf("%6zu %14zu %10.0f %12zu %12zu\n", p,
                 one_free.stats.MaxLoad(),
@@ -117,6 +124,7 @@ void PrintTable() {
     reporter.NewRecord()
         .Param("p", p)
         .Param("m", m)
+        .Param("transport", transport_name)
         .Metric("one_round.skew_free.mpc.max_load", one_free.stats.MaxLoad())
         .Metric("one_round.skewed.mpc.max_load", one_skew.stats.MaxLoad())
         .Metric("two_round.skewed.mpc.max_load", two_skew.stats.MaxLoad())
@@ -148,6 +156,7 @@ BENCHMARK(BM_TwoRoundSkewResilient)->Arg(2000)->Arg(8000);
 
 int main(int argc, char** argv) {
   lamp::par::ConfigureFromCommandLine(&argc, argv);
+  lamp::transport::ConfigureFromCommandLine(&argc, argv);
   lamp::obs::ConfigureRepeatsFromCommandLine(&argc, argv);
   lamp::obs::RunRepeated([] { PrintTable(); });
   ::benchmark::Initialize(&argc, argv);

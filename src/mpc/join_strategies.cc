@@ -13,11 +13,24 @@ namespace lamp {
 
 namespace {
 
-/// Positions (within each of the two atoms) of the shared join variables.
-struct JoinShape {
-  std::vector<std::size_t> left_positions;   // In body()[0].
-  std::vector<std::size_t> right_positions;  // In body()[1].
-};
+std::uint64_t HashPositions(const Fact& fact,
+                            const std::vector<std::size_t>& positions,
+                            std::uint64_t seed) {
+  std::uint64_t h = HashMix(seed);
+  for (std::size_t pos : positions) {
+    h = HashCombine(h, static_cast<std::uint64_t>(fact.args[pos].v));
+  }
+  return h;
+}
+
+MpcSimulator::Computer EvaluateLocally(const ConjunctiveQuery& query) {
+  return [&query](NodeId, const Instance& received) {
+    return MpcSimulator::ComputeResult{Instance(),
+                                       Evaluate(query, received)};
+  };
+}
+
+}  // namespace
 
 JoinShape AnalyzeBinaryJoin(const ConjunctiveQuery& query) {
   LAMP_CHECK_MSG(query.body().size() == 2,
@@ -56,54 +69,29 @@ JoinShape AnalyzeBinaryJoin(const ConjunctiveQuery& query) {
   return shape;
 }
 
-std::uint64_t HashPositions(const Fact& fact,
-                            const std::vector<std::size_t>& positions,
-                            std::uint64_t seed) {
-  std::uint64_t h = HashMix(seed);
-  for (std::size_t pos : positions) {
-    h = HashCombine(h, static_cast<std::uint64_t>(fact.args[pos].v));
-  }
-  return h;
-}
-
-MpcSimulator::Computer EvaluateLocally(const ConjunctiveQuery& query) {
-  return [&query](NodeId, const Instance& received) {
-    return MpcSimulator::ComputeResult{Instance(),
-                                       Evaluate(query, received)};
-  };
-}
-
-}  // namespace
-
-MpcRunResult RepartitionJoin(const ConjunctiveQuery& query,
-                             const Instance& input, std::size_t num_servers,
-                             std::uint64_t seed) {
+MpcSimulator::Router RepartitionRouter(const ConjunctiveQuery& query,
+                                       std::size_t num_servers,
+                                       std::uint64_t seed) {
   const JoinShape shape = AnalyzeBinaryJoin(query);
   const RelationId left_rel = query.body()[0].relation;
   const RelationId right_rel = query.body()[1].relation;
-
-  MpcSimulator sim(num_servers);
-  sim.LoadInput(input);
-  sim.RunRound(
-      [&](NodeId, const Fact& f) -> std::vector<NodeId> {
-        if (f.relation == left_rel) {
-          return {static_cast<NodeId>(
-              HashPositions(f, shape.left_positions, seed) % num_servers)};
-        }
-        if (f.relation == right_rel) {
-          return {static_cast<NodeId>(
-              HashPositions(f, shape.right_positions, seed) % num_servers)};
-        }
-        return {};
-      },
-      EvaluateLocally(query));
-  return {sim.output(), sim.stats()};
+  return [shape, left_rel, right_rel, num_servers,
+          seed](NodeId, const Fact& f) -> std::vector<NodeId> {
+    if (f.relation == left_rel) {
+      return {static_cast<NodeId>(
+          HashPositions(f, shape.left_positions, seed) % num_servers)};
+    }
+    if (f.relation == right_rel) {
+      return {static_cast<NodeId>(
+          HashPositions(f, shape.right_positions, seed) % num_servers)};
+    }
+    return {};
+  };
 }
 
-MpcRunResult FragmentReplicateJoin(const ConjunctiveQuery& query,
-                                   const Instance& input,
-                                   std::size_t num_servers,
-                                   std::uint64_t seed) {
+MpcSimulator::Router FragmentReplicateRouter(const ConjunctiveQuery& query,
+                                             std::size_t num_servers,
+                                             std::uint64_t seed) {
   AnalyzeBinaryJoin(query);  // Validates the query shape.
   const RelationId left_rel = query.body()[0].relation;
   const RelationId right_rel = query.body()[1].relation;
@@ -112,27 +100,43 @@ MpcRunResult FragmentReplicateJoin(const ConjunctiveQuery& query,
       std::floor(std::sqrt(static_cast<double>(num_servers)) + 1e-9));
   LAMP_CHECK(g >= 1);
 
+  return [left_rel, right_rel, g, seed](NodeId, const Fact& f) {
+    std::vector<NodeId> targets;
+    // Group by the whole-fact hash: balanced regardless of value skew.
+    const std::uint64_t group = FactHash()(f) ^ HashMix(seed);
+    if (f.relation == left_rel) {
+      const std::size_t row = group % g;
+      for (std::size_t col = 0; col < g; ++col) {
+        targets.push_back(static_cast<NodeId>(row * g + col));
+      }
+    } else if (f.relation == right_rel) {
+      const std::size_t col = group % g;
+      for (std::size_t row = 0; row < g; ++row) {
+        targets.push_back(static_cast<NodeId>(row * g + col));
+      }
+    }
+    return targets;
+  };
+}
+
+MpcRunResult RepartitionJoin(const ConjunctiveQuery& query,
+                             const Instance& input, std::size_t num_servers,
+                             std::uint64_t seed) {
   MpcSimulator sim(num_servers);
   sim.LoadInput(input);
-  sim.RunRound(
-      [&](NodeId, const Fact& f) -> std::vector<NodeId> {
-        std::vector<NodeId> targets;
-        // Group by the whole-fact hash: balanced regardless of value skew.
-        const std::uint64_t group = FactHash()(f) ^ HashMix(seed);
-        if (f.relation == left_rel) {
-          const std::size_t row = group % g;
-          for (std::size_t col = 0; col < g; ++col) {
-            targets.push_back(static_cast<NodeId>(row * g + col));
-          }
-        } else if (f.relation == right_rel) {
-          const std::size_t col = group % g;
-          for (std::size_t row = 0; row < g; ++row) {
-            targets.push_back(static_cast<NodeId>(row * g + col));
-          }
-        }
-        return targets;
-      },
-      EvaluateLocally(query));
+  sim.RunRound(RepartitionRouter(query, num_servers, seed),
+               EvaluateLocally(query));
+  return {sim.output(), sim.stats()};
+}
+
+MpcRunResult FragmentReplicateJoin(const ConjunctiveQuery& query,
+                                   const Instance& input,
+                                   std::size_t num_servers,
+                                   std::uint64_t seed) {
+  MpcSimulator sim(num_servers);
+  sim.LoadInput(input);
+  sim.RunRound(FragmentReplicateRouter(query, num_servers, seed),
+               EvaluateLocally(query));
   return {sim.output(), sim.stats()};
 }
 

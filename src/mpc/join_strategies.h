@@ -2,8 +2,10 @@
 #define LAMP_MPC_JOIN_STRATEGIES_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "cq/cq.h"
+#include "mpc/simulator.h"
 #include "mpc/stats.h"
 #include "relational/instance.h"
 
@@ -26,6 +28,33 @@ struct MpcRunResult {
   Instance output;
   RunStats stats;
 };
+
+/// Positions (within each of the two body atoms) of the shared join
+/// variables of a binary join query.
+struct JoinShape {
+  std::vector<std::size_t> left_positions;   // In body()[0].
+  std::vector<std::size_t> right_positions;  // In body()[1].
+};
+
+/// Validates that \p query is a binary join the strategies support (two
+/// distinct atoms sharing at least one variable) and returns the
+/// join-key positions.
+JoinShape AnalyzeBinaryJoin(const ConjunctiveQuery& query);
+
+/// The exact routing function RepartitionJoin runs, exposed so
+/// out-of-process runners (tools/mpc_procs) route byte-identically to
+/// the in-process reference. The returned callable is self-contained:
+/// it captures no reference to \p query.
+MpcSimulator::Router RepartitionRouter(const ConjunctiveQuery& query,
+                                       std::size_t num_servers,
+                                       std::uint64_t seed);
+
+/// The exact routing function FragmentReplicateJoin runs (grid of
+/// g = floor(sqrt(num_servers)) rows x g columns). Self-contained like
+/// RepartitionRouter.
+MpcSimulator::Router FragmentReplicateRouter(const ConjunctiveQuery& query,
+                                             std::size_t num_servers,
+                                             std::uint64_t seed);
 
 /// Example 3.1(1a). \p query must be a join of exactly two atoms sharing
 /// at least one variable (e.g. H(x,y,z) <- R(x,y), S(y,z)).

@@ -56,6 +56,7 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
   std::vector<Instance> received(p);
   RoundStats round;
   round.received.assign(p, 0);
+  round.wire_bytes.assign(p, 0);
   {
     obs::TraceSpan span("mpc.route", round_idx);
     const std::size_t shards = pool.NumChunks(p);
@@ -77,23 +78,115 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
           }
         });
 
-    // Step 2: merge outboxes per target, ascending shard order. Targets are
-    // independent, so the merge itself fans out; the per-target insert
-    // sequence equals the serial one, keeping dedup decisions and load
-    // counts byte-identical. A fact kept at its current server is not
-    // communicated: it persists but does not count toward the load (the
-    // model's load is the data *received* by a server during the round).
-    pool.ParallelFor(0, p, [&received, &round, &outbox](std::size_t target) {
-      const auto tgt = static_cast<NodeId>(target);
-      std::size_t& load = round.received[target];
+    transport::Transport* wire = WireTransport();
+    if (wire == nullptr) {
+      // Step 2 (in-process): merge outboxes per target, ascending shard
+      // order. Targets are independent, so the merge itself fans out; the
+      // per-target insert sequence equals the serial one, keeping dedup
+      // decisions and load counts byte-identical. A fact kept at its
+      // current server is not communicated: it persists but does not count
+      // toward the load (the model's load is the data *received* by a
+      // server during the round). Wire bytes are accounted in closed form:
+      // the bytes the socket backends would ship for the same traffic,
+      // one kFactBatch frame per (source, target) run.
+      pool.ParallelFor(0, p, [&received, &round, &outbox,
+                              round_idx](std::size_t target) {
+        const auto tgt = static_cast<NodeId>(target);
+        std::size_t& load = round.received[target];
+        std::size_t& bytes = round.wire_bytes[target];
+        NodeId run_source = 0;
+        std::size_t run_count = 0;
+        std::size_t run_fact_bytes = 0;
+        const auto flush_run = [&] {
+          if (run_count == 0) return;
+          const std::size_t payload = transport::VarintSize(round_idx) +
+                                      transport::VarintSize(run_count) +
+                                      run_fact_bytes;
+          bytes += transport::FactBatchFrameSize(run_source, tgt, payload);
+          run_count = 0;
+          run_fact_bytes = 0;
+        };
+        for (const auto& out : outbox) {
+          for (const Routed& r : out[target]) {
+            if (r.source != tgt) {
+              if (run_count != 0 && r.source != run_source) flush_run();
+              run_source = r.source;
+              ++run_count;
+              run_fact_bytes += transport::EncodedFactSize(*r.fact);
+            }
+            if (received[target].Insert(*r.fact) && tgt != r.source) {
+              ++load;
+            }
+          }
+        }
+        flush_run();
+      });
+    } else {
+      // Step 2 (sockets): serialize each (source, target != source) run
+      // into one kFactBatch frame and ship it. Sources are ascending per
+      // target (shards are contiguous ascending ranges), so senders[t]
+      // comes out ascending too.
+      std::vector<std::vector<NodeId>> senders(p);
+      std::vector<const Fact*> batch;
       for (const auto& out : outbox) {
-        for (const Routed& r : out[target]) {
-          if (received[target].Insert(*r.fact) && tgt != r.source) {
-            ++load;
+        for (std::size_t target = 0; target < p; ++target) {
+          const std::vector<Routed>& entries = out[target];
+          std::size_t i = 0;
+          while (i < entries.size()) {
+            const NodeId src = entries[i].source;
+            batch.clear();
+            while (i < entries.size() && entries[i].source == src) {
+              batch.push_back(entries[i].fact);
+              ++i;
+            }
+            if (src == static_cast<NodeId>(target)) continue;  // Stays local.
+            transport::WireFrame frame;
+            frame.type = transport::FrameType::kFactBatch;
+            frame.from = src;
+            frame.to = static_cast<std::uint32_t>(target);
+            frame.payload = transport::EncodeFactBatchPayload(round_idx,
+                                                              batch);
+            wire->Send(std::move(frame));
+            senders[target].push_back(src);
           }
         }
       }
-    });
+      // Each target drains its channels in ascending source order,
+      // interleaving the self-routed (local) entries at its own position —
+      // the exact in-process insert sequence, so digests cannot move.
+      pool.ParallelFor(0, p, [&received, &round, &outbox, &senders, wire, p,
+                              round_idx](std::size_t target) {
+        const auto tgt = static_cast<NodeId>(target);
+        std::size_t& load = round.received[target];
+        std::size_t next = 0;
+        for (NodeId source = 0; source < p; ++source) {
+          if (source == tgt) {
+            for (const auto& out : outbox) {
+              for (const Routed& r : out[target]) {
+                if (r.source == tgt) received[target].Insert(*r.fact);
+              }
+            }
+            continue;
+          }
+          if (next >= senders[target].size() ||
+              senders[target][next] != source) {
+            continue;  // That source routed nothing here this round.
+          }
+          ++next;
+          transport::WireFrame frame = wire->Recv(
+              static_cast<std::uint32_t>(target), source);
+          LAMP_CHECK(frame.type == transport::FrameType::kFactBatch);
+          round.wire_bytes[target] += transport::FrameWireSize(frame);
+          const auto decoded =
+              transport::DecodeFactBatchPayload(frame.payload);
+          LAMP_CHECK_MSG(decoded.has_value() && decoded->round == round_idx,
+                         "mpc: malformed fact batch on the wire");
+          for (const Fact& f : decoded->facts) {
+            if (received[target].Insert(f)) ++load;
+          }
+        }
+      });
+    }
   }
   std::size_t round_total = 0;
   if (obs::InstalledTracer() != nullptr) {
@@ -122,6 +215,16 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
     }
   }
   obs::Emit(obs::EventKind::kMpcRoundEnd, round_idx, 0, round_total);
+}
+
+transport::Transport* MpcSimulator::WireTransport() {
+  const transport::TransportKind kind = transport::ActiveKind();
+  if (kind == transport::TransportKind::kInProcess) return nullptr;
+  if (transport_ == nullptr || transport_->kind() != kind ||
+      transport_->num_endpoints() != locals_.size()) {
+    transport_ = transport::MakeLoopbackTransport(kind, locals_.size());
+  }
+  return transport_.get();
 }
 
 MpcSimulator::Computer MpcSimulator::KeepAll() {

@@ -2,11 +2,13 @@
 #define LAMP_MPC_SIMULATOR_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "distribution/policy.h"
 #include "mpc/stats.h"
 #include "relational/instance.h"
+#include "transport/transport.h"
 
 /// \file
 /// The MPC execution model (Section 3 of the paper): p servers, rounds of a
@@ -32,6 +34,17 @@
 /// round algorithms use self-routing to keep relations in place for later
 /// rounds). With round-robin initial placement, accidental self-hits are a
 /// 1/p effect on measured loads.
+///
+/// Backend selection: transport::ActiveKind() picks where the routed facts
+/// travel. The in-process default keeps the zero-copy outbox/merge path;
+/// tcp/uds serialize each (source, target) batch into one lamp.wire.v1
+/// kFactBatch frame per round and ship it over real sockets
+/// (src/transport). The wire path drains channels per target in ascending
+/// source order — exactly the in-process merge order — so outputs, dedup
+/// decisions and RoundStats are byte-identical across backends. Either
+/// way RoundStats::wire_bytes records the serialized frame bytes each
+/// server received (computed in closed form in-process, measured on the
+/// socket backends; the two agree by construction).
 
 namespace lamp {
 
@@ -79,9 +92,14 @@ class MpcSimulator {
   Instance GlobalState() const;
 
  private:
+  /// The socket transport for this cluster, created on the first RunRound
+  /// when transport::ActiveKind() is a socket backend (nullptr otherwise).
+  transport::Transport* WireTransport();
+
   std::vector<Instance> locals_;
   Instance output_;
   RunStats stats_;
+  std::unique_ptr<transport::Transport> transport_;
 };
 
 }  // namespace lamp

@@ -21,6 +21,11 @@ double RoundStats::AvgLoad() const {
          static_cast<double>(received.size());
 }
 
+std::size_t RoundStats::TotalWireBytes() const {
+  return std::accumulate(wire_bytes.begin(), wire_bytes.end(),
+                         std::size_t{0});
+}
+
 std::size_t RunStats::MaxLoad() const {
   std::size_t max_load = 0;
   for (const RoundStats& r : rounds) {
@@ -35,9 +40,16 @@ std::size_t RunStats::TotalCommunication() const {
   return total;
 }
 
+std::size_t RunStats::TotalWireBytes() const {
+  std::size_t total = 0;
+  for (const RoundStats& r : rounds) total += r.TotalWireBytes();
+  return total;
+}
+
 void RunStats::ToMetrics(obs::MetricsRegistry& registry) const {
   registry.GetCounter(obs::kMpcRounds).Add(rounds.size());
   registry.GetCounter(obs::kMpcTotalCommunication).Add(TotalCommunication());
+  registry.GetCounter(obs::kMpcWireBytes).Add(TotalWireBytes());
   registry.GetGauge(obs::kMpcMaxLoad).Max(static_cast<double>(MaxLoad()));
   obs::Histogram& max_load = registry.GetHistogram(obs::kMpcRoundMaxLoad);
   obs::Histogram& total_load = registry.GetHistogram(obs::kMpcRoundTotalLoad);
@@ -59,11 +71,19 @@ obs::JsonValue RunStats::ToJson() const {
       received.PushBack(obs::JsonValue(load));
     }
     round.Set("received", std::move(received));
+    if (!r.wire_bytes.empty()) {
+      obs::JsonValue wire = obs::JsonValue::Array();
+      for (const std::size_t b : r.wire_bytes) {
+        wire.PushBack(obs::JsonValue(b));
+      }
+      round.Set("wire_bytes", std::move(wire));
+    }
     round_list.PushBack(std::move(round));
   }
   doc.Set("rounds", std::move(round_list));
   doc.Set("max_load", MaxLoad());
   doc.Set("total_communication", TotalCommunication());
+  if (TotalWireBytes() > 0) doc.Set("wire_bytes", TotalWireBytes());
   return doc;
 }
 

@@ -24,6 +24,12 @@ namespace lamp {
 struct RoundStats {
   std::vector<std::size_t> received;
 
+  /// Wire bytes received per server (lamp.wire.v1 frames, duplicates and
+  /// framing included). Same length as `received` when the run went
+  /// through lamp::transport; empty for legacy paths that never filled
+  /// it — all accessors treat empty as zero.
+  std::vector<std::size_t> wire_bytes;
+
   /// Maximum load over servers (the Koutris-Suciu objective).
   std::size_t MaxLoad() const;
 
@@ -32,6 +38,9 @@ struct RoundStats {
 
   /// Average load per server (0 on zero servers).
   double AvgLoad() const;
+
+  /// Total wire bytes received this round (0 when not measured).
+  std::size_t TotalWireBytes() const;
 };
 
 /// Statistics of a complete (multi-round) MPC execution.
@@ -44,6 +53,9 @@ struct RunStats {
 
   /// Total tuples communicated across all rounds.
   std::size_t TotalCommunication() const;
+
+  /// Total wire bytes across all rounds (0 when not measured).
+  std::size_t TotalWireBytes() const;
 
   std::size_t NumRounds() const { return rounds.size(); }
 

@@ -1,7 +1,11 @@
 #include "net/network.h"
 
+#include <memory>
+#include <utility>
+
 #include "common/check.h"
 #include "obs/trace.h"
+#include "transport/transport.h"
 
 namespace lamp {
 
@@ -96,9 +100,27 @@ NetworkRunResult TransducerNetwork::RunWith(Scheduler& scheduler) {
   const bool keep_log = scheduler.WantsRedeliveryLog();
   std::vector<std::vector<InFlight>> consumed(n);
 
+  // Backend selection (transport::ActiveKind): with a socket backend every
+  // broadcast copy is framed (lamp.wire.v1 kMessage), shipped through the
+  // transport and decoded back into the receiver's channel *at dispatch
+  // time*. The channel state at every scheduler decision point is
+  // therefore identical to the in-process run, which is what makes the
+  // seeded Scheduler a pure delivery-order policy the transport honors:
+  // the wire carries the bytes, the scheduler still picks the order (and
+  // the faults), and digests cannot move. In-process runs account the
+  // same wire bytes in closed form, so net.wire_bytes is backend-
+  // invariant too.
+  std::unique_ptr<transport::Transport> wire;
+  if (transport::ActiveKind() != transport::TransportKind::kInProcess &&
+      n > 1) {
+    wire = transport::MakeLoopbackTransport(transport::ActiveKind(), n);
+  }
+  std::uint64_t wire_seq = 0;
+
   NetworkRunResult result;
   obs::Counter& messages_sent =
       result.metrics.GetCounter(obs::kNetMessagesSent);
+  obs::Counter& wire_bytes = result.metrics.GetCounter(obs::kNetWireBytes);
   obs::Counter& facts_transferred =
       result.metrics.GetCounter(obs::kNetFactsTransferred);
   obs::Counter& transitions = result.metrics.GetCounter(obs::kNetTransitions);
@@ -129,7 +151,36 @@ NetworkRunResult TransducerNetwork::RunWith(Scheduler& scheduler) {
                 static_cast<std::uint32_t>(from), 0, msg.size());
       for (NodeId to = 0; to < n; ++to) {
         if (to == from) continue;
-        queue[to].push_back({from, msg, clock[from] + 1, dominant[from]});
+        const std::uint64_t depth = clock[from] + 1;
+        const std::uint32_t parent = dominant[from];
+        const std::uint64_t seq = wire_seq++;
+        if (wire != nullptr) {
+          transport::WireFrame frame;
+          frame.type = transport::FrameType::kMessage;
+          frame.from = from;
+          frame.to = to;
+          frame.payload =
+              transport::EncodeMessagePayload(seq, depth, parent, msg);
+          wire_bytes.Add(transport::FrameWireSize(frame));
+          wire->Send(std::move(frame));
+          transport::WireFrame got = wire->Recv(to, from);
+          LAMP_CHECK(got.type == transport::FrameType::kMessage &&
+                     got.from == from);
+          auto decoded = transport::DecodeMessagePayload(got.payload);
+          LAMP_CHECK_MSG(decoded.has_value() && decoded->seq == seq,
+                         "net: malformed message on the wire");
+          queue[to].push_back({from, std::move(decoded->facts),
+                               decoded->depth, decoded->parent});
+        } else {
+          std::size_t payload = transport::VarintSize(seq) +
+                                transport::VarintSize(depth) +
+                                transport::VarintSize(parent) +
+                                transport::VarintSize(msg.size());
+          for (const Fact& f : msg) payload += transport::EncodedFactSize(f);
+          wire_bytes.Add(4 + 2 + transport::VarintSize(from) +
+                         transport::VarintSize(to) + payload);
+          queue[to].push_back({from, msg, depth, parent});
+        }
         queued_from[to].push_back(from);
       }
     }

@@ -43,6 +43,12 @@ struct NetworkRunResult {
   std::size_t facts_transferred() const {
     return metrics.CounterValue(obs::kNetFactsTransferred);
   }
+  /// Serialized bytes of every broadcast copy in lamp.wire.v1 framing
+  /// (net.wire_bytes) — measured on socket backends, computed in closed
+  /// form in-process; identical across backends by construction.
+  std::size_t wire_bytes() const {
+    return metrics.CounterValue(obs::kNetWireBytes);
+  }
   /// Deliveries performed to quiescence (net.transitions).
   std::size_t transitions() const {
     return metrics.CounterValue(obs::kNetTransitions);

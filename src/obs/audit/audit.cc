@@ -44,6 +44,17 @@ JsonValue AuditRecord::ToJson() const {
   JsonValue loads = JsonValue::Array();
   for (const std::size_t load : per_server) loads.PushBack(JsonValue(load));
   doc.Set("per_server", std::move(loads));
+  doc.Set("wire_bytes", wire_bytes);
+  JsonValue round_wire = JsonValue::Array();
+  for (const std::size_t b : round_wire_bytes) {
+    round_wire.PushBack(JsonValue(b));
+  }
+  doc.Set("round_wire_bytes", std::move(round_wire));
+  JsonValue round_load = JsonValue::Array();
+  for (const std::size_t l : round_total_load) {
+    round_load.PushBack(JsonValue(l));
+  }
+  doc.Set("round_total_load", std::move(round_load));
   doc.Set("pass", Pass());
   doc.Set("expected_violation", expected_violation);
   return doc;
@@ -103,6 +114,24 @@ std::optional<AuditRecord> AuditRecord::FromJson(const JsonValue& doc) {
           static_cast<std::size_t>(loads->at(i).AsInt()));
     }
   }
+  if (const JsonValue* wire = doc.Find("wire_bytes");
+      wire != nullptr && wire->IsNumber()) {
+    record.wire_bytes = static_cast<std::size_t>(wire->AsInt());
+  }
+  if (const JsonValue* round_wire = doc.Find("round_wire_bytes");
+      round_wire != nullptr && round_wire->IsArray()) {
+    for (std::size_t i = 0; i < round_wire->size(); ++i) {
+      record.round_wire_bytes.push_back(
+          static_cast<std::size_t>(round_wire->at(i).AsInt()));
+    }
+  }
+  if (const JsonValue* round_load = doc.Find("round_total_load");
+      round_load != nullptr && round_load->IsArray()) {
+    for (std::size_t i = 0; i < round_load->size(); ++i) {
+      record.round_total_load.push_back(
+          static_cast<std::size_t>(round_load->at(i).AsInt()));
+    }
+  }
   if (const JsonValue* expected = doc.Find("expected_violation");
       expected != nullptr && expected->IsBool()) {
     record.expected_violation = expected->AsBool();
@@ -123,6 +152,11 @@ AuditRecord MakeAuditRecord(std::string bench, std::string label,
   record.measured_max_load = stats.MaxLoad();
   record.rounds = stats.NumRounds();
   record.total_communication = stats.TotalCommunication();
+  record.wire_bytes = stats.TotalWireBytes();
+  for (const RoundStats& r : stats.rounds) {
+    record.round_wire_bytes.push_back(r.TotalWireBytes());
+    record.round_total_load.push_back(r.TotalLoad());
+  }
   for (std::size_t r = 0; r < stats.rounds.size(); ++r) {
     if (stats.rounds[r].MaxLoad() == record.measured_max_load) {
       record.worst_round = r;

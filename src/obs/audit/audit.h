@@ -64,6 +64,17 @@ struct AuditRecord {
   std::size_t worst_round = 0;  // Round achieving the max load.
   std::vector<std::size_t> per_server;  // Loads of the worst round.
 
+  /// Wire traffic next to the logical loads (lamp.wire.v1 framing bytes;
+  /// measured on socket transports and by tools/mpc_procs, computed in
+  /// closed form in-process — identical either way). Zero / empty when
+  /// the producing run predates wire accounting; FromJson tolerates their
+  /// absence. round_total_load aligns with round_wire_bytes so readers
+  /// can print the per-round wire/logical ratio (bytes per tuple, the
+  /// serialization overhead) without re-deriving round totals.
+  std::size_t wire_bytes = 0;                  // RunStats::TotalWireBytes().
+  std::vector<std::size_t> round_wire_bytes;   // Per round, all servers.
+  std::vector<std::size_t> round_total_load;   // Per round, all servers.
+
   bool expected_violation = false;  // Exempt from hard fail.
 
   /// measured <= bound * slack (true when there is no bound).

@@ -22,6 +22,11 @@
 ///   net.broadcast,
 ///   net.deliver        -> counter "net.message_facts" (facts per message)
 ///   datalog.iteration  -> counter "datalog.delta" (delta cardinality)
+///   transport.send,
+///   transport.recv     -> counter "transport.wire_bytes" with two series
+///                         (cumulative "sent"/"received" lamp.wire.v1
+///                         bytes; the staircase slope is instantaneous
+///                         wire throughput)
 ///   every non-span kind -> thread-scoped instant "i" event named by its
 ///                         wire kind, payload in args {a, b, value}
 ///

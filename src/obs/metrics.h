@@ -147,12 +147,14 @@ inline constexpr std::string_view kMpcRoundTotalLoad = "mpc.round.total_load";
 inline constexpr std::string_view kMpcMaxLoad = "mpc.max_load";
 inline constexpr std::string_view kMpcTotalCommunication =
     "mpc.total_communication";
+inline constexpr std::string_view kMpcWireBytes = "mpc.wire_bytes";
 inline constexpr std::string_view kNetMessagesSent = "net.messages_sent";
 inline constexpr std::string_view kNetFactsTransferred =
     "net.facts_transferred";
 inline constexpr std::string_view kNetTransitions = "net.transitions";
 inline constexpr std::string_view kNetBroadcasts = "net.broadcasts";
 inline constexpr std::string_view kNetMessageSize = "net.message_size";
+inline constexpr std::string_view kNetWireBytes = "net.wire_bytes";
 inline constexpr std::string_view kNetFaultDrops = "net.fault.drops";
 inline constexpr std::string_view kNetFaultDuplicates = "net.fault.duplicates";
 inline constexpr std::string_view kNetFaultCrashes = "net.fault.crashes";

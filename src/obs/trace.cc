@@ -67,6 +67,12 @@ std::string_view EventKindName(EventKind kind) {
       return "net.causal_deliver";
     case EventKind::kNetOutput:
       return "net.output";
+    case EventKind::kTransportConnect:
+      return "transport.connect";
+    case EventKind::kTransportSend:
+      return "transport.send";
+    case EventKind::kTransportRecv:
+      return "transport.recv";
   }
   return "unknown";
 }

@@ -72,6 +72,12 @@ enum class EventKind : std::uint8_t {
   kNetOutput,          // a=node, b=transition index + 1 (0 = produced
                        //   during a heartbeat), value=causal depth at
                        //   which the first new output fact appeared
+  kTransportConnect,   // a=endpoints, b=backend (TransportKind), value=
+                       //   file descriptors opened (0 for in-process)
+  kTransportSend,      // a=sender endpoint, b=receiver endpoint,
+                       //   value=frame wire bytes
+  kTransportRecv,      // a=receiver endpoint, b=sender endpoint,
+                       //   value=frame wire bytes
 };
 
 /// Stable wire name of a kind ("mpc.server_load", "net.deliver", ...).

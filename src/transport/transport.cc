@@ -1,0 +1,471 @@
+#include "transport/transport.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace lamp::transport {
+
+namespace {
+
+/// Read chunk size of the relay loop and the endpoint receive path.
+constexpr std::size_t kReadChunk = 1 << 16;
+
+void EmitConnect(TransportKind kind, std::size_t endpoints, std::size_t fds) {
+  obs::Emit(obs::EventKind::kTransportConnect,
+            static_cast<std::uint32_t>(endpoints),
+            static_cast<std::uint32_t>(kind), fds);
+}
+
+void EmitSend(const WireFrame& frame, std::size_t bytes) {
+  obs::Emit(obs::EventKind::kTransportSend, frame.from, frame.to, bytes);
+}
+
+void EmitRecv(const WireFrame& frame, std::size_t bytes) {
+  obs::Emit(obs::EventKind::kTransportRecv, frame.to, frame.from, bytes);
+}
+
+/// The default backend: one FIFO deque per (from, to) channel. Frames are
+/// never serialized, but wire bytes are accounted with FrameWireSize so
+/// the in-process numbers match what the socket backends measure.
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(std::size_t num_endpoints)
+      : n_(num_endpoints), channels_(num_endpoints * num_endpoints) {
+    EmitConnect(TransportKind::kInProcess, n_, 0);
+  }
+
+  TransportKind kind() const override { return TransportKind::kInProcess; }
+  std::size_t num_endpoints() const override { return n_; }
+
+  void Send(WireFrame frame) override {
+    LAMP_CHECK(frame.from < n_ && frame.to < n_);
+    const std::size_t bytes = FrameWireSize(frame);
+    EmitSend(frame, bytes);
+    Channel& ch = channels_[frame.from * n_ + frame.to];
+    {
+      std::lock_guard<std::mutex> lock(ch.mu);
+      ch.frames.push_back(std::move(frame));
+    }
+    ch.cv.notify_one();
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  WireFrame Recv(std::uint32_t to, std::uint32_t from) override {
+    LAMP_CHECK(from < n_ && to < n_);
+    Channel& ch = channels_[static_cast<std::size_t>(from) * n_ + to];
+    std::unique_lock<std::mutex> lock(ch.mu);
+    ch.cv.wait(lock, [&ch] { return !ch.frames.empty(); });
+    WireFrame frame = std::move(ch.frames.front());
+    ch.frames.pop_front();
+    lock.unlock();
+    const std::size_t bytes = FrameWireSize(frame);
+    EmitRecv(frame, bytes);
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+    return frame;
+  }
+
+  void Shutdown() override {}
+
+  WireStats stats() const override {
+    return WireStats{frames_sent_.load(std::memory_order_relaxed),
+                     bytes_sent_.load(std::memory_order_relaxed),
+                     frames_received_.load(std::memory_order_relaxed),
+                     bytes_received_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  struct Channel {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<WireFrame> frames;
+  };
+
+  std::size_t n_;
+  std::vector<Channel> channels_;
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+void WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LAMP_CHECK_MSG(false, "transport: socket write failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Socket backends: every endpoint holds one stream socket whose peer end
+/// belongs to a relay thread that forwards frames to their destination
+/// endpoint. The relay polls, never blocks on writes (pending bytes queue
+/// in userspace), so senders cannot deadlock against receivers that have
+/// not started draining — the shape of an MPC communication phase.
+class SocketRelayTransport final : public Transport {
+ public:
+  SocketRelayTransport(TransportKind kind, std::size_t num_endpoints)
+      : kind_(kind), n_(num_endpoints), endpoints_(num_endpoints) {
+    std::vector<int> relay_fds;
+    if (kind_ == TransportKind::kUds) {
+      relay_fds = ConnectUds();
+    } else {
+      relay_fds = ConnectTcp();
+    }
+    EmitConnect(kind_, n_, 2 * n_);
+    relay_ = std::thread([this, relay_fds] { RelayLoop(relay_fds); });
+  }
+
+  ~SocketRelayTransport() override { Shutdown(); }
+
+  TransportKind kind() const override { return kind_; }
+  std::size_t num_endpoints() const override { return n_; }
+
+  void Send(WireFrame frame) override {
+    LAMP_CHECK(frame.from < n_ && frame.to < n_);
+    Endpoint& ep = endpoints_[frame.from];
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(FrameWireSize(frame));
+    AppendFrame(bytes, frame);
+    EmitSend(frame, bytes.size());
+    {
+      std::lock_guard<std::mutex> lock(ep.send_mu);
+      WriteAll(ep.fd, bytes.data(), bytes.size());
+    }
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  }
+
+  WireFrame Recv(std::uint32_t to, std::uint32_t from) override {
+    LAMP_CHECK(from < n_ && to < n_);
+    Endpoint& ep = endpoints_[to];
+    std::lock_guard<std::mutex> lock(ep.recv_mu);
+    while (ep.inbox[from].empty()) {
+      // Drain the endpoint socket; frames for other channels of `to` are
+      // buffered in their inbox, preserving per-channel FIFO.
+      std::uint8_t buf[kReadChunk];
+      const ssize_t n = ::read(ep.fd, buf, sizeof buf);
+      if (n < 0 && errno == EINTR) continue;
+      LAMP_CHECK_MSG(n > 0, "transport: socket closed while receiving");
+      ep.decoder.Feed(buf, static_cast<std::size_t>(n));
+      while (std::optional<WireFrame> frame = ep.decoder.Next()) {
+        LAMP_CHECK_MSG(frame->to == to && frame->from < n_,
+                       "transport: misrouted frame");
+        ep.inbox[frame->from].push_back(*std::move(frame));
+      }
+      LAMP_CHECK_MSG(!ep.decoder.error(), "transport: corrupt frame stream");
+    }
+    WireFrame frame = std::move(ep.inbox[from].front());
+    ep.inbox[from].pop_front();
+    const std::size_t bytes = FrameWireSize(frame);
+    EmitRecv(frame, bytes);
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+    return frame;
+  }
+
+  void Shutdown() override {
+    bool expected = false;
+    if (!stopped_.compare_exchange_strong(expected, true)) return;
+    // Wake the relay: one byte down the self-pipe, then join.
+    const std::uint8_t byte = 0;
+    WriteAll(wake_pipe_[1], &byte, 1);
+    if (relay_.joinable()) relay_.join();
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    for (Endpoint& ep : endpoints_) {
+      if (ep.fd >= 0) ::close(ep.fd);
+      ep.fd = -1;
+    }
+  }
+
+  WireStats stats() const override {
+    return WireStats{frames_sent_.load(std::memory_order_relaxed),
+                     bytes_sent_.load(std::memory_order_relaxed),
+                     frames_received_.load(std::memory_order_relaxed),
+                     bytes_received_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  struct Endpoint {
+    int fd = -1;
+    std::mutex send_mu;
+    std::mutex recv_mu;
+    FrameDecoder decoder;
+    std::vector<std::deque<WireFrame>> inbox;
+  };
+
+  /// One socketpair per endpoint: [0] stays with the endpoint, [1] goes to
+  /// the relay. Rank mapping is positional — no handshake needed.
+  std::vector<int> ConnectUds() {
+    std::vector<int> relay_fds(n_, -1);
+    for (std::size_t i = 0; i < n_; ++i) {
+      int sv[2];
+      LAMP_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+                     "transport: socketpair failed");
+      endpoints_[i].fd = sv[0];
+      endpoints_[i].inbox.resize(n_);
+      relay_fds[i] = sv[1];
+    }
+    InitWakePipe();
+    return relay_fds;
+  }
+
+  /// One listener on an ephemeral 127.0.0.1 port; every endpoint connects
+  /// and identifies itself with a kHello frame (accept order on loopback
+  /// is not a rank order).
+  std::vector<int> ConnectTcp() {
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    LAMP_CHECK_MSG(listener >= 0, "transport: socket failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    LAMP_CHECK_MSG(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof addr) == 0,
+                   "transport: bind failed");
+    socklen_t len = sizeof addr;
+    LAMP_CHECK(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                             &len) == 0);
+    LAMP_CHECK_MSG(::listen(listener, static_cast<int>(n_)) == 0,
+                   "transport: listen failed");
+
+    std::vector<int> relay_fds(n_, -1);
+    for (std::size_t i = 0; i < n_; ++i) {
+      const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+      LAMP_CHECK_MSG(client >= 0, "transport: socket failed");
+      LAMP_CHECK_MSG(::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                               sizeof addr) == 0,
+                     "transport: connect failed");
+      const int accepted = ::accept(listener, nullptr, nullptr);
+      LAMP_CHECK_MSG(accepted >= 0, "transport: accept failed");
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      ::setsockopt(accepted, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      endpoints_[i].fd = client;
+      endpoints_[i].inbox.resize(n_);
+      // Identify the accepted connection: the endpoint sends hello(rank).
+      std::vector<std::uint8_t> hello;
+      WireFrame frame;
+      frame.type = FrameType::kHello;
+      frame.from = static_cast<std::uint32_t>(i);
+      frame.to = static_cast<std::uint32_t>(i);
+      frame.payload = EncodeHelloPayload(i, 0);
+      AppendFrame(hello, frame);
+      WriteAll(client, hello.data(), hello.size());
+      FrameDecoder decoder;
+      std::optional<WireFrame> got;
+      while (!got) {
+        std::uint8_t buf[64];
+        const ssize_t r = ::read(accepted, buf, sizeof buf);
+        LAMP_CHECK_MSG(r > 0, "transport: handshake read failed");
+        decoder.Feed(buf, static_cast<std::size_t>(r));
+        got = decoder.Next();
+        LAMP_CHECK_MSG(!decoder.error(), "transport: handshake corrupt");
+      }
+      LAMP_CHECK(got->type == FrameType::kHello);
+      const auto hello_payload = DecodeHelloPayload(got->payload);
+      LAMP_CHECK(hello_payload.has_value() && hello_payload->rank < n_);
+      LAMP_CHECK_MSG(relay_fds[hello_payload->rank] == -1,
+                     "transport: duplicate rank in handshake");
+      relay_fds[hello_payload->rank] = accepted;
+    }
+    ::close(listener);
+    InitWakePipe();
+    return relay_fds;
+  }
+
+  void InitWakePipe() {
+    LAMP_CHECK_MSG(::pipe(wake_pipe_) == 0, "transport: pipe failed");
+  }
+
+  /// Forwards frames between endpoint sockets. Reads are level-triggered
+  /// poll; writes are non-blocking with per-destination userspace queues.
+  void RelayLoop(std::vector<int> fds) {
+    std::vector<FrameDecoder> decoders(n_);
+    // Pending output per destination: raw frame bytes plus a head cursor.
+    std::vector<std::vector<std::uint8_t>> pending(n_);
+    std::vector<std::size_t> head(n_, 0);
+    std::vector<pollfd> poll_set(n_ + 1);
+
+    for (std::size_t i = 0; i < n_; ++i) {
+      const int flags = ::fcntl(fds[i], F_GETFL, 0);
+      ::fcntl(fds[i], F_SETFL, flags | O_NONBLOCK);
+    }
+
+    while (true) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        poll_set[i].fd = fds[i];
+        poll_set[i].events = POLLIN;
+        if (head[i] < pending[i].size()) poll_set[i].events |= POLLOUT;
+        poll_set[i].revents = 0;
+      }
+      poll_set[n_] = {wake_pipe_[0], POLLIN, 0};
+      const int rc = ::poll(poll_set.data(), poll_set.size(), -1);
+      if (rc < 0 && errno == EINTR) continue;
+      LAMP_CHECK_MSG(rc >= 0, "transport: poll failed");
+      if ((poll_set[n_].revents & POLLIN) != 0) break;  // Shutdown.
+
+      for (std::size_t i = 0; i < n_; ++i) {
+        if ((poll_set[i].revents & (POLLIN | POLLHUP)) != 0) {
+          std::uint8_t buf[kReadChunk];
+          while (true) {
+            const ssize_t n = ::read(fds[i], buf, sizeof buf);
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) break;  // Peer gone; shutdown will follow.
+            decoders[i].Feed(buf, static_cast<std::size_t>(n));
+            while (std::optional<WireFrame> frame = decoders[i].Next()) {
+              LAMP_CHECK_MSG(frame->to < n_, "transport: bad destination");
+              AppendFrame(pending[frame->to], *frame);
+            }
+            LAMP_CHECK_MSG(!decoders[i].error(),
+                           "transport: relay saw corrupt stream");
+            if (static_cast<std::size_t>(n) < sizeof buf) break;
+          }
+        }
+        if (head[i] < pending[i].size() &&
+            (poll_set[i].revents & POLLOUT) != 0) {
+          const ssize_t n = ::write(fds[i], pending[i].data() + head[i],
+                                    pending[i].size() - head[i]);
+          if (n > 0) head[i] += static_cast<std::size_t>(n);
+          if (head[i] == pending[i].size()) {
+            pending[i].clear();
+            head[i] = 0;
+          } else if (head[i] > (1u << 20) && head[i] * 2 > pending[i].size()) {
+            pending[i].erase(pending[i].begin(),
+                             pending[i].begin() +
+                                 static_cast<std::ptrdiff_t>(head[i]));
+            head[i] = 0;
+          }
+        }
+      }
+    }
+    for (const int fd : fds) ::close(fd);
+  }
+
+  TransportKind kind_;
+  std::size_t n_;
+  std::vector<Endpoint> endpoints_;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread relay_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+TransportKind g_active_kind = TransportKind::kInProcess;
+bool g_active_kind_set = false;
+
+}  // namespace
+
+std::string_view TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProcess:
+      return "inproc";
+    case TransportKind::kTcp:
+      return "tcp";
+    case TransportKind::kUds:
+      return "uds";
+  }
+  return "unknown";
+}
+
+bool ParseTransportKind(std::string_view name, TransportKind* out) {
+  if (name == "inproc" || name == "inprocess" || name == "in-process") {
+    *out = TransportKind::kInProcess;
+    return true;
+  }
+  if (name == "tcp") {
+    *out = TransportKind::kTcp;
+    return true;
+  }
+  if (name == "uds" || name == "unix") {
+    *out = TransportKind::kUds;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Transport> MakeLoopbackTransport(TransportKind kind,
+                                                 std::size_t num_endpoints) {
+  LAMP_CHECK(num_endpoints > 0);
+  if (kind == TransportKind::kInProcess) {
+    return std::make_unique<InProcessTransport>(num_endpoints);
+  }
+  return std::make_unique<SocketRelayTransport>(kind, num_endpoints);
+}
+
+TransportKind ActiveKind() {
+  if (!g_active_kind_set) {
+    g_active_kind_set = true;
+    const char* env = std::getenv("LAMP_TRANSPORT");
+    if (env != nullptr && env[0] != '\0') {
+      TransportKind kind;
+      if (ParseTransportKind(env, &kind)) {
+        g_active_kind = kind;
+      } else {
+        std::fprintf(stderr, "transport: unknown LAMP_TRANSPORT '%s'\n", env);
+      }
+    }
+  }
+  return g_active_kind;
+}
+
+void SetActiveKind(TransportKind kind) {
+  g_active_kind = kind;
+  g_active_kind_set = true;
+}
+
+void ConfigureFromCommandLine(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--transport=", 12) == 0) {
+      value = arg + 12;
+    } else if (std::strcmp(arg, "--transport") == 0 && i + 1 < *argc) {
+      value = argv[++i];
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    TransportKind kind;
+    if (!ParseTransportKind(value, &kind)) {
+      std::fprintf(stderr,
+                   "usage: --transport {inproc,tcp,uds} (got '%s')\n", value);
+      std::exit(2);
+    }
+    SetActiveKind(kind);
+  }
+  argv[out] = nullptr;
+  *argc = out;
+}
+
+}  // namespace lamp::transport

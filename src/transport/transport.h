@@ -1,0 +1,115 @@
+#ifndef LAMP_TRANSPORT_TRANSPORT_H_
+#define LAMP_TRANSPORT_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "transport/wire.h"
+
+/// \file
+/// Pluggable transports for MPC communication phases and transducer
+/// message delivery.
+///
+/// A Transport connects `num_endpoints()` ranks with framed, per-channel
+/// FIFO delivery: a frame sent from A to B is received by B, after every
+/// frame A previously sent to B, via Recv(B, A). Nothing else is promised
+/// — no ordering across channels, no delivery scheduling. That split is
+/// the determinism contract (DESIGN.md §lamp::transport): the *runtime*
+/// (MpcSimulator's merge phase, TransducerNetwork's Scheduler) decides
+/// the order in which channels are drained, and because per-channel FIFO
+/// is all it relies on, the same decisions replay on every backend. The
+/// seeded Scheduler is therefore a delivery-order policy the transport
+/// honors, and golden digests stay byte-identical across backends.
+///
+/// Three backends:
+///  * InProcessTransport — mutex/condvar deques per channel; the default
+///    and the zero-copy fast path.
+///  * TcpTransport       — real TCP sockets over 127.0.0.1.
+///  * UdsTransport       — AF_UNIX stream socketpairs.
+///
+/// The socket backends connect every endpoint to a relay thread that owns
+/// the peer side of all endpoint sockets and forwards each frame to its
+/// destination endpoint (O(p) file descriptors instead of a p^2 mesh; the
+/// multi-process runner tools/mpc_procs builds the true mesh instead).
+/// The relay never blocks on writes — forwarded bytes queue in userspace
+/// when a destination's socket buffer is full — so a round may send its
+/// entire frame volume before any receiver starts draining, exactly what
+/// MpcSimulator's route phase does.
+///
+/// Every backend counts wire traffic (WireStats) and emits
+/// kTransportSend/kTransportRecv/kTransportConnect trace events, so
+/// serialization overhead is measured, not modelled, even in-process.
+
+namespace lamp::transport {
+
+enum class TransportKind : std::uint8_t {
+  kInProcess = 0,
+  kTcp,
+  kUds,
+};
+
+/// Stable names: "inproc", "tcp", "uds".
+std::string_view TransportKindName(TransportKind kind);
+
+/// Parses a TransportKindName; returns false on unknown names.
+bool ParseTransportKind(std::string_view name, TransportKind* out);
+
+/// Wire traffic counters, aggregated over all endpoints.
+struct WireStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// A connected clique of endpoints. Send/Recv are safe to call from
+/// different threads for different endpoints (and from lamp::par workers);
+/// per-endpoint calls are internally serialized.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const = 0;
+  virtual std::size_t num_endpoints() const = 0;
+
+  /// Enqueues \p frame from endpoint `frame.from` to endpoint `frame.to`.
+  /// Never blocks indefinitely: the backend buffers as much as the round
+  /// requires.
+  virtual void Send(WireFrame frame) = 0;
+
+  /// Blocks until a frame from \p from addressed to \p to is available and
+  /// returns it, preserving per-channel FIFO order. Frames arriving on
+  /// other channels of \p to are buffered, not lost.
+  virtual WireFrame Recv(std::uint32_t to, std::uint32_t from) = 0;
+
+  /// Releases sockets/threads. Idempotent; the destructor calls it.
+  virtual void Shutdown() = 0;
+
+  /// Traffic so far. For socket backends these are measured socket bytes;
+  /// the in-process backend counts FrameWireSize of every frame, so all
+  /// backends report identical totals for identical traffic.
+  virtual WireStats stats() const = 0;
+};
+
+/// Builds a connected loopback transport of \p kind with \p num_endpoints
+/// endpoints. Aborts (LAMP_CHECK) if socket setup fails.
+std::unique_ptr<Transport> MakeLoopbackTransport(TransportKind kind,
+                                                 std::size_t num_endpoints);
+
+/// The process-wide backend selection honored by MpcSimulator and
+/// TransducerNetwork. Defaults to kInProcess; the LAMP_TRANSPORT
+/// environment variable ("inproc"/"tcp"/"uds") overrides the default, and
+/// SetActiveKind / --transport override both.
+TransportKind ActiveKind();
+void SetActiveKind(TransportKind kind);
+
+/// Strips a `--transport <kind>` / `--transport=<kind>` flag from argv
+/// (mirroring par::ConfigureFromCommandLine) and applies it via
+/// SetActiveKind. Unknown kinds abort with a usage message.
+void ConfigureFromCommandLine(int* argc, char** argv);
+
+}  // namespace lamp::transport
+
+#endif  // LAMP_TRANSPORT_TRANSPORT_H_

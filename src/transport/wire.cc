@@ -1,0 +1,274 @@
+#include "transport/wire.h"
+
+#include <cstring>
+
+namespace lamp::transport {
+
+namespace {
+
+constexpr std::size_t kMaxVarintBytes = 10;
+
+std::uint64_t ZigzagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t ZigzagDecode(std::uint64_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^
+         -static_cast<std::int64_t>(z & 1);
+}
+
+void PutU32Le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+}  // namespace
+
+void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void PutZigzag(std::vector<std::uint8_t>& out, std::int64_t v) {
+  PutVarint(out, ZigzagEncode(v));
+}
+
+std::size_t VarintSize(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t ZigzagSize(std::int64_t v) { return VarintSize(ZigzagEncode(v)); }
+
+std::optional<std::uint64_t> WireReader::ReadVarint() {
+  std::uint64_t v = 0;
+  std::size_t shift = 0;
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (pos_ >= size_) return std::nullopt;
+    const std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return std::nullopt;  // Varint longer than 10 bytes: malformed.
+}
+
+std::optional<std::int64_t> WireReader::ReadZigzag() {
+  const std::optional<std::uint64_t> z = ReadVarint();
+  if (!z) return std::nullopt;
+  return ZigzagDecode(*z);
+}
+
+void PutFact(std::vector<std::uint8_t>& out, const Fact& fact) {
+  PutVarint(out, fact.relation);
+  PutVarint(out, fact.args.size());
+  for (const Value arg : fact.args) PutZigzag(out, arg.v);
+}
+
+std::size_t EncodedFactSize(const Fact& fact) {
+  std::size_t n = VarintSize(fact.relation) + VarintSize(fact.args.size());
+  for (const Value arg : fact.args) n += ZigzagSize(arg.v);
+  return n;
+}
+
+std::optional<Fact> ReadFact(WireReader& reader) {
+  const std::optional<std::uint64_t> relation = reader.ReadVarint();
+  const std::optional<std::uint64_t> arity = reader.ReadVarint();
+  if (!relation || !arity) return std::nullopt;
+  // An arity beyond the remaining bytes cannot be satisfied (each argument
+  // takes at least one byte); bail before reserving absurd capacities.
+  if (*arity > reader.remaining()) return std::nullopt;
+  Fact fact;
+  fact.relation = static_cast<RelationId>(*relation);
+  fact.args.reserve(*arity);
+  for (std::uint64_t i = 0; i < *arity; ++i) {
+    const std::optional<std::int64_t> arg = reader.ReadZigzag();
+    if (!arg) return std::nullopt;
+    fact.args.emplace_back(*arg);
+  }
+  return fact;
+}
+
+std::vector<std::uint8_t> EncodeHelloPayload(std::uint64_t rank,
+                                             std::uint64_t seed) {
+  std::vector<std::uint8_t> payload;
+  PutVarint(payload, rank);
+  PutVarint(payload, seed);
+  return payload;
+}
+
+std::optional<HelloPayload> DecodeHelloPayload(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader reader(payload);
+  const auto rank = reader.ReadVarint();
+  const auto seed = reader.ReadVarint();
+  if (!rank || !seed || !reader.AtEnd()) return std::nullopt;
+  return HelloPayload{*rank, *seed};
+}
+
+std::vector<std::uint8_t> EncodeFactBatchPayload(
+    std::uint64_t round, const std::vector<const Fact*>& facts) {
+  std::vector<std::uint8_t> payload;
+  PutVarint(payload, round);
+  PutVarint(payload, facts.size());
+  for (const Fact* fact : facts) PutFact(payload, *fact);
+  return payload;
+}
+
+std::optional<FactBatchPayload> DecodeFactBatchPayload(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader reader(payload);
+  const auto round = reader.ReadVarint();
+  const auto count = reader.ReadVarint();
+  if (!round || !count || *count > payload.size()) return std::nullopt;
+  FactBatchPayload batch;
+  batch.round = *round;
+  batch.facts.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    std::optional<Fact> fact = ReadFact(reader);
+    if (!fact) return std::nullopt;
+    batch.facts.push_back(*std::move(fact));
+  }
+  if (!reader.AtEnd()) return std::nullopt;
+  return batch;
+}
+
+std::vector<std::uint8_t> EncodeMessagePayload(
+    std::uint64_t seq, std::uint64_t depth, std::uint32_t parent,
+    const std::vector<Fact>& facts) {
+  std::vector<std::uint8_t> payload;
+  PutVarint(payload, seq);
+  PutVarint(payload, depth);
+  PutVarint(payload, parent);
+  PutVarint(payload, facts.size());
+  for (const Fact& fact : facts) PutFact(payload, fact);
+  return payload;
+}
+
+std::optional<MessagePayload> DecodeMessagePayload(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader reader(payload);
+  const auto seq = reader.ReadVarint();
+  const auto depth = reader.ReadVarint();
+  const auto parent = reader.ReadVarint();
+  const auto count = reader.ReadVarint();
+  if (!seq || !depth || !parent || !count || *count > payload.size()) {
+    return std::nullopt;
+  }
+  MessagePayload msg;
+  msg.seq = *seq;
+  msg.depth = *depth;
+  msg.parent = static_cast<std::uint32_t>(*parent);
+  msg.facts.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    std::optional<Fact> fact = ReadFact(reader);
+    if (!fact) return std::nullopt;
+    msg.facts.push_back(*std::move(fact));
+  }
+  if (!reader.AtEnd()) return std::nullopt;
+  return msg;
+}
+
+std::vector<std::uint8_t> EncodeStatsPayload(std::uint64_t round,
+                                             std::uint64_t received,
+                                             std::uint64_t wire_bytes) {
+  std::vector<std::uint8_t> payload;
+  PutVarint(payload, round);
+  PutVarint(payload, received);
+  PutVarint(payload, wire_bytes);
+  return payload;
+}
+
+std::optional<StatsPayload> DecodeStatsPayload(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader reader(payload);
+  const auto round = reader.ReadVarint();
+  const auto received = reader.ReadVarint();
+  const auto wire_bytes = reader.ReadVarint();
+  if (!round || !received || !wire_bytes || !reader.AtEnd()) {
+    return std::nullopt;
+  }
+  return StatsPayload{*round, *received, *wire_bytes};
+}
+
+void AppendFrame(std::vector<std::uint8_t>& out, const WireFrame& frame) {
+  const std::size_t body = 2 + VarintSize(frame.from) + VarintSize(frame.to) +
+                           frame.payload.size();
+  PutU32Le(out, static_cast<std::uint32_t>(body));
+  out.push_back(frame.version);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  PutVarint(out, frame.from);
+  PutVarint(out, frame.to);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+std::size_t FrameWireSize(const WireFrame& frame) {
+  return 4 + 2 + VarintSize(frame.from) + VarintSize(frame.to) +
+         frame.payload.size();
+}
+
+std::size_t FactBatchFrameSize(std::uint32_t from, std::uint32_t to,
+                               std::size_t payload_bytes) {
+  return 4 + 2 + VarintSize(from) + VarintSize(to) + payload_bytes;
+}
+
+void FrameDecoder::Feed(const std::uint8_t* data, std::size_t size) {
+  if (error_) return;
+  // Compact lazily: drop consumed prefix once it dominates the buffer.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<WireFrame> FrameDecoder::Next() {
+  if (error_) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::nullopt;
+  const std::uint8_t* p = buffer_.data() + consumed_;
+  const std::uint32_t body = static_cast<std::uint32_t>(p[0]) |
+                             (static_cast<std::uint32_t>(p[1]) << 8) |
+                             (static_cast<std::uint32_t>(p[2]) << 16) |
+                             (static_cast<std::uint32_t>(p[3]) << 24);
+  if (body < 2 || body > kMaxFrameBody) {
+    error_ = true;
+    return std::nullopt;
+  }
+  if (available < 4 + static_cast<std::size_t>(body)) return std::nullopt;
+  WireFrame frame;
+  frame.version = p[4];
+  const std::uint8_t type = p[5];
+  if (frame.version == 0 || frame.version > kWireVersion ||
+      type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    error_ = true;
+    return std::nullopt;
+  }
+  frame.type = static_cast<FrameType>(type);
+  WireReader reader(p + 6, body - 2);
+  const auto from = reader.ReadVarint();
+  const auto to = reader.ReadVarint();
+  if (!from || !to) {
+    error_ = true;
+    return std::nullopt;
+  }
+  frame.from = static_cast<std::uint32_t>(*from);
+  frame.to = static_cast<std::uint32_t>(*to);
+  frame.payload.assign(p + 4 + body - reader.remaining(), p + 4 + body);
+  consumed_ += 4 + body;
+  return frame;
+}
+
+}  // namespace lamp::transport

@@ -1,0 +1,204 @@
+#ifndef LAMP_TRANSPORT_WIRE_H_
+#define LAMP_TRANSPORT_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "relational/fact.h"
+#include "relational/instance.h"
+
+/// \file
+/// The lamp wire format ("lamp.wire.v1"): compact length-prefixed frames
+/// carrying facts and transducer messages between MPC servers / network
+/// nodes.
+///
+/// A frame on the wire is
+///
+///   [u32 LE body length] [u8 version] [u8 type] [varint from] [varint to]
+///   [payload bytes]
+///
+/// where the length prefix counts everything after itself. Integers inside
+/// payloads are LEB128 varints; signed domain values are zigzag-encoded
+/// first, so small magnitudes of either sign stay short. The format is
+/// versioned in-band: every frame repeats the version byte, and decoders
+/// reject frames from the future instead of misparsing them. A committed
+/// golden dump (tests/golden/wire_frames.bin) pins the byte layout.
+///
+/// Payload conventions per frame type:
+///  * kHello      — varint rank, varint seed (handshake; the multi-process
+///                  runner's ring seed exchange reuses it).
+///  * kFactBatch  — varint round, varint count, then `count` facts. One
+///                  batch is everything `from` routes to `to` in one MPC
+///                  communication phase (batched sends, possibly empty).
+///  * kMessage    — varint seq, varint causal depth, varint parent
+///                  transition (+1), varint count, then `count` facts: one
+///                  transducer broadcast copy addressed to `to`.
+///  * kStats      — varint round, varint received, varint wire bytes
+///                  (a worker reporting measured loads upstream).
+///  * kShutdown   — empty payload; orderly channel teardown.
+///
+/// A fact is encoded as varint relation, varint arity, then zigzag varint
+/// per argument.
+
+namespace lamp::transport {
+
+/// In-band format version. Bump on any layout change and regenerate the
+/// golden frame dump.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Hard cap on a frame body; a decoder seeing a larger length prefix is
+/// looking at a corrupt or foreign stream.
+inline constexpr std::uint32_t kMaxFrameBody = 1u << 30;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kFactBatch = 2,
+  kMessage = 3,
+  kStats = 4,
+  kShutdown = 5,
+};
+
+/// A decoded frame. `from`/`to` are endpoint ranks (MPC servers, network
+/// nodes or process ranks depending on who is talking).
+struct WireFrame {
+  std::uint8_t version = kWireVersion;
+  FrameType type = FrameType::kFactBatch;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// --- primitive encoders -------------------------------------------------
+
+/// Appends a LEB128 varint.
+void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Appends a zigzag-encoded signed varint.
+void PutZigzag(std::vector<std::uint8_t>& out, std::int64_t v);
+
+/// Bytes PutVarint would append for \p v.
+std::size_t VarintSize(std::uint64_t v);
+
+/// Bytes PutZigzag would append for \p v.
+std::size_t ZigzagSize(std::int64_t v);
+
+/// Cursor over an encoded payload. Reads return nullopt on truncation or
+/// malformed varints (> 10 bytes).
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  std::optional<std::uint64_t> ReadVarint();
+  std::optional<std::int64_t> ReadZigzag();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// --- facts --------------------------------------------------------------
+
+/// Appends one encoded fact to \p out.
+void PutFact(std::vector<std::uint8_t>& out, const Fact& fact);
+
+/// Bytes PutFact would append for \p fact.
+std::size_t EncodedFactSize(const Fact& fact);
+
+/// Decodes one fact; nullopt on malformed input.
+std::optional<Fact> ReadFact(WireReader& reader);
+
+// --- payload builders ---------------------------------------------------
+
+std::vector<std::uint8_t> EncodeHelloPayload(std::uint64_t rank,
+                                             std::uint64_t seed);
+struct HelloPayload {
+  std::uint64_t rank = 0;
+  std::uint64_t seed = 0;
+};
+std::optional<HelloPayload> DecodeHelloPayload(
+    const std::vector<std::uint8_t>& payload);
+
+/// kFactBatch payload: \p facts routed in one round. The fact list may
+/// contain duplicates; receivers dedup on insert exactly like the
+/// in-process merge.
+std::vector<std::uint8_t> EncodeFactBatchPayload(
+    std::uint64_t round, const std::vector<const Fact*>& facts);
+struct FactBatchPayload {
+  std::uint64_t round = 0;
+  std::vector<Fact> facts;
+};
+std::optional<FactBatchPayload> DecodeFactBatchPayload(
+    const std::vector<std::uint8_t>& payload);
+
+/// kMessage payload: one transducer broadcast copy plus its causal
+/// bookkeeping (depth, parent transition + 1; see net/network.cc).
+std::vector<std::uint8_t> EncodeMessagePayload(std::uint64_t seq,
+                                               std::uint64_t depth,
+                                               std::uint32_t parent,
+                                               const std::vector<Fact>& facts);
+struct MessagePayload {
+  std::uint64_t seq = 0;
+  std::uint64_t depth = 0;
+  std::uint32_t parent = 0;
+  std::vector<Fact> facts;
+};
+std::optional<MessagePayload> DecodeMessagePayload(
+    const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> EncodeStatsPayload(std::uint64_t round,
+                                             std::uint64_t received,
+                                             std::uint64_t wire_bytes);
+struct StatsPayload {
+  std::uint64_t round = 0;
+  std::uint64_t received = 0;
+  std::uint64_t wire_bytes = 0;
+};
+std::optional<StatsPayload> DecodeStatsPayload(
+    const std::vector<std::uint8_t>& payload);
+
+// --- framing ------------------------------------------------------------
+
+/// Appends the full on-wire encoding of \p frame (length prefix included).
+void AppendFrame(std::vector<std::uint8_t>& out, const WireFrame& frame);
+
+/// Total on-wire bytes AppendFrame would produce for \p frame.
+std::size_t FrameWireSize(const WireFrame& frame);
+
+/// On-wire bytes of a kFactBatch frame carrying \p payload_bytes of
+/// payload between \p from and \p to — the closed form the in-process
+/// backend uses to account wire bytes without encoding anything.
+std::size_t FactBatchFrameSize(std::uint32_t from, std::uint32_t to,
+                               std::size_t payload_bytes);
+
+/// Incremental frame decoder for a byte stream: Feed() arbitrary chunks,
+/// Next() yields completed frames in order. Malformed input (bad version,
+/// oversized length, unknown type) puts the decoder into a sticky error
+/// state.
+class FrameDecoder {
+ public:
+  void Feed(const std::uint8_t* data, std::size_t size);
+
+  /// Next completed frame, or nullopt when more bytes are needed (or the
+  /// stream is in error).
+  std::optional<WireFrame> Next();
+
+  bool error() const { return error_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace lamp::transport
+
+#endif  // LAMP_TRANSPORT_WIRE_H_

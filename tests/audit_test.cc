@@ -253,8 +253,8 @@ TEST(BoundsTest, StrategyNamesRoundTrip) {
 
 RunStats TwoRoundStats() {
   RunStats stats;
-  stats.rounds.push_back(RoundStats{{10, 20, 30}});
-  stats.rounds.push_back(RoundStats{{50, 5, 5}});
+  stats.rounds.push_back(RoundStats{{10, 20, 30}, {}});
+  stats.rounds.push_back(RoundStats{{50, 5, 5}, {}});
   return stats;
 }
 

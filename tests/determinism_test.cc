@@ -59,11 +59,20 @@ std::uint64_t StatsFingerprint(const RunStats& stats) {
 
 // fault_test.cc's TraceHash, minus kSpan events: span durations are wall
 // clock and legitimately vary run to run, while every structural event
-// (round begin/end, per-server loads) must not.
+// (round begin/end, per-server loads) must not. Transport send/recv
+// events are excluded for the same reason: they are emitted from pool
+// workers draining independent channels, so their cross-thread interleave
+// (and hence the chronological merge) is timing, not structure — the
+// structural consequences (loads, wire bytes, outputs) are all hashed.
 std::uint64_t TraceHashNoSpans(const obs::Tracer& tracer) {
   Fnv f;
   for (const obs::TraceEvent& e : tracer.Events()) {
-    if (e.kind == obs::EventKind::kSpan) continue;
+    if (e.kind == obs::EventKind::kSpan ||
+        e.kind == obs::EventKind::kTransportConnect ||
+        e.kind == obs::EventKind::kTransportSend ||
+        e.kind == obs::EventKind::kTransportRecv) {
+      continue;
+    }
     f.Mix(static_cast<std::uint64_t>(e.kind));
     f.Mix(e.a);
     f.Mix(e.b);

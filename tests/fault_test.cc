@@ -60,7 +60,10 @@ std::uint64_t TraceHash(const obs::Tracer& tracer) {
   };
   for (const obs::TraceEvent& e : tracer.Events()) {
     if (e.kind == obs::EventKind::kNetCausalDeliver ||
-        e.kind == obs::EventKind::kNetOutput) {
+        e.kind == obs::EventKind::kNetOutput ||
+        e.kind == obs::EventKind::kTransportConnect ||
+        e.kind == obs::EventKind::kTransportSend ||
+        e.kind == obs::EventKind::kTransportRecv) {
       continue;
     }
     mix(static_cast<std::uint64_t>(e.kind));

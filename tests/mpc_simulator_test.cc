@@ -126,7 +126,7 @@ TEST(RunStatsTest, EmptyStatsAreZeroNotUndefined) {
 
   // A round whose servers all received nothing is still well-defined.
   RunStats idle;
-  idle.rounds.push_back(RoundStats{{0, 0, 0}});
+  idle.rounds.push_back(RoundStats{{0, 0, 0}, {}});
   EXPECT_EQ(idle.MaxLoad(), 0u);
   EXPECT_EQ(idle.TotalCommunication(), 0u);
   EXPECT_EQ(idle.rounds[0].AvgLoad(), 0.0);

@@ -1,0 +1,246 @@
+// The transport determinism contract (DESIGN.md §src/transport): the
+// backend moves bytes, the scheduler/merge order decides delivery, so
+// outputs, per-server loads and wire bytes must be byte-identical across
+// inproc / tcp / uds — at every thread count and every server count. The
+// wire-byte equality is the sharpest check: the in-process backend
+// *computes* frame sizes in closed form while the socket backends
+// *measure* them after real send/recv, so any drift between the encoder
+// and the accounting shows up here immediately.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "cq/eval.h"
+#include "cq/parser.h"
+#include "mpc/hypercube_run.h"
+#include "mpc/join_strategies.h"
+#include "mpc/simulator.h"
+#include "net/network.h"
+#include "net/programs.h"
+#include "par/thread_pool.h"
+#include "relational/generators.h"
+#include "transport/transport.h"
+
+namespace lamp {
+namespace {
+
+constexpr transport::TransportKind kBackends[] = {
+    transport::TransportKind::kInProcess,
+    transport::TransportKind::kTcp,
+    transport::TransportKind::kUds,
+};
+
+// FNV-1a accumulator (determinism_test.cc's): order-sensitive.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void Mix(std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  }
+};
+
+std::uint64_t InstanceFingerprint(const Instance& instance) {
+  Fnv f;
+  instance.ForEachFact([&](const Fact& fact) {
+    f.Mix(HashMix(fact.relation));
+    f.Mix(fact.args.size());
+    for (Value v : fact.args) f.Mix(static_cast<std::uint64_t>(v.v));
+  });
+  return f.h;
+}
+
+std::uint64_t StatsFingerprint(const RunStats& stats) {
+  Fnv f;
+  f.Mix(stats.rounds.size());
+  for (const RoundStats& r : stats.rounds) {
+    f.Mix(r.received.size());
+    for (std::size_t load : r.received) f.Mix(load);
+    f.Mix(r.wire_bytes.size());
+    for (std::size_t bytes : r.wire_bytes) f.Mix(bytes);
+  }
+  return f.h;
+}
+
+struct RunDigest {
+  std::uint64_t output = 0;
+  std::uint64_t stats = 0;
+  std::size_t wire_bytes = 0;
+
+  friend bool operator==(const RunDigest& a, const RunDigest& b) {
+    return a.output == b.output && a.stats == b.stats &&
+           a.wire_bytes == b.wire_bytes;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const RunDigest& d) {
+  return os << "{output=" << d.output << " stats=" << d.stats
+            << " wire=" << d.wire_bytes << "}";
+}
+
+class BackendRestorer {
+ public:
+  ~BackendRestorer() {
+    transport::SetActiveKind(transport::TransportKind::kInProcess);
+    par::SetDefaultThreads(1);
+  }
+};
+
+// ------------------------------------------------------- MPC digests --
+
+RunDigest TriangleDigest() {
+  Schema schema;
+  const ConjunctiveQuery q =
+      ParseQuery(schema, "H(x,y,z) <- R0(x,y), R1(y,z), R2(z,x)");
+  Rng rng(29);
+  Instance db;
+  for (const Atom& atom : q.body()) {
+    AddUniformRelation(schema, atom.relation, /*m=*/600, /*domain_size=*/40,
+                       rng, db);
+  }
+  const MpcRunResult run = RunHyperCubeUniform(q, db, /*num_servers=*/27);
+  return {InstanceFingerprint(run.output), StatsFingerprint(run.stats),
+          run.stats.TotalWireBytes()};
+}
+
+RunDigest RepartitionDigest(std::size_t p) {
+  Schema schema;
+  const ConjunctiveQuery q = ParseQuery(schema, "H(x,y,z) <- R(x,y), S(y,z)");
+  Rng rng(31);
+  Instance db;
+  AddMatchingRelation(schema, schema.IdOf("R"), /*m=*/800, 0, rng, db);
+  AddMatchingRelation(schema, schema.IdOf("S"), /*m=*/800, 800, rng, db);
+  const MpcRunResult run = RepartitionJoin(q, db, p, /*seed=*/7);
+  return {InstanceFingerprint(run.output), StatsFingerprint(run.stats),
+          run.stats.TotalWireBytes()};
+}
+
+// Multi-round duplication-heavy reshuffle: each fact fans out to two
+// hash-chosen servers, so receive-side dedup and self-routing (facts that
+// stay local, which must never be framed) are both on the wire path.
+RunDigest ReshuffleDigest(std::size_t p) {
+  Schema schema;
+  const RelationId r = schema.AddRelation("R", 2);
+  Rng rng(37);
+  Instance db;
+  AddUniformRelation(schema, r, /*m=*/1000, /*domain_size=*/150, rng, db);
+
+  MpcSimulator sim(p);
+  sim.LoadInput(db);
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    sim.RunRound(
+        [round, p](NodeId, const Fact& fact) {
+          const std::uint64_t h =
+              HashMix(static_cast<std::uint64_t>(fact.args[0].v) * 31 +
+                      round);
+          return std::vector<NodeId>{static_cast<NodeId>(h % p),
+                                     static_cast<NodeId>((h >> 20) % p)};
+        },
+        MpcSimulator::KeepAll());
+  }
+  Fnv locals;
+  for (const Instance& local : sim.locals()) {
+    locals.Mix(InstanceFingerprint(local));
+  }
+  return {locals.h, StatsFingerprint(sim.stats()),
+          sim.stats().TotalWireBytes()};
+}
+
+// -------------------------------------------------- network digests --
+
+RunDigest NetworkDigest(std::uint64_t seed) {
+  Schema schema;
+  const RelationId e = schema.AddRelation("E", 2);
+  const ConjunctiveQuery triangle = ParseQuery(
+      schema, "H(x,y,z) <- E(x,y), E(y,z), E(z,x), x != y, y != z, x != z");
+  Rng rng(seed);
+  Instance graph;
+  AddRandomGraph(schema, e, /*edges=*/40, /*nodes=*/12, rng, graph);
+  AddTriangleClusters(schema, e, 2, 100, graph);
+
+  MonotoneBroadcastProgram program(
+      [&triangle](const Instance& instance) {
+        return Evaluate(triangle, instance);
+      });
+  TransducerNetwork net(DistributeRoundRobin(graph, 5), program);
+  const NetworkRunResult result = net.Run(seed);
+  RunDigest d;
+  d.output = InstanceFingerprint(result.output);
+  Fnv stats;
+  stats.Mix(result.messages_sent());
+  stats.Mix(result.facts_transferred());
+  stats.Mix(result.transitions());
+  d.stats = stats.h;
+  d.wire_bytes = result.wire_bytes();
+  return d;
+}
+
+// ------------------------------------------------------------ tests --
+
+TEST(TransportDeterminismTest, MpcDigestsIdenticalAcrossBackends) {
+  BackendRestorer restore;
+  transport::SetActiveKind(transport::TransportKind::kInProcess);
+  const RunDigest triangle = TriangleDigest();
+  const RunDigest reshuffle = ReshuffleDigest(8);
+  ASSERT_GT(triangle.wire_bytes, 0u);
+  for (transport::TransportKind kind : kBackends) {
+    transport::SetActiveKind(kind);
+    EXPECT_EQ(TriangleDigest(), triangle)
+        << "backend " << transport::TransportKindName(kind);
+    EXPECT_EQ(ReshuffleDigest(8), reshuffle)
+        << "backend " << transport::TransportKindName(kind);
+  }
+}
+
+TEST(TransportDeterminismTest, MpcDigestsIdenticalAcrossBackendsAndThreads) {
+  BackendRestorer restore;
+  transport::SetActiveKind(transport::TransportKind::kInProcess);
+  par::SetDefaultThreads(1);
+  const RunDigest serial = TriangleDigest();
+  for (transport::TransportKind kind : kBackends) {
+    transport::SetActiveKind(kind);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      par::SetDefaultThreads(threads);
+      EXPECT_EQ(TriangleDigest(), serial)
+          << "backend " << transport::TransportKindName(kind) << " threads "
+          << threads;
+    }
+  }
+}
+
+TEST(TransportDeterminismTest, MpcDigestsIdenticalAcrossServerCounts) {
+  BackendRestorer restore;
+  for (std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    transport::SetActiveKind(transport::TransportKind::kInProcess);
+    const RunDigest repartition = RepartitionDigest(p);
+    const RunDigest reshuffle = ReshuffleDigest(p);
+    for (transport::TransportKind kind : kBackends) {
+      transport::SetActiveKind(kind);
+      EXPECT_EQ(RepartitionDigest(p), repartition)
+          << "backend " << transport::TransportKindName(kind) << " p=" << p;
+      EXPECT_EQ(ReshuffleDigest(p), reshuffle)
+          << "backend " << transport::TransportKindName(kind) << " p=" << p;
+    }
+  }
+}
+
+TEST(TransportDeterminismTest, NetworkDigestsIdenticalAcrossBackends) {
+  BackendRestorer restore;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    transport::SetActiveKind(transport::TransportKind::kInProcess);
+    const RunDigest reference = NetworkDigest(seed);
+    ASSERT_GT(reference.wire_bytes, 0u) << "seed " << seed;
+    for (transport::TransportKind kind : kBackends) {
+      transport::SetActiveKind(kind);
+      EXPECT_EQ(NetworkDigest(seed), reference)
+          << "backend " << transport::TransportKindName(kind) << " seed "
+          << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lamp

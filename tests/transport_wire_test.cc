@@ -1,0 +1,331 @@
+// lamp.wire.v1 unit + property + golden tests.
+//
+// Three layers of pinning: (1) primitive and payload round-trips over
+// seeded random inputs — every encode must decode back to itself through
+// arbitrary chunk boundaries; (2) malformed-input rejection (future
+// version, oversized body, unknown type, truncation) without misparses;
+// (3) a committed golden frame dump (tests/golden/wire_frames.bin) that
+// freezes the byte layout itself, so an accidental encoding change breaks
+// the build even if encoder and decoder drift together.
+//
+// Regenerate the golden after an intentional format change (bump
+// kWireVersion!) with:
+//   LAMP_REGEN_GOLDEN=1 ./build/tests/transport_wire_test
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "transport/wire.h"
+
+#ifndef LAMP_TESTS_DIR
+#error "tests/CMakeLists.txt must define LAMP_TESTS_DIR"
+#endif
+
+namespace lamp::transport {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(LAMP_TESTS_DIR) + "/golden/wire_frames.bin";
+}
+
+Fact RandomFact(Rng& rng) {
+  const auto relation = static_cast<RelationId>(rng.Uniform(64));
+  const std::size_t arity = rng.Uniform(5);
+  std::vector<Value> args;
+  for (std::size_t i = 0; i < arity; ++i) {
+    // Mix magnitudes: tiny values, negatives and full-range 64-bit ones
+    // all have distinct varint/zigzag paths.
+    switch (rng.Uniform(3)) {
+      case 0:
+        args.push_back(Value(rng.UniformInt(-10, 10)));
+        break;
+      case 1:
+        args.push_back(Value(rng.UniformInt(-100000, 100000)));
+        break;
+      default:
+        args.push_back(Value(static_cast<std::int64_t>(rng.Next())));
+        break;
+    }
+  }
+  return Fact(relation, std::move(args));
+}
+
+TEST(WireTest, VarintRoundTripAndSize) {
+  Rng rng(5);
+  std::vector<std::uint64_t> values = {0,       1,
+                                       127,     128,
+                                       16383,   16384,
+                                       ~0ull,   0x8000000000000000ull};
+  for (int i = 0; i < 200; ++i) values.push_back(rng.Next() >> rng.Uniform(64));
+  for (std::uint64_t v : values) {
+    std::vector<std::uint8_t> buf;
+    PutVarint(buf, v);
+    EXPECT_EQ(buf.size(), VarintSize(v)) << v;
+    WireReader reader(buf);
+    const auto back = reader.ReadVarint();
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(WireTest, ZigzagRoundTripAndSize) {
+  Rng rng(6);
+  std::vector<std::int64_t> values = {0, -1, 1, -64, 63, -65, 64,
+                                      std::numeric_limits<std::int64_t>::min(),
+                                      std::numeric_limits<std::int64_t>::max()};
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(static_cast<std::int64_t>(rng.Next()) >> rng.Uniform(63));
+  }
+  for (std::int64_t v : values) {
+    std::vector<std::uint8_t> buf;
+    PutZigzag(buf, v);
+    EXPECT_EQ(buf.size(), ZigzagSize(v)) << v;
+    WireReader reader(buf);
+    const auto back = reader.ReadZigzag();
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(WireTest, FactRoundTripProperty) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Fact fact = RandomFact(rng);
+    std::vector<std::uint8_t> buf;
+    PutFact(buf, fact);
+    EXPECT_EQ(buf.size(), EncodedFactSize(fact));
+    WireReader reader(buf);
+    const auto back = ReadFact(reader);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, fact);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(WireTest, PayloadRoundTrips) {
+  Rng rng(8);
+  std::vector<Fact> owned;
+  for (int i = 0; i < 20; ++i) owned.push_back(RandomFact(rng));
+  std::vector<const Fact*> batch;
+  for (const Fact& f : owned) batch.push_back(&f);
+
+  const auto hello = DecodeHelloPayload(EncodeHelloPayload(3, 0xdeadbeef));
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->rank, 3u);
+  EXPECT_EQ(hello->seed, 0xdeadbeefull);
+
+  const auto facts = DecodeFactBatchPayload(EncodeFactBatchPayload(9, batch));
+  ASSERT_TRUE(facts.has_value());
+  EXPECT_EQ(facts->round, 9u);
+  ASSERT_EQ(facts->facts.size(), owned.size());
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    EXPECT_EQ(facts->facts[i], owned[i]);
+  }
+
+  const auto msg =
+      DecodeMessagePayload(EncodeMessagePayload(42, 7, 12345, owned));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->seq, 42u);
+  EXPECT_EQ(msg->depth, 7u);
+  EXPECT_EQ(msg->parent, 12345u);
+  EXPECT_EQ(msg->facts.size(), owned.size());
+
+  const auto stats = DecodeStatsPayload(EncodeStatsPayload(1, 999, 80000));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->received, 999u);
+  EXPECT_EQ(stats->wire_bytes, 80000u);
+}
+
+TEST(WireTest, FrameRoundTripThroughArbitraryChunks) {
+  Rng rng(9);
+  // A frame stream with mixed types and payload sizes.
+  std::vector<WireFrame> frames;
+  for (int i = 0; i < 40; ++i) {
+    WireFrame frame;
+    frame.from = static_cast<std::uint32_t>(rng.Uniform(300));
+    frame.to = static_cast<std::uint32_t>(rng.Uniform(300));
+    std::vector<Fact> owned;
+    for (std::size_t k = rng.Uniform(8); k > 0; --k) {
+      owned.push_back(RandomFact(rng));
+    }
+    std::vector<const Fact*> batch;
+    for (const Fact& f : owned) batch.push_back(&f);
+    switch (rng.Uniform(3)) {
+      case 0:
+        frame.type = FrameType::kFactBatch;
+        frame.payload = EncodeFactBatchPayload(rng.Uniform(5), batch);
+        break;
+      case 1:
+        frame.type = FrameType::kMessage;
+        frame.payload =
+            EncodeMessagePayload(rng.Next(), rng.Uniform(50),
+                                 static_cast<std::uint32_t>(rng.Uniform(99)),
+                                 owned);
+        break;
+      default:
+        frame.type = FrameType::kShutdown;
+        break;
+    }
+    frames.push_back(std::move(frame));
+  }
+
+  std::vector<std::uint8_t> stream;
+  std::size_t expected_bytes = 0;
+  for (const WireFrame& frame : frames) {
+    AppendFrame(stream, frame);
+    expected_bytes += FrameWireSize(frame);
+  }
+  EXPECT_EQ(stream.size(), expected_bytes);
+
+  // Feed in random chunks (including empty ones); every frame must come
+  // back intact and in order.
+  FrameDecoder decoder;
+  std::size_t fed = 0;
+  std::vector<WireFrame> decoded;
+  while (fed < stream.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(rng.Uniform(97), stream.size() - fed);
+    decoder.Feed(stream.data() + fed, chunk);
+    fed += chunk;
+    while (auto frame = decoder.Next()) decoded.push_back(std::move(*frame));
+  }
+  ASSERT_FALSE(decoder.error());
+  ASSERT_EQ(decoded.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(decoded[i].type, frames[i].type) << i;
+    EXPECT_EQ(decoded[i].from, frames[i].from) << i;
+    EXPECT_EQ(decoded[i].to, frames[i].to) << i;
+    EXPECT_EQ(decoded[i].payload, frames[i].payload) << i;
+  }
+}
+
+TEST(WireTest, DecoderRejectsMalformedStreams) {
+  // Future version byte.
+  {
+    WireFrame frame;
+    frame.type = FrameType::kShutdown;
+    std::vector<std::uint8_t> bytes;
+    AppendFrame(bytes, frame);
+    bytes[4] = kWireVersion + 1;  // Version byte sits after the u32 length.
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(decoder.Next().has_value());
+    EXPECT_TRUE(decoder.error());
+  }
+  // Unknown frame type.
+  {
+    WireFrame frame;
+    frame.type = FrameType::kShutdown;
+    std::vector<std::uint8_t> bytes;
+    AppendFrame(bytes, frame);
+    bytes[5] = 0x7f;
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(decoder.Next().has_value());
+    EXPECT_TRUE(decoder.error());
+  }
+  // Oversized length prefix.
+  {
+    const std::uint32_t body = kMaxFrameBody + 1;
+    std::uint8_t bytes[4] = {
+        static_cast<std::uint8_t>(body),
+        static_cast<std::uint8_t>(body >> 8),
+        static_cast<std::uint8_t>(body >> 16),
+        static_cast<std::uint8_t>(body >> 24),
+    };
+    FrameDecoder decoder;
+    decoder.Feed(bytes, sizeof bytes);
+    EXPECT_FALSE(decoder.Next().has_value());
+    EXPECT_TRUE(decoder.error());
+  }
+  // Truncation is not an error — just "need more bytes".
+  {
+    WireFrame frame;
+    frame.type = FrameType::kHello;
+    frame.payload = EncodeHelloPayload(1, 2);
+    std::vector<std::uint8_t> bytes;
+    AppendFrame(bytes, frame);
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size() - 1);
+    EXPECT_FALSE(decoder.Next().has_value());
+    EXPECT_FALSE(decoder.error());
+    decoder.Feed(bytes.data() + bytes.size() - 1, 1);
+    EXPECT_TRUE(decoder.Next().has_value());
+  }
+  // Malformed payloads are rejected by the payload decoders.
+  EXPECT_FALSE(DecodeFactBatchPayload({0x01}).has_value());
+  EXPECT_FALSE(DecodeHelloPayload({}).has_value());
+  std::vector<std::uint8_t> trailing = EncodeHelloPayload(1, 2);
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeHelloPayload(trailing).has_value());
+}
+
+// Deterministic frame stream covering every type and the interesting
+// value shapes (empty batch, negative args, multi-byte varints).
+std::vector<std::uint8_t> GoldenStream() {
+  std::vector<std::uint8_t> stream;
+  AppendFrame(stream, {kWireVersion, FrameType::kHello, 0, 1,
+                       EncodeHelloPayload(0, 0x1234567890abcdefull)});
+
+  const Fact small(0, {Value(1), Value(-1)});
+  const Fact wide(3, {Value(1000000), Value(-1000000), Value(0)});
+  const Fact nullary(7, {});
+  AppendFrame(stream, {kWireVersion, FrameType::kFactBatch, 2, 3,
+                       EncodeFactBatchPayload(4, {&small, &wide, &nullary})});
+  AppendFrame(stream, {kWireVersion, FrameType::kFactBatch, 3, 2,
+                       EncodeFactBatchPayload(0, {})});
+  AppendFrame(stream, {kWireVersion, FrameType::kMessage, 200, 300,
+                       EncodeMessagePayload(77, 5, 42, {small, wide})});
+  AppendFrame(stream, {kWireVersion, FrameType::kStats, 1, 0,
+                       EncodeStatsPayload(2, 12345, 9876543)});
+  AppendFrame(stream, {kWireVersion, FrameType::kShutdown, 0, 0, {}});
+  return stream;
+}
+
+TEST(WireTest, GoldenFrameDumpIsStable) {
+  const std::vector<std::uint8_t> stream = GoldenStream();
+  if (std::getenv("LAMP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(stream.data()),
+              static_cast<std::streamsize>(stream.size()));
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
+  }
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << GoldenPath()
+                         << " — regenerate with LAMP_REGEN_GOLDEN=1";
+  const std::vector<std::uint8_t> golden(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ASSERT_EQ(stream, golden)
+      << "wire layout drifted from the golden. If the change is intentional,"
+         " bump kWireVersion and rerun with LAMP_REGEN_GOLDEN=1.";
+
+  // And the committed bytes must decode — the dump doubles as a decoder
+  // fixture for foreign implementations.
+  FrameDecoder decoder;
+  decoder.Feed(golden.data(), golden.size());
+  std::size_t frames = 0;
+  while (auto frame = decoder.Next()) {
+    ++frames;
+    if (frame->type == FrameType::kFactBatch && frame->from == 2) {
+      const auto batch = DecodeFactBatchPayload(frame->payload);
+      ASSERT_TRUE(batch.has_value());
+      EXPECT_EQ(batch->round, 4u);
+      EXPECT_EQ(batch->facts.size(), 3u);
+    }
+  }
+  EXPECT_FALSE(decoder.error());
+  EXPECT_EQ(frames, 6u);
+}
+
+}  // namespace
+}  // namespace lamp::transport

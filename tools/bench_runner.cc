@@ -148,6 +148,10 @@ obs::JsonValue RunMetadata(const Options& opt) {
 struct ManifestEntry {
   std::string name;
   std::string bin;
+  // Transport fan-out: one run per listed backend, passed as
+  // `--transport <kind>`. A single empty string means "no flag" (the
+  // bench's default backend), keeping entries without the key unchanged.
+  std::vector<std::string> transports{std::string()};
 };
 
 std::optional<std::vector<ManifestEntry>> LoadManifest(
@@ -181,7 +185,32 @@ std::optional<std::vector<ManifestEntry>> LoadManifest(
                    "bench_runner: manifest entry %zu lacks name/bin\n", i);
       return std::nullopt;
     }
-    out.push_back(ManifestEntry{name->AsString(), bin->AsString()});
+    ManifestEntry entry;
+    entry.name = name->AsString();
+    entry.bin = bin->AsString();
+    const obs::JsonValue* transports = e.Find("transports");
+    if (transports != nullptr) {
+      if (!transports->IsArray() || transports->size() == 0) {
+        std::fprintf(stderr,
+                     "bench_runner: manifest entry %zu has a non-array or"
+                     " empty \"transports\"\n",
+                     i);
+        return std::nullopt;
+      }
+      entry.transports.clear();
+      for (std::size_t t = 0; t < transports->size(); ++t) {
+        const obs::JsonValue& kind = transports->at(t);
+        if (!kind.IsString() || kind.AsString().empty()) {
+          std::fprintf(stderr,
+                       "bench_runner: manifest entry %zu: \"transports\""
+                       " holds a non-string element\n",
+                       i);
+          return std::nullopt;
+        }
+        entry.transports.push_back(kind.AsString());
+      }
+    }
+    out.push_back(std::move(entry));
   }
   return out;
 }
@@ -285,36 +314,45 @@ int RunSuite(const Options& opt, const obs::JsonValue& meta, obs::PerfDb* db) {
   const std::string meta_json = meta.Dump();
 
   std::size_t run = 0;
-  const std::size_t total = selected.size() * opt.threads.size();
+  std::size_t total = 0;
+  for (const ManifestEntry& e : selected) {
+    total += e.transports.size() * opt.threads.size();
+  }
   for (const ManifestEntry& e : selected) {
     const std::string bin = opt.bin_dir + "/" + e.bin;
-    for (int t : opt.threads) {
-      ++run;
-      std::printf("[%zu/%zu] %s --threads %d --repeat %d\n", run, total,
-                  e.name.c_str(), t, opt.repeat);
-      std::fflush(stdout);
-      // The filter '$^' matches no registered microbenchmark, so only the
-      // instrumented table section (and its reporter flush) executes.
-      // The audit sink is shared the same way as the records sink; the
-      // children never hard-fail themselves (the runner gates once over
-      // the aggregate, keeping per-bench exit codes clean).
-      const std::string audit_env =
-          opt.audit.empty()
-              ? std::string()
-              : std::string(obs::audit::kAuditJsonEnvVar) + "=" +
-                    Quoted(opt.audit) + " ";
-      const std::string cmd =
-          audit_env + std::string(obs::kBenchJsonEnvVar) + "=" +
-          Quoted(records_path) + " " + obs::kBenchMetaEnvVar + "=" +
-          Quoted(meta_json) + " " + Quoted(bin) + " --threads " +
-          std::to_string(t) + " --repeat " + std::to_string(opt.repeat) +
-          " --benchmark_filter='$^'" + " > /dev/null";
-      const int status = std::system(cmd.c_str());
-      if (status != 0) {
-        std::fprintf(stderr, "bench_runner: %s exited with status %d\n",
-                     e.bin.c_str(), status);
-        std::remove(records_path.c_str());
-        return 2;
+    for (const std::string& transport : e.transports) {
+      const std::string transport_flag =
+          transport.empty() ? std::string()
+                            : " --transport " + Quoted(transport);
+      for (int t : opt.threads) {
+        ++run;
+        std::printf("[%zu/%zu] %s%s --threads %d --repeat %d\n", run, total,
+                    e.name.c_str(), transport_flag.c_str(), t, opt.repeat);
+        std::fflush(stdout);
+        // The filter '$^' matches no registered microbenchmark, so only the
+        // instrumented table section (and its reporter flush) executes.
+        // The audit sink is shared the same way as the records sink; the
+        // children never hard-fail themselves (the runner gates once over
+        // the aggregate, keeping per-bench exit codes clean).
+        const std::string audit_env =
+            opt.audit.empty()
+                ? std::string()
+                : std::string(obs::audit::kAuditJsonEnvVar) + "=" +
+                      Quoted(opt.audit) + " ";
+        const std::string cmd =
+            audit_env + std::string(obs::kBenchJsonEnvVar) + "=" +
+            Quoted(records_path) + " " + obs::kBenchMetaEnvVar + "=" +
+            Quoted(meta_json) + " " + Quoted(bin) + transport_flag +
+            " --threads " + std::to_string(t) + " --repeat " +
+            std::to_string(opt.repeat) + " --benchmark_filter='$^'" +
+            " > /dev/null";
+        const int status = std::system(cmd.c_str());
+        if (status != 0) {
+          std::fprintf(stderr, "bench_runner: %s exited with status %d\n",
+                       e.bin.c_str(), status);
+          std::remove(records_path.c_str());
+          return 2;
+        }
       }
     }
   }

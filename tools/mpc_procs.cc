@@ -1,0 +1,754 @@
+// mpc_procs: the MPC model on real processes — one OS process per server,
+// a lamp.wire.v1 socket mesh between them, and the in-process MpcSimulator
+// as the ground truth the distributed run must reproduce byte-for-byte.
+//
+// Topology (the classic rank/listen/connect shape): rank r owns listener r
+// (TCP) or its end of a pre-created socketpair (UDS); ranks identify
+// themselves with a kHello frame, then a seed token travels the ring
+// rank -> succ (two laps: fold, then broadcast) so every process agrees on
+// the routing seed before any data moves. Each round every rank sends ONE
+// batched kFactBatch frame to every other rank (possibly empty — the
+// receiver always expects exactly p-1 frames) and drains its peers in
+// ascending rank order, interleaving its self-routed batch at its own
+// rank. That is exactly the in-process merge order, so outputs, dedup
+// decisions and per-server loads match MpcSimulator's — the comparison
+// this tool exists to make.
+//
+// Wire accounting: each rank reports the framing bytes it *received* from
+// other ranks. Unlike the simulator backends (which skip empty batches),
+// the mesh protocol ships empty frames, so the measured bytes sit a few
+// framing bytes per idle channel above the closed form; both numbers are
+// printed. Measured loads and wire bytes flow into lamp.audit.v1 records
+// next to the strategy's closed-form bound, exactly like the benches.
+//
+// Exit codes: 0 ok, 1 mismatch vs the in-process reference, 2 usage,
+// 4 audit hard fail (LAMP_AUDIT_HARD_FAIL=1).
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "cq/eval.h"
+#include "cq/parser.h"
+#include "distribution/hypercube.h"
+#include "distribution/policies.h"
+#include "mpc/hypercube_run.h"
+#include "mpc/join_strategies.h"
+#include "mpc/simulator.h"
+#include "obs/audit/audit.h"
+#include "obs/audit/bounds.h"
+#include "obs/audit/catalog.h"
+#include "par/thread_pool.h"
+#include "relational/generators.h"
+#include "transport/transport.h"
+#include "transport/wire.h"
+
+namespace {
+
+using namespace lamp;
+
+// --- framed blocking I/O over raw fds -----------------------------------
+
+void WriteAllFd(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LAMP_CHECK_MSG(false, "mpc_procs: write failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void SendFrame(int fd, const transport::WireFrame& frame) {
+  std::vector<std::uint8_t> bytes;
+  transport::AppendFrame(bytes, frame);
+  WriteAllFd(fd, bytes.data(), bytes.size());
+}
+
+/// One peer connection: blocking reads through an incremental decoder.
+class FrameChannel {
+ public:
+  FrameChannel() = default;
+  explicit FrameChannel(int fd) : fd_(fd) {}
+
+  int fd() const { return fd_; }
+  void Reset(int fd) { fd_ = fd; }
+
+  transport::WireFrame ReadFrame() {
+    for (;;) {
+      if (auto frame = decoder_.Next()) return std::move(*frame);
+      LAMP_CHECK_MSG(!decoder_.error(), "mpc_procs: malformed frame");
+      std::uint8_t buf[1 << 16];
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n < 0 && errno == EINTR) continue;
+      LAMP_CHECK_MSG(n > 0, "mpc_procs: peer closed mid-frame");
+      decoder_.Feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  void WriteFrame(const transport::WireFrame& frame) { SendFrame(fd_, frame); }
+
+ private:
+  int fd_ = -1;
+  transport::FrameDecoder decoder_;
+};
+
+// --- scenarios ----------------------------------------------------------
+
+/// Per-rank ring contribution and the fold every rank must end up with.
+/// Rank 0 starts the token at HashMix(base); each rank folds its own
+/// contribution in ring order, so the closed form below is exactly what a
+/// correct exchange produces.
+std::uint64_t RankContribution(std::uint64_t base, std::size_t rank) {
+  return HashMix(base ^ static_cast<std::uint64_t>(rank + 1));
+}
+
+std::uint64_t CombinedSeed(std::uint64_t base, std::size_t p) {
+  std::uint64_t h = HashMix(base);
+  for (std::size_t r = 0; r < p; ++r) {
+    h = HashCombine(h, RankContribution(base, r));
+  }
+  return h;
+}
+
+/// bench_hypercube_load's E3 input: matching relations, the BKS skew-free
+/// extreme (kept in sync so the bounds audited here are the bench's).
+Instance MatchingInput(Schema& schema, const ConjunctiveQuery& q,
+                       std::size_t m) {
+  Rng rng(11);
+  Instance db;
+  std::int64_t base = 0;
+  for (const Atom& atom : q.body()) {
+    AddMatchingRelation(schema, atom.relation, m, base, rng, db);
+    base += static_cast<std::int64_t>(2 * m);
+  }
+  return db;
+}
+
+/// bench_join_strategies' E1 workloads: a skew-free matching join and a
+/// skewed variant where half of R shares one join value.
+struct JoinWorkload {
+  Instance skew_free;
+  Instance skewed;
+
+  JoinWorkload(const Schema& schema, RelationId r, RelationId s,
+               std::size_t m) {
+    Rng rng(1);
+    AddMatchingRelation(schema, r, m, 0, rng, skew_free);
+    AddMatchingRelation(schema, s, m, static_cast<std::int64_t>(m), rng,
+                        skew_free);
+    for (std::size_t i = 0; i < m / 2; ++i) {
+      skewed.Insert(Fact(r, {static_cast<std::int64_t>(i), 0}));
+    }
+    for (std::size_t i = 0; i < 10; ++i) {
+      skewed.Insert(Fact(s, {0, static_cast<std::int64_t>(i)}));
+    }
+    AddUniformRelation(schema, r, m / 2, 16 * m, rng, skewed);
+    AddUniformRelation(schema, s, m - 10, 16 * m, rng, skewed);
+  }
+};
+
+/// One distributed workload: every process (parent and children) builds
+/// its own copy deterministically from (name, procs, m, base seed).
+struct Scenario {
+  std::string name;
+  Schema schema;
+  ConjunctiveQuery query;
+  Instance input;
+  std::size_t servers = 0;        // One process per server.
+  std::uint64_t routing_seed = 0; // CombinedSeed(base, servers).
+  MpcSimulator::Router route;
+  obs::audit::Strategy strategy = obs::audit::Strategy::kNone;
+  bool expected_violation = false;
+  Shares shares;                              // Hypercube scenarios only.
+  std::unique_ptr<HypercubePolicy> policy;    // Keeps their router alive.
+};
+
+const char* const kScenarioNames[] = {
+    "hypercube_join",  "hypercube_triangle",  "repartition",
+    "repartition_skewed", "fragment_replicate",
+};
+
+Scenario BuildScenario(const std::string& name, std::size_t procs,
+                       std::size_t m, std::uint64_t base_seed) {
+  LAMP_CHECK(procs >= 1);
+  Scenario s;
+  s.name = name;
+  if (name == "hypercube_join" || name == "hypercube_triangle") {
+    const char* text = name == "hypercube_join"
+                           ? "H(x,y,z) <- R0(x,y), R1(y,z)"
+                           : "H(x,y,z) <- R0(x,y), R1(y,z), R2(z,x)";
+    s.query = ParseQuery(s.schema, text);
+    s.input = MatchingInput(s.schema, s.query, m);
+    s.shares = LpRoundedShares(s.query, procs);
+    s.servers = 1;
+    for (std::size_t a : s.shares) s.servers *= a;
+    s.routing_seed = CombinedSeed(base_seed, s.servers);
+    s.policy = std::make_unique<HypercubePolicy>(s.query, s.shares,
+                                                 MakeUniverse(1),
+                                                 s.routing_seed);
+    s.route = [policy = s.policy.get()](NodeId, const Fact& f) {
+      return policy->ResponsibleNodes(f);
+    };
+    s.strategy = obs::audit::Strategy::kHyperCube;
+    return s;
+  }
+
+  s.query = ParseQuery(s.schema, "H(x,y,z) <- R(x,y), S(y,z)");
+  const RelationId r = s.schema.IdOf("R");
+  const RelationId sid = s.schema.IdOf("S");
+  JoinWorkload w(s.schema, r, sid, m);
+  s.servers = procs;
+  s.routing_seed = CombinedSeed(base_seed, s.servers);
+  if (name == "repartition" || name == "repartition_skewed") {
+    s.input = name == "repartition" ? std::move(w.skew_free)
+                                    : std::move(w.skewed);
+    s.route = RepartitionRouter(s.query, s.servers, s.routing_seed);
+    s.strategy = obs::audit::Strategy::kRepartition;
+    // The heavy join value pins half of R on one server: the m/p bound is
+    // *supposed* to break (claim (1a)); keep it exempt from hard fail.
+    s.expected_violation = name == "repartition_skewed";
+  } else if (name == "fragment_replicate") {
+    s.input = std::move(w.skewed);
+    s.route = FragmentReplicateRouter(s.query, s.servers, s.routing_seed);
+    s.strategy = obs::audit::Strategy::kFragmentReplicate;
+  } else {
+    std::fprintf(stderr, "mpc_procs: unknown scenario '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  return s;
+}
+
+/// Order-independent fingerprint of an instance (sum of mixed fact
+/// hashes): stable across merge orders, printable next to the reference.
+std::uint64_t InstanceDigest(const Instance& inst) {
+  std::uint64_t digest = 0;
+  inst.ForEachFact([&digest](const Fact& f) {
+    digest += HashMix(FactHash()(f));
+  });
+  return digest;
+}
+
+// --- the worker process -------------------------------------------------
+
+struct WorkerReport {
+  std::size_t load = 0;
+  std::size_t wire_bytes = 0;  // Framing bytes received from other ranks.
+  Instance output;
+};
+
+/// Body of rank \p rank: seed exchange, one communication phase, local
+/// evaluation, report to the parent over \p report_fd. `chans[s]` is the
+/// established connection to rank s (unset at s == rank).
+void RunWorker(const Scenario& scenario, std::size_t rank,
+               std::vector<FrameChannel>& chans, int report_fd,
+               std::uint64_t base_seed) {
+  const std::size_t p = scenario.servers;
+
+  // Ring seed exchange (two laps: fold rank by rank, then broadcast the
+  // result). The outcome must equal the closed form every process already
+  // computed — the check pins the protocol against the specification.
+  if (p > 1) {
+    const std::size_t pred = (rank + p - 1) % p;
+    const std::size_t succ = (rank + 1) % p;
+    std::uint64_t token;
+    if (rank == 0) {
+      token = HashCombine(HashMix(base_seed), RankContribution(base_seed, 0));
+      chans[succ].WriteFrame(
+          {transport::kWireVersion, transport::FrameType::kHello,
+           static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(succ),
+           transport::EncodeHelloPayload(rank, token)});
+      const transport::WireFrame fold = chans[pred].ReadFrame();
+      LAMP_CHECK(fold.type == transport::FrameType::kHello);
+      token = transport::DecodeHelloPayload(fold.payload)->seed;
+    } else {
+      const transport::WireFrame fold = chans[pred].ReadFrame();
+      LAMP_CHECK(fold.type == transport::FrameType::kHello);
+      token = HashCombine(transport::DecodeHelloPayload(fold.payload)->seed,
+                          RankContribution(base_seed, rank));
+      chans[succ].WriteFrame(
+          {transport::kWireVersion, transport::FrameType::kHello,
+           static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(succ),
+           transport::EncodeHelloPayload(rank, token)});
+    }
+    // Broadcast lap: rank 0 holds the fold; pass it once around.
+    if (rank == 0) {
+      chans[succ].WriteFrame(
+          {transport::kWireVersion, transport::FrameType::kHello,
+           static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(succ),
+           transport::EncodeHelloPayload(rank, token)});
+    } else {
+      const transport::WireFrame bcast = chans[pred].ReadFrame();
+      LAMP_CHECK(bcast.type == transport::FrameType::kHello);
+      token = transport::DecodeHelloPayload(bcast.payload)->seed;
+      if (succ != 0) {
+        chans[succ].WriteFrame(
+            {transport::kWireVersion, transport::FrameType::kHello,
+             static_cast<std::uint32_t>(rank),
+             static_cast<std::uint32_t>(succ),
+             transport::EncodeHelloPayload(rank, token)});
+      }
+    }
+    LAMP_CHECK_MSG(token == scenario.routing_seed,
+                   "mpc_procs: ring seed exchange disagrees with the"
+                   " closed form");
+  }
+
+  // Local slice of the round-robin initial placement (fact i lives on
+  // server i % p — MpcSimulator::LoadInput's contract).
+  Instance local;
+  std::size_t index = 0;
+  scenario.input.ForEachFact([&](const Fact& f) {
+    if (index % p == rank) local.Insert(f);
+    ++index;
+  });
+
+  // Communication phase: route every local fact, batch per target, send
+  // one frame per peer (ascending rank; possibly empty).
+  std::vector<std::vector<const Fact*>> batches(p);
+  local.ForEachFact([&](const Fact& f) {
+    for (NodeId target : scenario.route(static_cast<NodeId>(rank), f)) {
+      batches[target].push_back(&f);
+    }
+  });
+  for (std::size_t target = 0; target < p; ++target) {
+    if (target == rank) continue;
+    chans[target].WriteFrame(
+        {transport::kWireVersion, transport::FrameType::kFactBatch,
+         static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(target),
+         transport::EncodeFactBatchPayload(0, batches[target])});
+  }
+
+  // Receive phase: drain peers in ascending rank order with the
+  // self-routed batch interleaved at our own rank — the in-process merge
+  // order, so dedup decisions and loads replay the simulator's exactly.
+  WorkerReport report;
+  Instance received;
+  for (std::size_t source = 0; source < p; ++source) {
+    if (source == rank) {
+      for (const Fact* f : batches[rank]) received.Insert(*f);
+      continue;
+    }
+    const transport::WireFrame frame = chans[source].ReadFrame();
+    LAMP_CHECK(frame.type == transport::FrameType::kFactBatch);
+    LAMP_CHECK(frame.from == source &&
+               frame.to == static_cast<std::uint32_t>(rank));
+    report.wire_bytes += transport::FrameWireSize(frame);
+    const auto batch = transport::DecodeFactBatchPayload(frame.payload);
+    LAMP_CHECK(batch.has_value() && batch->round == 0);
+    for (const Fact& f : batch->facts) {
+      if (received.Insert(f)) ++report.load;
+    }
+  }
+
+  // Computation phase + report upstream.
+  report.output = Evaluate(scenario.query, received);
+  FrameChannel up(report_fd);
+  up.WriteFrame({transport::kWireVersion, transport::FrameType::kStats,
+                 static_cast<std::uint32_t>(rank),
+                 static_cast<std::uint32_t>(p),
+                 transport::EncodeStatsPayload(0, report.load,
+                                               report.wire_bytes)});
+  std::vector<const Fact*> out_facts;
+  report.output.ForEachFact([&](const Fact& f) { out_facts.push_back(&f); });
+  up.WriteFrame({transport::kWireVersion, transport::FrameType::kFactBatch,
+                 static_cast<std::uint32_t>(rank),
+                 static_cast<std::uint32_t>(p),
+                 transport::EncodeFactBatchPayload(0, out_facts)});
+  up.WriteFrame({transport::kWireVersion, transport::FrameType::kShutdown,
+                 static_cast<std::uint32_t>(rank),
+                 static_cast<std::uint32_t>(p),
+                 {}});
+}
+
+// --- mesh construction --------------------------------------------------
+
+int TcpListener(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  LAMP_CHECK(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  LAMP_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0);
+  LAMP_CHECK(::listen(fd, 64) == 0);
+  socklen_t len = sizeof addr;
+  LAMP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// Builds rank \p rank's connections over TCP: connect to every lower
+/// rank (identifying with kHello), accept every higher one (identified by
+/// its kHello) on our pre-bound listener.
+std::vector<FrameChannel> TcpMesh(std::size_t rank, std::size_t p,
+                                  const std::vector<std::uint16_t>& ports,
+                                  int listener) {
+  std::vector<FrameChannel> chans(p);
+  for (std::size_t peer = 0; peer < rank; ++peer) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    LAMP_CHECK(fd >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(ports[peer]);
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    LAMP_CHECK_MSG(rc == 0, "mpc_procs: connect to peer failed");
+    SetNoDelay(fd);
+    chans[peer].Reset(fd);
+    chans[peer].WriteFrame(
+        {transport::kWireVersion, transport::FrameType::kHello,
+         static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(peer),
+         transport::EncodeHelloPayload(rank, 0)});
+  }
+  for (std::size_t n = rank + 1; n < p; ++n) {
+    int fd;
+    do {
+      fd = ::accept(listener, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    LAMP_CHECK(fd >= 0);
+    SetNoDelay(fd);
+    FrameChannel chan(fd);
+    const transport::WireFrame hello = chan.ReadFrame();
+    LAMP_CHECK(hello.type == transport::FrameType::kHello);
+    const auto payload = transport::DecodeHelloPayload(hello.payload);
+    LAMP_CHECK(payload.has_value() && payload->rank > rank &&
+               payload->rank < p);
+    chans[payload->rank] = std::move(chan);
+  }
+  ::close(listener);
+  return chans;
+}
+
+// --- the multi-process run ----------------------------------------------
+
+struct DistResult {
+  Instance output;
+  std::vector<std::size_t> loads;       // Per rank.
+  std::vector<std::size_t> wire_bytes;  // Per rank, received framing bytes.
+};
+
+DistResult RunDistributed(const std::string& name, transport::TransportKind
+                          kind, std::size_t procs, std::size_t m,
+                          std::uint64_t base_seed) {
+  // The parent resolves the process count the same way the workers will.
+  const Scenario shape = BuildScenario(name, procs, m, base_seed);
+  const std::size_t p = shape.servers;
+
+  // Pre-fork resources: TCP listeners (ports shared via fork) or UDS
+  // socketpairs per unordered pair, plus one report pipe per rank.
+  std::vector<int> listeners(p, -1);
+  std::vector<std::uint16_t> ports(p, 0);
+  // pair_fds[i][j] (i < j): {i's end, j's end}.
+  std::vector<std::vector<std::array<int, 2>>> pair_fds;
+  if (kind == transport::TransportKind::kTcp) {
+    for (std::size_t r = 0; r < p; ++r) listeners[r] = TcpListener(&ports[r]);
+  } else {
+    pair_fds.assign(p, std::vector<std::array<int, 2>>(p, {-1, -1}));
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = i + 1; j < p; ++j) {
+        int sv[2];
+        LAMP_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0);
+        pair_fds[i][j] = {sv[0], sv[1]};
+      }
+    }
+  }
+  std::vector<std::array<int, 2>> pipes(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    LAMP_CHECK(::pipe(pipes[r].data()) == 0);
+  }
+
+  std::vector<pid_t> pids(p, -1);
+  for (std::size_t rank = 0; rank < p; ++rank) {
+    const pid_t pid = ::fork();
+    LAMP_CHECK_MSG(pid >= 0, "mpc_procs: fork failed");
+    if (pid > 0) {
+      pids[rank] = pid;
+      continue;
+    }
+    // Worker: drop everything that is not ours, build the mesh, run.
+    for (std::size_t r = 0; r < p; ++r) {
+      ::close(pipes[r][0]);
+      if (r != rank) ::close(pipes[r][1]);
+    }
+    std::vector<FrameChannel> chans(p);
+    if (kind == transport::TransportKind::kTcp) {
+      for (std::size_t r = 0; r < p; ++r) {
+        if (r != rank) ::close(listeners[r]);
+      }
+      chans = TcpMesh(rank, p, ports, listeners[rank]);
+    } else {
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = i + 1; j < p; ++j) {
+          if (i == rank) {
+            chans[j].Reset(pair_fds[i][j][0]);
+            ::close(pair_fds[i][j][1]);
+          } else if (j == rank) {
+            chans[i].Reset(pair_fds[i][j][1]);
+            ::close(pair_fds[i][j][0]);
+          } else {
+            ::close(pair_fds[i][j][0]);
+            ::close(pair_fds[i][j][1]);
+          }
+        }
+      }
+    }
+    const Scenario mine = BuildScenario(name, procs, m, base_seed);
+    RunWorker(mine, rank, chans, pipes[rank][1], base_seed);
+    for (FrameChannel& chan : chans) {
+      if (chan.fd() >= 0) ::close(chan.fd());
+    }
+    ::close(pipes[rank][1]);
+    std::_Exit(0);
+  }
+
+  // Parent: close the worker-side fds, collect reports, reap.
+  if (kind == transport::TransportKind::kTcp) {
+    for (int fd : listeners) ::close(fd);
+  } else {
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = i + 1; j < p; ++j) {
+        ::close(pair_fds[i][j][0]);
+        ::close(pair_fds[i][j][1]);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < p; ++r) ::close(pipes[r][1]);
+
+  DistResult result;
+  result.loads.assign(p, 0);
+  result.wire_bytes.assign(p, 0);
+  for (std::size_t r = 0; r < p; ++r) {
+    FrameChannel chan(pipes[r][0]);
+    for (;;) {
+      const transport::WireFrame frame = chan.ReadFrame();
+      if (frame.type == transport::FrameType::kShutdown) break;
+      LAMP_CHECK(frame.from == r);
+      if (frame.type == transport::FrameType::kStats) {
+        const auto stats = transport::DecodeStatsPayload(frame.payload);
+        LAMP_CHECK(stats.has_value());
+        result.loads[r] = stats->received;
+        result.wire_bytes[r] = stats->wire_bytes;
+      } else {
+        LAMP_CHECK(frame.type == transport::FrameType::kFactBatch);
+        const auto batch = transport::DecodeFactBatchPayload(frame.payload);
+        LAMP_CHECK(batch.has_value());
+        for (const Fact& f : batch->facts) result.output.Insert(f);
+      }
+    }
+    ::close(pipes[r][0]);
+  }
+  for (std::size_t r = 0; r < p; ++r) {
+    int status = 0;
+    LAMP_CHECK(::waitpid(pids[r], &status, 0) == pids[r]);
+    LAMP_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                   "mpc_procs: worker exited abnormally");
+  }
+  return result;
+}
+
+// --- driver -------------------------------------------------------------
+
+struct Options {
+  std::string scenario = "all";
+  transport::TransportKind kind = transport::TransportKind::kTcp;
+  bool kind_set = false;  // --selfcheck sweeps both families unless set.
+  std::size_t procs = 4;
+  std::size_t m = 4000;
+  std::uint64_t seed = 7;
+  bool selfcheck = false;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mpc_procs [--scenario NAME|all] [--transport tcp|uds]\n"
+      "                 [--procs N] [--m N] [--seed N] [--selfcheck]\n"
+      "scenarios:");
+  for (const char* name : kScenarioNames) std::fprintf(stderr, " %s", name);
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+/// Runs one scenario distributed, checks it against the in-process
+/// reference and emits the audit record. Returns true when everything
+/// matched.
+bool RunOne(const std::string& name, const Options& opts) {
+  const Scenario scenario =
+      BuildScenario(name, opts.procs, opts.m, opts.seed);
+  const std::size_t p = scenario.servers;
+
+  // In-process ground truth (inline, single-threaded, inproc backend —
+  // the --transport flag selects the *inter-process* mesh only).
+  MpcSimulator sim(p);
+  sim.LoadInput(scenario.input);
+  sim.RunRound(scenario.route,
+               [&scenario](NodeId, const Instance& received) {
+                 return MpcSimulator::ComputeResult{
+                     Instance(), Evaluate(scenario.query, received)};
+               });
+
+  const DistResult dist =
+      RunDistributed(name, opts.kind, opts.procs, opts.m, opts.seed);
+
+  bool ok = dist.output == sim.output();
+  const RoundStats& ref_round = sim.stats().rounds.at(0);
+  for (std::size_t r = 0; r < p && ok; ++r) {
+    ok = dist.loads[r] == ref_round.received[r];
+  }
+
+  std::size_t max_load = 0;
+  std::size_t wire_total = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    max_load = std::max(max_load, dist.loads[r]);
+    wire_total += dist.wire_bytes[r];
+  }
+  std::printf(
+      "%-20s %-4s procs=%-3zu out=%zu digest=%016llx ref=%016llx"
+      " max-load=%zu wire=%zuB (in-proc %zuB) %s\n",
+      name.c_str(),
+      std::string(transport::TransportKindName(opts.kind)).c_str(), p,
+      dist.output.Size(),
+      static_cast<unsigned long long>(InstanceDigest(dist.output)),
+      static_cast<unsigned long long>(InstanceDigest(sim.output())),
+      max_load, wire_total, sim.stats().TotalWireBytes(),
+      ok ? "OK" : "MISMATCH");
+
+  // Audit the *measured* run against the strategy's closed-form bound,
+  // exactly like the benches audit the simulator.
+  RunStats measured;
+  RoundStats round;
+  round.received = dist.loads;
+  round.wire_bytes = dist.wire_bytes;
+  measured.rounds.push_back(std::move(round));
+  const obs::audit::Catalog catalog =
+      obs::audit::BuildCatalog(scenario.schema, scenario.input);
+  obs::audit::LoadBound bound =
+      scenario.strategy == obs::audit::Strategy::kHyperCube
+          ? obs::audit::HyperCubeBound(scenario.query, scenario.schema,
+                                       catalog, scenario.shares)
+          : obs::audit::BoundFor(scenario.strategy, scenario.query,
+                                 scenario.schema, catalog, p);
+  obs::audit::AuditRecord record = obs::audit::MakeAuditRecord(
+      "mpc_procs",
+      name + "/" + std::string(transport::TransportKindName(opts.kind)),
+      scenario.strategy, p, std::move(bound), measured);
+  record.params.Set("m", opts.m);
+  record.params.Set("procs", p);
+  record.params.Set("transport",
+                    std::string(transport::TransportKindName(opts.kind)));
+  record.expected_violation = scenario.expected_violation;
+  obs::audit::GlobalAuditSink().Add(std::move(record));
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Keep the process single-threaded: workers are forked, and fork() and
+  // pool threads do not mix. The reference run is bit-identical at every
+  // thread count anyway.
+  lamp::par::SetDefaultThreads(1);
+  lamp::transport::SetActiveKind(lamp::transport::TransportKind::kInProcess);
+
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      Usage();
+      return {};
+    };
+    if (arg == "--selfcheck") {
+      opts.selfcheck = true;
+    } else if (arg.rfind("--scenario", 0) == 0) {
+      opts.scenario = value("--scenario");
+    } else if (arg.rfind("--transport", 0) == 0) {
+      lamp::transport::TransportKind kind;
+      if (!lamp::transport::ParseTransportKind(value("--transport"), &kind) ||
+          kind == lamp::transport::TransportKind::kInProcess) {
+        std::fprintf(stderr, "mpc_procs: --transport must be tcp or uds\n");
+        return 2;
+      }
+      opts.kind = kind;
+      opts.kind_set = true;
+    } else if (arg.rfind("--procs", 0) == 0) {
+      opts.procs = static_cast<std::size_t>(std::stoul(value("--procs")));
+      if (opts.procs == 0) Usage();
+    } else if (arg.rfind("--m", 0) == 0) {
+      opts.m = static_cast<std::size_t>(std::stoul(value("--m")));
+    } else if (arg.rfind("--seed", 0) == 0) {
+      opts.seed = std::stoull(value("--seed"));
+    } else {
+      Usage();
+    }
+  }
+
+  std::vector<std::string> names;
+  if (opts.scenario == "all") {
+    names.assign(std::begin(kScenarioNames), std::end(kScenarioNames));
+  } else {
+    names.push_back(opts.scenario);
+  }
+
+  bool all_ok = true;
+  if (opts.selfcheck) {
+    // The CI smoke matrix: both socket families (or just the requested
+    // one), growing process counts, every scenario — each compared
+    // against the in-process reference.
+    std::vector<lamp::transport::TransportKind> kinds = {
+        lamp::transport::TransportKind::kTcp,
+        lamp::transport::TransportKind::kUds};
+    if (opts.kind_set) kinds = {opts.kind};
+    for (auto kind : kinds) {
+      for (std::size_t procs : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}}) {
+        Options sweep = opts;
+        sweep.kind = kind;
+        sweep.procs = procs;
+        for (const std::string& name : names) {
+          all_ok = RunOne(name, sweep) && all_ok;
+        }
+      }
+    }
+  } else {
+    for (const std::string& name : names) {
+      all_ok = RunOne(name, opts) && all_ok;
+    }
+  }
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "mpc_procs: distributed run diverged from the in-process"
+                 " reference\n");
+    return 1;
+  }
+  return lamp::obs::audit::FinalizeGlobalAudit();
+}

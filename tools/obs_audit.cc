@@ -158,6 +158,56 @@ void RenderReport(const std::vector<AuditRecord>& records) {
                 r.bench.c_str(), r.label.c_str(), r.p, r.worst_round,
                 r.measured_max_load, heat.c_str());
   }
+
+  // Wire traffic next to logical load: load bounds count *tuples*, the
+  // transport counts *bytes*, and the per-round bytes/tuple ratio ties the
+  // two — a round whose ratio jumps is paying framing or replication
+  // overhead the tuple counts don't show. Rounds that moved no tuples
+  // (wire bytes all framing, e.g. empty batch frames every peer still
+  // sends) render "-" instead of a ratio.
+  bool any_wire = false;
+  for (const AuditRecord& r : records) any_wire |= r.wire_bytes > 0;
+  if (!any_wire) return;
+  std::printf("\n== wire traffic (lamp.wire.v1 bytes vs logical load) ==\n");
+  std::printf("  %-18s %-26s %5s %12s %10s %9s\n", "bench", "label", "round",
+              "wire bytes", "tuples", "B/tuple");
+  for (const AuditRecord& r : records) {
+    if (r.wire_bytes == 0) continue;
+    const std::size_t rounds =
+        std::min(r.round_wire_bytes.size(), r.round_total_load.size());
+    for (std::size_t i = 0; i < rounds; ++i) {
+      const std::size_t bytes = r.round_wire_bytes[i];
+      const std::size_t tuples = r.round_total_load[i];
+      char round_label[32];
+      std::snprintf(round_label, sizeof(round_label), "%zu", i);
+      char ratio[32];
+      if (tuples > 0) {
+        std::snprintf(ratio, sizeof(ratio), "%9.1f",
+                      static_cast<double>(bytes) /
+                          static_cast<double>(tuples));
+      } else {
+        std::snprintf(ratio, sizeof(ratio), "%9s", "-");
+      }
+      std::printf("  %-18s %-26s %5s %12zu %10zu %s\n", r.bench.c_str(),
+                  r.label.c_str(), round_label, bytes, tuples, ratio);
+    }
+    if (rounds > 1) {
+      const double total_tuples = [&] {
+        std::size_t t = 0;
+        for (std::size_t i = 0; i < rounds; ++i) t += r.round_total_load[i];
+        return static_cast<double>(t);
+      }();
+      char ratio[32];
+      if (total_tuples > 0) {
+        std::snprintf(ratio, sizeof(ratio), "%9.1f",
+                      static_cast<double>(r.wire_bytes) / total_tuples);
+      } else {
+        std::snprintf(ratio, sizeof(ratio), "%9s", "-");
+      }
+      std::printf("  %-18s %-26s %5s %12zu %10.0f %s\n", r.bench.c_str(),
+                  r.label.c_str(), "all", r.wire_bytes, total_tuples, ratio);
+    }
+  }
 }
 
 int ReportMain(const std::vector<std::string>& files, bool check) {

@@ -4,6 +4,12 @@
 //   trace_dump <trace.json>    render a saved trace (see obs/trace.h)
 //   trace_dump --demo-mpc      trace a HyperCube triangle run, render it
 //   trace_dump --demo-net      trace a broadcast transducer run, render it
+//   trace_dump --transport tcp --demo-mpc
+//                              demo over a socket backend; the trace then
+//                              carries transport.connect/send/recv events
+//                              (rendered as the Transport section, and as
+//                              the transport.wire_bytes counter track in
+//                              --chrome output)
 //   trace_dump ... --json      emit the raw trace JSON instead
 //   trace_dump ... --chrome    emit Chrome Trace Event Format JSON (open
 //                              in Perfetto / chrome://tracing)
@@ -36,6 +42,7 @@
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "relational/generators.h"
+#include "transport/transport.h"
 
 namespace lamp {
 namespace {
@@ -243,6 +250,64 @@ int DiffTraces(const obs::JsonValue& left, const obs::JsonValue& right,
   return 1;
 }
 
+// Transport sections: one summary line per connect (clique setup), then
+// per-endpoint egress totals as a heatmap — skewed routing shows up as a
+// lopsided byte distribution even before the tuple-level MPC heatmaps.
+void RenderTransport(const std::vector<Event>& events) {
+  bool any = false;
+  for (const Event& e : events) {
+    if (e.kind.rfind("transport.", 0) == 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+
+  std::printf("== Transport (lamp.wire.v1) ==\n");
+  static const char* kKindNames[] = {"inproc", "tcp", "uds"};
+  for (const Event& e : events) {
+    if (e.kind != "transport.connect") continue;
+    const char* backend = e.b < 3 ? kKindNames[e.b] : "unknown";
+    std::printf("  connect: %u endpoint(s) over %s (%llu fd(s))\n", e.a,
+                backend, static_cast<unsigned long long>(e.value));
+  }
+  std::map<std::uint32_t, std::uint64_t> sent_bytes;
+  std::uint64_t frames_sent = 0, bytes_sent = 0;
+  std::uint64_t frames_recv = 0, bytes_recv = 0;
+  for (const Event& e : events) {
+    if (e.kind == "transport.send") {
+      ++frames_sent;
+      bytes_sent += e.value;
+      sent_bytes[e.a] += e.value;
+    } else if (e.kind == "transport.recv") {
+      ++frames_recv;
+      bytes_recv += e.value;
+    }
+  }
+  std::printf("  sent: %llu frame(s), %llu byte(s); received: %llu"
+              " frame(s), %llu byte(s)\n",
+              static_cast<unsigned long long>(frames_sent),
+              static_cast<unsigned long long>(bytes_sent),
+              static_cast<unsigned long long>(frames_recv),
+              static_cast<unsigned long long>(bytes_recv));
+  if (!sent_bytes.empty()) {
+    std::uint64_t max = 0;
+    std::uint32_t last = 0;
+    for (const auto& [endpoint, bytes] : sent_bytes) {
+      max = std::max(max, bytes);
+      last = std::max(last, endpoint);
+    }
+    std::string heat;
+    for (std::uint32_t ep = 0; ep <= last; ++ep) {
+      const auto it = sent_bytes.find(ep);
+      heat += LoadGlyph(it == sent_bytes.end() ? 0 : it->second, max);
+    }
+    std::printf("  egress bytes per endpoint (max=%llu) |%s|\n",
+                static_cast<unsigned long long>(max), heat.c_str());
+  }
+  std::printf("\n");
+}
+
 void RenderDatalog(const std::vector<Event>& events) {
   bool any = false;
   for (const Event& e : events) {
@@ -360,6 +425,7 @@ void Render(const obs::JsonValue& trace) {
   const std::vector<Event> events = EventsFromJson(trace);
   RenderMpc(events);
   RenderNet(events);
+  RenderTransport(events);
   RenderDatalog(events);
   RenderSpans(events);
 }
@@ -427,6 +493,7 @@ std::uint64_t DroppedCount(const obs::JsonValue& trace) {
 }
 
 int Main(int argc, char** argv) {
+  transport::ConfigureFromCommandLine(&argc, argv);
   bool raw_json = false;
   bool chrome = false;
   bool strict = false;
