@@ -1,6 +1,6 @@
 #include "datalog/eval.h"
 
-#include <map>
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -19,7 +19,7 @@ void PopulateADom(const Schema& schema, const Instance& edb, Instance& out) {
   if (adom_rel == Interner::kNotFound) return;
   LAMP_CHECK(schema.ArityOf(adom_rel) == 1);
   for (Value v : edb.ActiveDomain()) {
-    out.Insert(Fact(adom_rel, {v.v}));
+    out.InsertRow(adom_rel, &v, 1);
   }
 }
 
@@ -40,6 +40,8 @@ void RecordIteration(std::size_t stratum, std::size_t iteration,
 void DatalogStats::ToMetrics(obs::MetricsRegistry& registry) const {
   registry.GetCounter(obs::kDatalogIterations).Add(iterations);
   registry.GetCounter(obs::kDatalogFactsDerived).Add(facts_derived);
+  registry.GetCounter(obs::kDatalogDeltaIndexHits).Add(delta_index_hits);
+  registry.GetCounter(obs::kRelationalRowsScanned).Add(rows_scanned);
 }
 
 Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
@@ -53,75 +55,126 @@ Instance EvaluateProgram(Schema& schema, const DatalogProgram& program,
   PopulateADom(schema, edb, current);
 
   DatalogStats local_stats;
+  CqEvalStats cq_stats;
 
   for (const std::vector<std::size_t>& stratum : *strata) {
     const std::size_t stratum_idx =
         static_cast<std::size_t>(&stratum - &(*strata)[0]);
     std::size_t iteration_idx = 0;
-    // Recursive predicates of this stratum and their delta relations.
-    std::set<RelationId> recursive;
+    // Recursive predicates of this stratum (sorted, deduped) and their
+    // delta relations, kept in a flat RelationId-indexed vector so the
+    // inner loop never pays a map lookup.
+    std::vector<RelationId> recursive;
     for (std::size_t idx : stratum) {
-      recursive.insert(program.rules()[idx].head().relation);
+      recursive.push_back(program.rules()[idx].head().relation);
     }
-    std::map<RelationId, RelationId> delta_rel;
+    std::sort(recursive.begin(), recursive.end());
+    recursive.erase(std::unique(recursive.begin(), recursive.end()),
+                    recursive.end());
+
+    constexpr RelationId kNoDelta = static_cast<RelationId>(-1);
+    std::vector<RelationId> delta_of(schema.NumRelations(), kNoDelta);
     for (RelationId rel : recursive) {
-      delta_rel[rel] = schema.AddRelation(
+      delta_of[rel] = schema.AddRelation(
           "__delta_" + schema.NameOf(rel) + "_s" +
-              std::to_string(&stratum - &(*strata)[0]),
+              std::to_string(stratum_idx),
           schema.ArityOf(rel));
     }
 
-    // Delta versions of each rule: one per occurrence of a recursive atom.
+    // Delta versions of each rule: one per occurrence of a recursive atom,
+    // in original rule order, each remembering which predicate's delta it
+    // consumes so empty-delta rounds can skip it.
     struct DeltaRule {
       ConjunctiveQuery query;
+      RelationId delta_source;  // The (original) recursive predicate.
     };
     std::vector<DeltaRule> delta_rules;
     for (std::size_t idx : stratum) {
       const ConjunctiveQuery& rule = program.rules()[idx];
       for (std::size_t a = 0; a < rule.body().size(); ++a) {
-        auto it = delta_rel.find(rule.body()[a].relation);
-        if (it == delta_rel.end()) continue;
+        const RelationId body_rel = rule.body()[a].relation;
+        if (body_rel >= delta_of.size() || delta_of[body_rel] == kNoDelta) {
+          continue;
+        }
         ConjunctiveQuery rewritten = rule;
-        rewritten.SetBodyRelation(a, it->second);
-        delta_rules.push_back({std::move(rewritten)});
+        rewritten.SetBodyRelation(a, delta_of[body_rel]);
+        delta_rules.push_back({std::move(rewritten), body_rel});
       }
     }
 
     // Round 0: evaluate every rule on `current` (recursive predicates are
     // still empty, so this derives the base facts of the stratum).
     Instance delta;
+    const RowBatchSink into_delta = [&current, &delta](RelationId rel,
+                                                       const Value* rows,
+                                                       std::size_t count,
+                                                       std::size_t arity) {
+      for (std::size_t t = 0; t < count; ++t) {
+        const Value* row = rows + t * arity;
+        if (!current.ContainsRow(rel, row, arity)) {
+          delta.InsertRow(rel, row, arity);
+        }
+      }
+    };
     for (std::size_t idx : stratum) {
-      Evaluate(program.rules()[idx], current)
-          .ForEachFact([&current, &delta](const Fact& f) {
-            if (!current.Contains(f)) delta.Insert(f);
-          });
+      EvaluateIntoBatches(program.rules()[idx], current, into_delta,
+                          &cq_stats);
     }
     ++local_stats.iterations;
     RecordIteration(stratum_idx, iteration_idx++, delta.Size(), metrics);
 
+    // The working instance (current + delta re-tagged under the delta
+    // relations) is copied once per stratum and maintained incrementally:
+    // each round appends the new facts — the same insert sequence
+    // `current` sees, so row order stays identical — and re-tags the delta
+    // relations in place instead of rebuilding the whole instance.
+    Instance working = current;
+    Instance next_delta;
+    // Fused containment + insert: rules evaluate over `working`, so the
+    // sink may mutate `current` directly. A successful insert is exactly
+    // "not seen before", so next_delta receives the same rows in the same
+    // order the old ContainsRow-filter-then-merge scheme produced, with
+    // one hash probe instead of two.
+    const RowBatchSink into_next_delta =
+        [&current, &next_delta](RelationId rel, const Value* rows,
+                                std::size_t count, std::size_t arity) {
+          current.InsertRowsInto(rel, rows, count, arity, next_delta);
+        };
+
+    // Only the round-0 delta is not yet in `current`; later deltas are
+    // merged at emission time by the fused sink above.
+    bool merge_round0 = true;
     while (!delta.Empty()) {
       local_stats.facts_derived += delta.Size();
-      current.InsertAll(delta);
+      if (merge_round0) {
+        current.InsertAll(delta);
+        merge_round0 = false;
+      }
+      working.InsertAll(delta);
+      for (RelationId rel : recursive) working.ClearRelation(delta_of[rel]);
+      for (RelationId rel : recursive) {
+        const RowsView rows = delta.RowsOf(rel);
+        for (std::size_t i = 0; i < rows.num_rows; ++i) {
+          working.InsertRow(delta_of[rel], rows.Row(i), rows.arity);
+        }
+      }
 
-      // Working instance: current + delta re-tagged under delta relations.
-      Instance working = current;
-      delta.ForEachFact([&delta_rel, &working](const Fact& f) {
-        working.Insert(Fact(delta_rel.at(f.relation), f.args));
-      });
-
-      Instance next_delta;
+      next_delta = Instance();
       for (const DeltaRule& dr : delta_rules) {
-        Evaluate(dr.query, working)
-            .ForEachFact([&current, &next_delta](const Fact& f) {
-              if (!current.Contains(f)) next_delta.Insert(f);
-            });
+        // Delta-index skip: a rule whose delta relation is empty this
+        // round derives nothing.
+        if (delta.NumRows(dr.delta_source) == 0) continue;
+        ++local_stats.delta_index_hits;
+        EvaluateIntoBatches(dr.query, working, into_next_delta, &cq_stats);
       }
       delta = std::move(next_delta);
+      next_delta = Instance();
       ++local_stats.iterations;
       RecordIteration(stratum_idx, iteration_idx++, delta.Size(), metrics);
     }
   }
 
+  local_stats.rows_scanned = cq_stats.rows_scanned;
   if (stats != nullptr) *stats = local_stats;
   if (metrics != nullptr) local_stats.ToMetrics(*metrics);
   return current;
@@ -138,6 +191,13 @@ Instance EvaluateProgramNaive(Schema& schema, const DatalogProgram& program,
   PopulateADom(schema, edb, current);
 
   DatalogStats local_stats;
+  CqEvalStats cq_stats;
+
+  // Flat row buffer reused across rounds: derived heads are staged here
+  // (the join pipeline must not see its own output mid-evaluation), then
+  // inserted; `current` dedups, so staging duplicates is harmless and the
+  // insert order equals the old materialise-then-copy order.
+  std::vector<Value> buffer;
 
   for (const std::vector<std::size_t>& stratum : *strata) {
     const std::size_t stratum_idx =
@@ -149,14 +209,32 @@ Instance EvaluateProgramNaive(Schema& schema, const DatalogProgram& program,
       ++local_stats.iterations;
       std::size_t derived_this_round = 0;
       for (std::size_t idx : stratum) {
-        Evaluate(program.rules()[idx], current)
-            .ForEachFact([&current, &changed, &derived_this_round](
-                             const Fact& f) {
-              if (current.Insert(f)) {
-                changed = true;
-                ++derived_this_round;
-              }
-            });
+        const ConjunctiveQuery& rule = program.rules()[idx];
+        const std::size_t arity = rule.head().terms.size();
+        const RelationId head_rel = rule.head().relation;
+        buffer.clear();
+        bool fired = false;
+        EvaluateIntoBatches(
+            rule, current,
+            [&buffer, &fired](RelationId, const Value* rows,
+                              std::size_t count, std::size_t n) {
+              fired = true;
+              buffer.insert(buffer.end(), rows, rows + count * n);
+            },
+            &cq_stats);
+        if (arity == 0) {  // Nullary head: at most one distinct fact.
+          if (fired && current.InsertRow(head_rel, nullptr, 0)) {
+            changed = true;
+            ++derived_this_round;
+          }
+          continue;
+        }
+        const std::size_t added = current.InsertRows(
+            head_rel, buffer.data(), buffer.size() / arity, arity);
+        if (added > 0) {
+          changed = true;
+          derived_this_round += added;
+        }
       }
       local_stats.facts_derived += derived_this_round;
       RecordIteration(stratum_idx, iteration_idx++, derived_this_round,
@@ -164,6 +242,7 @@ Instance EvaluateProgramNaive(Schema& schema, const DatalogProgram& program,
     }
   }
 
+  local_stats.rows_scanned = cq_stats.rows_scanned;
   if (stats != nullptr) *stats = local_stats;
   if (metrics != nullptr) local_stats.ToMetrics(*metrics);
   return current;

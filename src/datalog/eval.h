@@ -24,12 +24,15 @@
 
 namespace lamp {
 
-/// Evaluation statistics (for the D1 benchmark).
+/// Evaluation statistics (for the D1 benchmark and the audit layer).
 struct DatalogStats {
   std::size_t iterations = 0;       // Total semi-naive rounds.
   std::size_t facts_derived = 0;    // IDB facts (excluding EDB).
+  std::size_t rows_scanned = 0;     // Rows touched by CQ evaluation.
+  std::size_t delta_index_hits = 0;  // Delta rules selected (nonempty delta).
 
-  /// Exports as datalog.iterations / datalog.facts_derived counters
+  /// Exports as datalog.iterations / datalog.facts_derived /
+  /// datalog.delta_index_hits / relational.rows_scanned counters
   /// (accumulating into whatever the registry already holds).
   void ToMetrics(obs::MetricsRegistry& registry) const;
 };

@@ -47,7 +47,8 @@ bool Covers(const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime) {
 
         // Inner universe: values seen by V' + constants of Q + fresh values
         // for the variables of Q (distinct from everything in `outer`).
-        std::set<Value> inner_set = required_prime.ActiveDomain();
+        const std::vector<Value> prime_dom = required_prime.ActiveDomain();
+        std::set<Value> inner_set(prime_dom.begin(), prime_dom.end());
         for (Value c : q.Constants()) inner_set.insert(c);
         const std::int64_t inner_fresh =
             fresh + static_cast<std::int64_t>(q_prime.NumVars());

@@ -31,6 +31,17 @@ struct KeyValue {
   Fact value;
 };
 
+/// One shuffled pair of the columnar fast path: a key plus a borrowed
+/// reference to the mapped input row (no per-pair fact allocation). The
+/// row pointer stays valid for the duration of the job — RunJob never
+/// mutates its input.
+struct RowEntry {
+  std::uint64_t key = 0;
+  RelationId relation = 0;
+  std::uint32_t arity = 0;
+  const Value* row = nullptr;
+};
+
 /// A MapReduce job.
 struct MapReduceJob {
   /// mu: fact -> collection of key-value pairs.
@@ -39,8 +50,29 @@ struct MapReduceJob {
   using ReduceFn = std::function<std::vector<KeyValue>(
       std::uint64_t key, const std::vector<Fact>& group)>;
 
+  /// Row-level mu of the columnar fast path: append the pairs of one input
+  /// row to \p out (pairs reference the row, they do not copy it).
+  using MapRowsFn = std::function<void(RelationId relation, const Value* row,
+                                       std::size_t arity,
+                                       std::vector<RowEntry>& out)>;
+  /// Row-level rho: consume one key group (a contiguous run of entries in
+  /// shuffle order) and insert the output rows into \p out.
+  using ReduceRowsFn = std::function<void(std::uint64_t key,
+                                          const RowEntry* group,
+                                          std::size_t count, Instance& out)>;
+
   MapFn map;
   ReduceFn reduce;
+
+  /// Optional columnar fast path. When both hooks are set, RunJob shuffles
+  /// borrowed row references through a flat sorted vector instead of
+  /// materialising facts in a std::map — the hooks must be semantically
+  /// identical to map/reduce (same pairs, same per-group output order), so
+  /// stats and the output instance are byte-identical either way. The
+  /// fact-level functions stay mandatory: MPC translation (RunJobOnMpc)
+  /// and the equivalence tests run those.
+  MapRowsFn map_rows;
+  ReduceRowsFn reduce_rows;
 };
 
 /// Load statistics of one job execution: number of values each reducer

@@ -42,6 +42,54 @@ MapReduceJob JoinSecondWithFirst(RelationId left, RelationId right,
     }
     return kvs;
   };
+
+  // Columnar twins of the two closures above: same pairs, same per-group
+  // emission order. The reduce pre-partitions the group into join sides
+  // once — O(lefts × rights) emissions instead of the fact path's
+  // O(group²) filter sweeps — which preserves the nested-loop order
+  // because both sides keep the group's own order.
+  job.map_rows = [left, right](RelationId rel, const Value* row,
+                               std::size_t arity,
+                               std::vector<RowEntry>& out_entries) {
+    if (rel == left) {
+      out_entries.push_back({static_cast<std::uint64_t>(row[1].v), rel,
+                             static_cast<std::uint32_t>(arity), row});
+    }
+    if (rel == right) {
+      out_entries.push_back({static_cast<std::uint64_t>(row[0].v), rel,
+                             static_cast<std::uint32_t>(arity), row});
+    }
+  };
+  // The scratch vectors live in the closure so their capacity is reused
+  // across groups (std::function invokes the callable non-const).
+  job.reduce_rows = [left, right, out, lefts = std::vector<const Value*>(),
+                     rights = std::vector<const Value*>(),
+                     derived = std::vector<Value>()](
+                        std::uint64_t key, const RowEntry* group,
+                        std::size_t count, Instance& output) mutable {
+    lefts.clear();
+    rights.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      const Value* row = group[i].row;
+      if (group[i].relation == left &&
+          static_cast<std::uint64_t>(row[1].v) == key) {
+        lefts.push_back(row);
+      }
+      if (group[i].relation == right &&
+          static_cast<std::uint64_t>(row[0].v) == key) {
+        rights.push_back(row);
+      }
+    }
+    if (lefts.empty() || rights.empty()) return;
+    derived.clear();
+    for (const Value* l : lefts) {
+      for (const Value* r : rights) {
+        derived.push_back(l[0]);
+        derived.push_back(r[1]);
+      }
+    }
+    output.InsertRows(out, derived.data(), derived.size() / 2, 2);
+  };
   return job;
 }
 
@@ -58,19 +106,29 @@ RecursiveTcResult TransitiveClosureLinear(const Schema& schema,
   LAMP_CHECK(schema.ArityOf(edge) == 2 && schema.ArityOf(tc) == 2);
   RecursiveTcResult result;
   // TC starts as a copy of the edges.
-  for (const Fact& f : edges.FactsOf(edge)) {
-    result.closure.Insert(Fact(tc, f.args));
-  }
+  const RowsView edge_rows = edges.RowsOf(edge);
+  result.closure.InsertRows(tc, edge_rows.data, edge_rows.num_rows,
+                            edge_rows.arity);
 
   const MapReduceJob step = JoinSecondWithFirst(tc, edge, tc);
+  // One persistent job input, extended with each round's new closure rows
+  // — the same rows InsertAll appends to the closure, in the same order —
+  // instead of re-copying edges + closure every round.
+  Instance input = edges;
+  input.InsertAll(result.closure);
   while (true) {
-    Instance input = edges;
-    input.InsertAll(result.closure);
     MapReduceStats stats;
     const Instance derived = RunJob(step, input, &stats);
     ++result.jobs;
     Accumulate(stats, result);
-    if (result.closure.InsertAll(derived) == 0) break;
+    // Each closure row that is new is also new for (and mirrored into)
+    // the job input — `input` is edges ∪ closure with closure rows in
+    // closure insertion order.
+    const RowsView dv = derived.RowsOf(tc);
+    if (result.closure.InsertRowsInto(tc, dv.data, dv.num_rows, dv.arity,
+                                      input) == 0) {
+      break;
+    }
   }
   return result;
 }
@@ -80,9 +138,9 @@ RecursiveTcResult TransitiveClosureDoubling(const Schema& schema,
                                             const Instance& edges) {
   LAMP_CHECK(schema.ArityOf(edge) == 2 && schema.ArityOf(tc) == 2);
   RecursiveTcResult result;
-  for (const Fact& f : edges.FactsOf(edge)) {
-    result.closure.Insert(Fact(tc, f.args));
-  }
+  const RowsView edge_rows = edges.RowsOf(edge);
+  result.closure.InsertRows(tc, edge_rows.data, edge_rows.num_rows,
+                            edge_rows.arity);
 
   const MapReduceJob step = JoinSecondWithFirst(tc, tc, tc);
   while (true) {
@@ -90,7 +148,10 @@ RecursiveTcResult TransitiveClosureDoubling(const Schema& schema,
     const Instance derived = RunJob(step, result.closure, &stats);
     ++result.jobs;
     Accumulate(stats, result);
-    if (result.closure.InsertAll(derived) == 0) break;
+    const RowsView dv = derived.RowsOf(tc);
+    if (result.closure.InsertRows(tc, dv.data, dv.num_rows, dv.arity) == 0) {
+      break;
+    }
   }
   return result;
 }

@@ -8,11 +8,11 @@ namespace lamp {
 
 namespace {
 
-/// One routed fact in a worker's outbox. The pointer aims into the source
-/// server's local instance, which is immutable for the whole communication
-/// phase — routing copies no facts.
+/// One routed fact in a worker's outbox, as a columnar row reference. The
+/// row pointer aims into the source server's local instance, which is
+/// immutable for the whole communication phase — routing copies no facts.
 struct Routed {
-  const Fact* fact;
+  transport::RowRef row;
   NodeId source;
 };
 
@@ -67,14 +67,26 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
                                    std::size_t hi) {
           std::vector<std::vector<Routed>>& out = outbox[shard];
           out.resize(p);
+          Fact scratch;  // Router argument, rebuilt per row.
           for (std::size_t source = lo; source < hi; ++source) {
             const auto src = static_cast<NodeId>(source);
-            locals_[source].ForEachFact([p, &route, &out, src](const Fact& f) {
-              for (NodeId target : route(src, f)) {
-                LAMP_CHECK(target < p);
-                out[target].push_back(Routed{&f, src});
+            const Instance& local = locals_[source];
+            for (RelationId rel = 0; rel < local.NumRelationIds(); ++rel) {
+              const RowsView rows = local.RowsOf(rel);
+              if (rows.num_rows == 0) continue;
+              scratch.relation = rel;
+              for (std::size_t i = 0; i < rows.num_rows; ++i) {
+                const Value* row = rows.Row(i);
+                scratch.args.assign(row, row + rows.arity);
+                for (NodeId target : route(src, scratch)) {
+                  LAMP_CHECK(target < p);
+                  out[target].push_back(Routed{
+                      transport::RowRef{
+                          rel, row, static_cast<std::uint32_t>(rows.arity)},
+                      src});
+                }
               }
-            });
+            }
           }
         });
 
@@ -112,9 +124,11 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
               if (run_count != 0 && r.source != run_source) flush_run();
               run_source = r.source;
               ++run_count;
-              run_fact_bytes += transport::EncodedFactSize(*r.fact);
+              run_fact_bytes += transport::EncodedRowSize(r.row);
             }
-            if (received[target].Insert(*r.fact) && tgt != r.source) {
+            if (received[target].InsertRow(r.row.relation, r.row.row,
+                                           r.row.arity) &&
+                tgt != r.source) {
               ++load;
             }
           }
@@ -127,7 +141,7 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
       // target (shards are contiguous ascending ranges), so senders[t]
       // comes out ascending too.
       std::vector<std::vector<NodeId>> senders(p);
-      std::vector<const Fact*> batch;
+      std::vector<transport::RowRef> batch;
       for (const auto& out : outbox) {
         for (std::size_t target = 0; target < p; ++target) {
           const std::vector<Routed>& entries = out[target];
@@ -136,7 +150,7 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
             const NodeId src = entries[i].source;
             batch.clear();
             while (i < entries.size() && entries[i].source == src) {
-              batch.push_back(entries[i].fact);
+              batch.push_back(entries[i].row);
               ++i;
             }
             if (src == static_cast<NodeId>(target)) continue;  // Stays local.
@@ -163,7 +177,10 @@ void MpcSimulator::RunRound(const Router& route, const Computer& compute) {
           if (source == tgt) {
             for (const auto& out : outbox) {
               for (const Routed& r : out[target]) {
-                if (r.source == tgt) received[target].Insert(*r.fact);
+                if (r.source == tgt) {
+                  received[target].InsertRow(r.row.relation, r.row.row,
+                                             r.row.arity);
+                }
               }
             }
             continue;

@@ -66,8 +66,7 @@ void DistinctCompleteProgram::TryOutput(NodeContext& ctx) {
   // C = adom(state). C is distinct-complete for this node when every
   // possible fact over C is in the state (it arrived / was local) or is
   // one we are responsible for (then its absence means it is not in I).
-  const std::set<Value> adom_set = ctx.state().ActiveDomain();
-  const std::vector<Value> c(adom_set.begin(), adom_set.end());
+  const std::vector<Value> c = ctx.state().ActiveDomain();
 
   for (RelationId rel : relations_) {
     const std::size_t arity = schema_.ArityOf(rel);
@@ -105,7 +104,7 @@ void ComponentProgram::OnStart(NodeContext& ctx) {
   // For every value we own (we are responsible for *all* facts containing
   // it — the domain-guided guarantee), broadcast those facts together with
   // the completeness marker as one atomic message.
-  const std::set<Value> adom = ctx.state().ActiveDomain();
+  const std::vector<Value> adom = ctx.state().ActiveDomain();
   for (Value a : adom) {
     // Ownership test: responsible for a witness fact containing only `a`.
     // Domain-guided policies decide by values, so any fact containing `a`

@@ -169,6 +169,10 @@ inline constexpr std::string_view kDatalogIterations = "datalog.iterations";
 inline constexpr std::string_view kDatalogFactsDerived =
     "datalog.facts_derived";
 inline constexpr std::string_view kDatalogDeltaSize = "datalog.delta_size";
+inline constexpr std::string_view kDatalogDeltaIndexHits =
+    "datalog.delta_index_hits";
+inline constexpr std::string_view kRelationalRowsScanned =
+    "relational.rows_scanned";
 
 }  // namespace lamp::obs
 

@@ -95,11 +95,11 @@ BoundedEvalResult BoundedEvaluate(const ConjunctiveQuery& query,
 
   BoundedEvalResult result;
 
-  // Per-step index: constraint input-position values -> matching facts.
-  // Lazily built; models the index structure the access constraint
-  // promises.
+  // Per-step index: constraint input-position values -> matching rows
+  // (borrowed pointers into the instance's columnar storage). Lazily
+  // built; models the index structure the access constraint promises.
   struct StepIndex {
-    std::map<std::vector<std::int64_t>, std::vector<const Fact*>> buckets;
+    std::map<std::vector<std::int64_t>, std::vector<const Value*>> buckets;
   };
   std::vector<std::optional<StepIndex>> indexes(plan.steps.size());
 
@@ -118,12 +118,12 @@ BoundedEvalResult BoundedEvaluate(const ConjunctiveQuery& query,
 
     if (!indexes[depth].has_value()) {
       StepIndex index;
-      for (const Fact& f : instance.FactsOf(atom.relation)) {
+      instance.ForEachRow(atom.relation, [&](const Value* row) {
         std::vector<std::int64_t> key;
         key.reserve(inputs.size());
-        for (std::size_t pos : inputs) key.push_back(f.args[pos].v);
-        index.buckets[std::move(key)].push_back(&f);
-      }
+        for (std::size_t pos : inputs) key.push_back(row[pos].v);
+        index.buckets[std::move(key)].push_back(row);
+      });
       indexes[depth] = std::move(index);
     }
 
@@ -137,18 +137,18 @@ BoundedEvalResult BoundedEvaluate(const ConjunctiveQuery& query,
 
     LAMP_CHECK_MSG(it->second.size() <= step.constraint.bound,
                    "instance violates an access constraint");
-    for (const Fact* fact : it->second) {
+    for (const Value* row : it->second) {
       ++result.tuples_fetched;
       std::vector<VarId> newly_bound;
       bool ok = true;
       for (std::size_t i = 0; i < atom.terms.size() && ok; ++i) {
         const Term& t = atom.terms[i];
         if (t.IsConst()) {
-          ok = t.constant == fact->args[i];
+          ok = t.constant == row[i];
         } else if (valuation.IsBound(t.var)) {
-          ok = valuation.Get(t.var) == fact->args[i];
+          ok = valuation.Get(t.var) == row[i];
         } else {
-          valuation.Bind(t.var, fact->args[i]);
+          valuation.Bind(t.var, row[i]);
           newly_bound.push_back(t.var);
         }
       }

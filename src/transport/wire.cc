@@ -81,6 +81,22 @@ std::size_t EncodedFactSize(const Fact& fact) {
   return n;
 }
 
+void PutRow(std::vector<std::uint8_t>& out, const RowRef& row) {
+  PutVarint(out, row.relation);
+  PutVarint(out, row.arity);
+  for (std::uint32_t i = 0; i < row.arity; ++i) {
+    PutZigzag(out, row.row[i].v);
+  }
+}
+
+std::size_t EncodedRowSize(const RowRef& row) {
+  std::size_t n = VarintSize(row.relation) + VarintSize(row.arity);
+  for (std::uint32_t i = 0; i < row.arity; ++i) {
+    n += ZigzagSize(row.row[i].v);
+  }
+  return n;
+}
+
 std::optional<Fact> ReadFact(WireReader& reader) {
   const std::optional<std::uint64_t> relation = reader.ReadVarint();
   const std::optional<std::uint64_t> arity = reader.ReadVarint();
@@ -122,6 +138,15 @@ std::vector<std::uint8_t> EncodeFactBatchPayload(
   PutVarint(payload, round);
   PutVarint(payload, facts.size());
   for (const Fact* fact : facts) PutFact(payload, *fact);
+  return payload;
+}
+
+std::vector<std::uint8_t> EncodeFactBatchPayload(
+    std::uint64_t round, const std::vector<RowRef>& rows) {
+  std::vector<std::uint8_t> payload;
+  PutVarint(payload, round);
+  PutVarint(payload, rows.size());
+  for (const RowRef& row : rows) PutRow(payload, row);
   return payload;
 }
 

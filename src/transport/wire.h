@@ -113,6 +113,22 @@ void PutFact(std::vector<std::uint8_t>& out, const Fact& fact);
 /// Bytes PutFact would append for \p fact.
 std::size_t EncodedFactSize(const Fact& fact);
 
+/// A borrowed reference to one fact in columnar storage: the relation plus
+/// \p arity values at \p row. Valid while the owning instance is not
+/// mutated. Encodes byte-identically to the Fact it denotes.
+struct RowRef {
+  RelationId relation = 0;
+  const Value* row = nullptr;
+  std::uint32_t arity = 0;
+};
+
+/// Appends one encoded fact given as a columnar row (same encoding as
+/// PutFact).
+void PutRow(std::vector<std::uint8_t>& out, const RowRef& row);
+
+/// Bytes PutRow would append for \p row.
+std::size_t EncodedRowSize(const RowRef& row);
+
 /// Decodes one fact; nullopt on malformed input.
 std::optional<Fact> ReadFact(WireReader& reader);
 
@@ -132,6 +148,10 @@ std::optional<HelloPayload> DecodeHelloPayload(
 /// in-process merge.
 std::vector<std::uint8_t> EncodeFactBatchPayload(
     std::uint64_t round, const std::vector<const Fact*>& facts);
+
+/// Row-based overload: same payload bytes for the facts the rows denote.
+std::vector<std::uint8_t> EncodeFactBatchPayload(
+    std::uint64_t round, const std::vector<RowRef>& rows);
 struct FactBatchPayload {
   std::uint64_t round = 0;
   std::vector<Fact> facts;

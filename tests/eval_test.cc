@@ -193,8 +193,7 @@ TEST(Eval, AgreesWithNaiveEnumerationOnRandomGraphs) {
     const Instance fast = Evaluate(q, inst);
 
     Instance naive;
-    const std::set<Value> dom = inst.ActiveDomain();
-    const std::vector<Value> universe(dom.begin(), dom.end());
+    const std::vector<Value> universe = inst.ActiveDomain();
     ForEachValuationOverUniverse(
         q, universe, [&q, &inst, &naive](const Valuation& v) {
           if (v.Satisfies(q, inst)) naive.Insert(v.ApplyToAtom(q.head()));

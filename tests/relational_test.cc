@@ -78,10 +78,11 @@ TEST_F(RelationalTest, ActiveDomain) {
   Instance inst;
   inst.Insert(Fact(r_, {1, 2}));
   inst.Insert(Fact(u_, {7}));
-  const std::set<Value> dom = inst.ActiveDomain();
+  const std::vector<Value> dom = inst.ActiveDomain();
   EXPECT_EQ(dom.size(), 3u);
-  EXPECT_TRUE(dom.count(Value(1)));
-  EXPECT_TRUE(dom.count(Value(7)));
+  EXPECT_TRUE(std::is_sorted(dom.begin(), dom.end()));
+  EXPECT_TRUE(std::binary_search(dom.begin(), dom.end(), Value(1)));
+  EXPECT_TRUE(std::binary_search(dom.begin(), dom.end(), Value(7)));
 }
 
 TEST_F(RelationalTest, RestrictToKeepsOnlyFullyCoveredFacts) {

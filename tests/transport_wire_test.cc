@@ -283,7 +283,8 @@ std::vector<std::uint8_t> GoldenStream() {
   AppendFrame(stream, {kWireVersion, FrameType::kFactBatch, 2, 3,
                        EncodeFactBatchPayload(4, {&small, &wide, &nullary})});
   AppendFrame(stream, {kWireVersion, FrameType::kFactBatch, 3, 2,
-                       EncodeFactBatchPayload(0, {})});
+                       EncodeFactBatchPayload(
+                           0, std::vector<const Fact*>{})});
   AppendFrame(stream, {kWireVersion, FrameType::kMessage, 200, 300,
                        EncodeMessagePayload(77, 5, 42, {small, wide})});
   AppendFrame(stream, {kWireVersion, FrameType::kStats, 1, 0,

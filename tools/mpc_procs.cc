@@ -321,14 +321,27 @@ void RunWorker(const Scenario& scenario, std::size_t rank,
     ++index;
   });
 
-  // Communication phase: route every local fact, batch per target, send
-  // one frame per peer (ascending rank; possibly empty).
-  std::vector<std::vector<const Fact*>> batches(p);
-  local.ForEachFact([&](const Fact& f) {
-    for (NodeId target : scenario.route(static_cast<NodeId>(rank), f)) {
-      batches[target].push_back(&f);
+  // Communication phase: route every local fact, batch per target as
+  // columnar row references (stable while `local` is unmutated), send one
+  // frame per peer (ascending rank; possibly empty).
+  std::vector<std::vector<transport::RowRef>> batches(p);
+  {
+    Fact scratch;  // Router argument, rebuilt per row.
+    for (RelationId rel = 0; rel < local.NumRelationIds(); ++rel) {
+      const RowsView rows = local.RowsOf(rel);
+      if (rows.num_rows == 0) continue;
+      scratch.relation = rel;
+      for (std::size_t i = 0; i < rows.num_rows; ++i) {
+        const Value* row = rows.Row(i);
+        scratch.args.assign(row, row + rows.arity);
+        for (NodeId target : scenario.route(static_cast<NodeId>(rank),
+                                            scratch)) {
+          batches[target].push_back(transport::RowRef{
+              rel, row, static_cast<std::uint32_t>(rows.arity)});
+        }
+      }
     }
-  });
+  }
   for (std::size_t target = 0; target < p; ++target) {
     if (target == rank) continue;
     chans[target].WriteFrame(
@@ -344,7 +357,9 @@ void RunWorker(const Scenario& scenario, std::size_t rank,
   Instance received;
   for (std::size_t source = 0; source < p; ++source) {
     if (source == rank) {
-      for (const Fact* f : batches[rank]) received.Insert(*f);
+      for (const transport::RowRef& r : batches[rank]) {
+        received.InsertRow(r.relation, r.row, r.arity);
+      }
       continue;
     }
     const transport::WireFrame frame = chans[source].ReadFrame();
@@ -367,12 +382,18 @@ void RunWorker(const Scenario& scenario, std::size_t rank,
                  static_cast<std::uint32_t>(p),
                  transport::EncodeStatsPayload(0, report.load,
                                                report.wire_bytes)});
-  std::vector<const Fact*> out_facts;
-  report.output.ForEachFact([&](const Fact& f) { out_facts.push_back(&f); });
+  std::vector<transport::RowRef> out_rows;
+  for (RelationId rel = 0; rel < report.output.NumRelationIds(); ++rel) {
+    const RowsView rows = report.output.RowsOf(rel);
+    for (std::size_t i = 0; i < rows.num_rows; ++i) {
+      out_rows.push_back(transport::RowRef{
+          rel, rows.Row(i), static_cast<std::uint32_t>(rows.arity)});
+    }
+  }
   up.WriteFrame({transport::kWireVersion, transport::FrameType::kFactBatch,
                  static_cast<std::uint32_t>(rank),
                  static_cast<std::uint32_t>(p),
-                 transport::EncodeFactBatchPayload(0, out_facts)});
+                 transport::EncodeFactBatchPayload(0, out_rows)});
   up.WriteFrame({transport::kWireVersion, transport::FrameType::kShutdown,
                  static_cast<std::uint32_t>(rank),
                  static_cast<std::uint32_t>(p),
