@@ -55,6 +55,14 @@ JsonValue AuditRecord::ToJson() const {
     round_load.PushBack(JsonValue(l));
   }
   doc.Set("round_total_load", std::move(round_load));
+  if (!round_wire_p50_ns.empty() || !round_wire_p99_ns.empty()) {
+    JsonValue p50 = JsonValue::Array();
+    for (const std::size_t v : round_wire_p50_ns) p50.PushBack(JsonValue(v));
+    doc.Set("round_wire_p50_ns", std::move(p50));
+    JsonValue p99 = JsonValue::Array();
+    for (const std::size_t v : round_wire_p99_ns) p99.PushBack(JsonValue(v));
+    doc.Set("round_wire_p99_ns", std::move(p99));
+  }
   doc.Set("pass", Pass());
   doc.Set("expected_violation", expected_violation);
   return doc;
@@ -130,6 +138,20 @@ std::optional<AuditRecord> AuditRecord::FromJson(const JsonValue& doc) {
     for (std::size_t i = 0; i < round_load->size(); ++i) {
       record.round_total_load.push_back(
           static_cast<std::size_t>(round_load->at(i).AsInt()));
+    }
+  }
+  if (const JsonValue* p50 = doc.Find("round_wire_p50_ns");
+      p50 != nullptr && p50->IsArray()) {
+    for (std::size_t i = 0; i < p50->size(); ++i) {
+      record.round_wire_p50_ns.push_back(
+          static_cast<std::size_t>(p50->at(i).AsInt()));
+    }
+  }
+  if (const JsonValue* p99 = doc.Find("round_wire_p99_ns");
+      p99 != nullptr && p99->IsArray()) {
+    for (std::size_t i = 0; i < p99->size(); ++i) {
+      record.round_wire_p99_ns.push_back(
+          static_cast<std::size_t>(p99->at(i).AsInt()));
     }
   }
   if (const JsonValue* expected = doc.Find("expected_violation");

@@ -75,6 +75,14 @@ struct AuditRecord {
   std::vector<std::size_t> round_wire_bytes;   // Per round, all servers.
   std::vector<std::size_t> round_total_load;   // Per round, all servers.
 
+  /// Measured cross-process wire latency per round (ns percentiles over
+  /// the matched send/recv pairs of a merged multi-process trace — see
+  /// obs/dist/merge.h). Empty when the run was in-process or traced
+  /// nothing; FromJson tolerates absence. Aligned with round_wire_bytes
+  /// by index when both are present.
+  std::vector<std::size_t> round_wire_p50_ns;
+  std::vector<std::size_t> round_wire_p99_ns;
+
   bool expected_violation = false;  // Exempt from hard fail.
 
   /// measured <= bound * slack (true when there is no bound).

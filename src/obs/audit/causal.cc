@@ -168,6 +168,20 @@ CausalReport BuildCausalReport(const std::vector<TraceEvent>& events) {
   return BuildFromDeliveries(deliveries, outputs);
 }
 
+CausalReport BuildCausalReport(const dist::MergedTrace& merged) {
+  std::vector<std::pair<std::uint32_t, Delivery>> deliveries;
+  deliveries.reserve(merged.pairs.size());
+  for (std::size_t i = 0; i < merged.pairs.size(); ++i) {
+    const dist::MatchedPair& pair = merged.pairs[i];
+    Delivery d;
+    d.node = pair.to;
+    d.depth = pair.depth;
+    d.parent = pair.parent;  // Already "pair index + 1, 0 = root".
+    deliveries.emplace_back(static_cast<std::uint32_t>(i), d);
+  }
+  return BuildFromDeliveries(deliveries, {});
+}
+
 std::optional<CausalReport> CausalReportFromTraceJson(const JsonValue& doc) {
   if (!doc.IsObject()) return std::nullopt;
   const JsonValue* events = doc.Find("events");

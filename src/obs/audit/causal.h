@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/dist/merge.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 
@@ -68,6 +69,18 @@ CausalReport BuildCausalReport(const std::vector<TraceEvent>& events);
 /// Builds the profile from a "lamp.trace.v1" document (trace_dump input).
 /// nullopt when the document has no events array.
 std::optional<CausalReport> CausalReportFromTraceJson(const JsonValue& doc);
+
+/// Builds the profile across *process* boundaries from a merged
+/// multi-process trace (obs/dist/merge.h): every matched send/recv pair
+/// is one delivery, its transition index is the pair's position in the
+/// merged order, and depths/parents are the Lamport values the merger
+/// computed on aligned timestamps. The same convention as the in-process
+/// report — root messages are depth 1, a message is one deeper than the
+/// deepest message its sender had consumed — so coordination structure is
+/// comparable between the simulator and a real mesh run. Mesh runs have
+/// no kNetOutput events, so `has_output` stays false and the report's
+/// value is the delivery count, max depth and critical path.
+CausalReport BuildCausalReport(const dist::MergedTrace& merged);
 
 }  // namespace lamp::obs::audit
 

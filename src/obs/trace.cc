@@ -73,6 +73,10 @@ std::string_view EventKindName(EventKind kind) {
       return "transport.send";
     case EventKind::kTransportRecv:
       return "transport.recv";
+    case EventKind::kDistSend:
+      return "dist.send";
+    case EventKind::kDistRecv:
+      return "dist.recv";
   }
   return "unknown";
 }

@@ -78,6 +78,15 @@ enum class EventKind : std::uint8_t {
                        //   value=frame wire bytes
   kTransportRecv,      // a=receiver endpoint, b=sender endpoint,
                        //   value=frame wire bytes
+  kDistSend,           // a=receiver rank, b=logical round, value=sender
+                       //   span id. The distributed-trace send stamp: the
+                       //   emitting process's rank is implicit in the
+                       //   shard identity, so (shard rank, value) is the
+                       //   globally unique join key mergers pair with the
+                       //   matching kDistRecv (see obs/dist/merge.h).
+  kDistRecv,           // a=sender rank, b=logical round, value=sender
+                       //   span id carried by the kTraceCtx frame that
+                       //   preceded the data frame.
 };
 
 /// Stable wire name of a kind ("mpc.server_load", "net.deliver", ...).

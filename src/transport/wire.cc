@@ -116,10 +116,12 @@ std::optional<Fact> ReadFact(WireReader& reader) {
 }
 
 std::vector<std::uint8_t> EncodeHelloPayload(std::uint64_t rank,
-                                             std::uint64_t seed) {
+                                             std::uint64_t seed,
+                                             std::uint64_t features) {
   std::vector<std::uint8_t> payload;
   PutVarint(payload, rank);
   PutVarint(payload, seed);
+  if (features != 0) PutVarint(payload, features);
   return payload;
 }
 
@@ -128,8 +130,34 @@ std::optional<HelloPayload> DecodeHelloPayload(
   WireReader reader(payload);
   const auto rank = reader.ReadVarint();
   const auto seed = reader.ReadVarint();
-  if (!rank || !seed || !reader.AtEnd()) return std::nullopt;
-  return HelloPayload{*rank, *seed};
+  if (!rank || !seed) return std::nullopt;
+  HelloPayload hello{*rank, *seed, 0};
+  if (!reader.AtEnd()) {
+    const auto features = reader.ReadVarint();
+    if (!features || !reader.AtEnd()) return std::nullopt;
+    hello.features = *features;
+  }
+  return hello;
+}
+
+std::vector<std::uint8_t> EncodeTraceCtxPayload(std::uint64_t trace_id,
+                                                std::uint64_t span,
+                                                std::uint64_t round) {
+  std::vector<std::uint8_t> payload;
+  PutVarint(payload, trace_id);
+  PutVarint(payload, span);
+  PutVarint(payload, round);
+  return payload;
+}
+
+std::optional<TraceCtxPayload> DecodeTraceCtxPayload(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader reader(payload);
+  const auto trace_id = reader.ReadVarint();
+  const auto span = reader.ReadVarint();
+  const auto round = reader.ReadVarint();
+  if (!trace_id || !span || !round || !reader.AtEnd()) return std::nullopt;
+  return TraceCtxPayload{*trace_id, *span, *round};
 }
 
 std::vector<std::uint8_t> EncodeFactBatchPayload(
@@ -259,41 +287,51 @@ void FrameDecoder::Feed(const std::uint8_t* data, std::size_t size) {
 }
 
 std::optional<WireFrame> FrameDecoder::Next() {
-  if (error_) return std::nullopt;
-  const std::size_t available = buffer_.size() - consumed_;
-  if (available < 4) return std::nullopt;
-  const std::uint8_t* p = buffer_.data() + consumed_;
-  const std::uint32_t body = static_cast<std::uint32_t>(p[0]) |
-                             (static_cast<std::uint32_t>(p[1]) << 8) |
-                             (static_cast<std::uint32_t>(p[2]) << 16) |
-                             (static_cast<std::uint32_t>(p[3]) << 24);
-  if (body < 2 || body > kMaxFrameBody) {
-    error_ = true;
-    return std::nullopt;
+  while (!error_) {
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < 4) return std::nullopt;
+    const std::uint8_t* p = buffer_.data() + consumed_;
+    const std::uint32_t body = static_cast<std::uint32_t>(p[0]) |
+                               (static_cast<std::uint32_t>(p[1]) << 8) |
+                               (static_cast<std::uint32_t>(p[2]) << 16) |
+                               (static_cast<std::uint32_t>(p[3]) << 24);
+    if (body < 2 || body > kMaxFrameBody) {
+      error_ = true;
+      return std::nullopt;
+    }
+    if (available < 4 + static_cast<std::size_t>(body)) return std::nullopt;
+    WireFrame frame;
+    frame.version = p[4];
+    const std::uint8_t type = p[5];
+    if (frame.version == 0 || frame.version > kWireVersion || type == 0) {
+      error_ = true;
+      return std::nullopt;
+    }
+    if (type > static_cast<std::uint8_t>(FrameType::kTraceCtx)) {
+      // Well-framed frame of a type this build does not know (a newer
+      // peer's optional extension): skip the whole frame and keep
+      // decoding. The length prefix and version byte were validated, so
+      // resynchronisation is exact.
+      ++unknown_skipped_;
+      last_unknown_type_ = type;
+      consumed_ += 4 + body;
+      continue;
+    }
+    frame.type = static_cast<FrameType>(type);
+    WireReader reader(p + 6, body - 2);
+    const auto from = reader.ReadVarint();
+    const auto to = reader.ReadVarint();
+    if (!from || !to) {
+      error_ = true;
+      return std::nullopt;
+    }
+    frame.from = static_cast<std::uint32_t>(*from);
+    frame.to = static_cast<std::uint32_t>(*to);
+    frame.payload.assign(p + 4 + body - reader.remaining(), p + 4 + body);
+    consumed_ += 4 + body;
+    return frame;
   }
-  if (available < 4 + static_cast<std::size_t>(body)) return std::nullopt;
-  WireFrame frame;
-  frame.version = p[4];
-  const std::uint8_t type = p[5];
-  if (frame.version == 0 || frame.version > kWireVersion ||
-      type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
-    error_ = true;
-    return std::nullopt;
-  }
-  frame.type = static_cast<FrameType>(type);
-  WireReader reader(p + 6, body - 2);
-  const auto from = reader.ReadVarint();
-  const auto to = reader.ReadVarint();
-  if (!from || !to) {
-    error_ = true;
-    return std::nullopt;
-  }
-  frame.from = static_cast<std::uint32_t>(*from);
-  frame.to = static_cast<std::uint32_t>(*to);
-  frame.payload.assign(p + 4 + body - reader.remaining(), p + 4 + body);
-  consumed_ += 4 + body;
-  return frame;
+  return std::nullopt;
 }
 
 }  // namespace lamp::transport

@@ -38,14 +38,26 @@
 ///  * kStats      — varint round, varint received, varint wire bytes
 ///                  (a worker reporting measured loads upstream).
 ///  * kShutdown   — empty payload; orderly channel teardown.
+///  * kTraceCtx   — varint trace id, varint sender span id, varint logical
+///                  round: the distributed-tracing context a sender
+///                  piggybacks immediately before a data frame on the same
+///                  channel, so the receiver can correlate its recv event
+///                  with the sender's send event across process
+///                  boundaries. Optional: senders emit it only after the
+///                  Hello handshake negotiated the kHelloFeatureTraceCtx
+///                  feature bit with every peer (see HelloPayload), and
+///                  decoders that predate the type skip it (see
+///                  FrameDecoder::unknown_skipped).
 ///
 /// A fact is encoded as varint relation, varint arity, then zigzag varint
 /// per argument.
 
 namespace lamp::transport {
 
-/// In-band format version. Bump on any layout change and regenerate the
-/// golden frame dump.
+/// In-band format version. Bump on any *layout* change and regenerate the
+/// golden frame dump. Adding a frame type is additive, not a layout
+/// change: unknown types are skipped by decoders, and negotiation keeps
+/// them off channels to peers that never advertised them.
 inline constexpr std::uint8_t kWireVersion = 1;
 
 /// Hard cap on a frame body; a decoder seeing a larger length prefix is
@@ -58,6 +70,7 @@ enum class FrameType : std::uint8_t {
   kMessage = 3,
   kStats = 4,
   kShutdown = 5,
+  kTraceCtx = 6,
 };
 
 /// A decoded frame. `from`/`to` are endpoint ranks (MPC servers, network
@@ -134,13 +147,40 @@ std::optional<Fact> ReadFact(WireReader& reader);
 
 // --- payload builders ---------------------------------------------------
 
+/// Feature bits a Hello advertises in its optional trailing varint.
+/// A capability is active on a channel only when *both* ends advertised
+/// it — a peer that never sends the bit never receives the corresponding
+/// optional frames.
+inline constexpr std::uint64_t kHelloFeatureTraceCtx = 1;
+
+/// Hello payload: varint rank, varint seed, then an *optional* varint of
+/// feature bits. The features varint is encoded only when nonzero, so a
+/// featureless Hello is byte-identical to the pre-feature encoding, and
+/// decoders treat a two-varint payload as features = 0.
 std::vector<std::uint8_t> EncodeHelloPayload(std::uint64_t rank,
-                                             std::uint64_t seed);
+                                             std::uint64_t seed,
+                                             std::uint64_t features = 0);
 struct HelloPayload {
   std::uint64_t rank = 0;
   std::uint64_t seed = 0;
+  std::uint64_t features = 0;
 };
 std::optional<HelloPayload> DecodeHelloPayload(
+    const std::vector<std::uint8_t>& payload);
+
+/// kTraceCtx payload: the distributed trace context stamped onto the next
+/// data frame of the same channel. `span` is the sender's per-process send
+/// sequence number — (sender rank, span) is globally unique, which is the
+/// join key shard mergers use to pair send and recv events.
+std::vector<std::uint8_t> EncodeTraceCtxPayload(std::uint64_t trace_id,
+                                                std::uint64_t span,
+                                                std::uint64_t round);
+struct TraceCtxPayload {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span = 0;
+  std::uint64_t round = 0;
+};
+std::optional<TraceCtxPayload> DecodeTraceCtxPayload(
     const std::vector<std::uint8_t>& payload);
 
 /// kFactBatch payload: \p facts routed in one round. The fact list may
@@ -201,22 +241,36 @@ std::size_t FactBatchFrameSize(std::uint32_t from, std::uint32_t to,
 
 /// Incremental frame decoder for a byte stream: Feed() arbitrary chunks,
 /// Next() yields completed frames in order. Malformed input (bad version,
-/// oversized length, unknown type) puts the decoder into a sticky error
-/// state.
+/// oversized length, truncated header varints) puts the decoder into a
+/// sticky error state. A well-framed frame of an *unknown type* — one this
+/// build does not know but a future peer might send — is skipped, counted
+/// in unknown_skipped(), and decoding continues with the next frame:
+/// forward compatibility for optional frame types such as kTraceCtx.
+/// Callers surface the count as a warning; the framing (length prefix +
+/// version byte) is still validated, so a corrupt stream cannot hide
+/// behind the skip path.
 class FrameDecoder {
  public:
   void Feed(const std::uint8_t* data, std::size_t size);
 
-  /// Next completed frame, or nullopt when more bytes are needed (or the
-  /// stream is in error).
+  /// Next completed frame of a known type, or nullopt when more bytes are
+  /// needed (or the stream is in error). Unknown-type frames are consumed
+  /// silently along the way.
   std::optional<WireFrame> Next();
 
   bool error() const { return error_; }
+
+  /// Well-framed frames of unknown type skipped so far.
+  std::uint64_t unknown_skipped() const { return unknown_skipped_; }
+  /// Type byte of the most recently skipped frame (0 when none).
+  std::uint8_t last_unknown_type() const { return last_unknown_type_; }
 
  private:
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_ = 0;
   bool error_ = false;
+  std::uint64_t unknown_skipped_ = 0;
+  std::uint8_t last_unknown_type_ = 0;
 };
 
 }  // namespace lamp::transport

@@ -411,7 +411,7 @@ TEST(CausalReportTest, FirstOutputAfterDeliveryIsCoordinated) {
 }
 
 TEST(CausalReportTest, EmptyTraceIsTriviallyCoordinationFree) {
-  const CausalReport report = BuildCausalReport({});
+  const CausalReport report = BuildCausalReport(std::vector<TraceEvent>{});
   EXPECT_EQ(report.deliveries, 0u);
   EXPECT_FALSE(report.has_output);
   EXPECT_TRUE(report.CoordinationFree());

@@ -123,6 +123,25 @@ TEST(WireTest, PayloadRoundTrips) {
   ASSERT_TRUE(hello.has_value());
   EXPECT_EQ(hello->rank, 3u);
   EXPECT_EQ(hello->seed, 0xdeadbeefull);
+  EXPECT_EQ(hello->features, 0u);
+
+  // Featureless encoding is byte-identical to features=0 (the optional
+  // trailing varint is omitted), and nonzero features round-trip.
+  EXPECT_EQ(EncodeHelloPayload(3, 0xdeadbeef),
+            EncodeHelloPayload(3, 0xdeadbeef, 0));
+  const auto featured = DecodeHelloPayload(
+      EncodeHelloPayload(3, 0xdeadbeef, kHelloFeatureTraceCtx));
+  ASSERT_TRUE(featured.has_value());
+  EXPECT_EQ(featured->rank, 3u);
+  EXPECT_EQ(featured->seed, 0xdeadbeefull);
+  EXPECT_EQ(featured->features, kHelloFeatureTraceCtx);
+
+  const auto ctx = DecodeTraceCtxPayload(
+      EncodeTraceCtxPayload(0x1122334455667788ull, 4242, 9));
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->trace_id, 0x1122334455667788ull);
+  EXPECT_EQ(ctx->span, 4242u);
+  EXPECT_EQ(ctx->round, 9u);
 
   const auto facts = DecodeFactBatchPayload(EncodeFactBatchPayload(9, batch));
   ASSERT_TRUE(facts.has_value());
@@ -222,13 +241,14 @@ TEST(WireTest, DecoderRejectsMalformedStreams) {
     EXPECT_FALSE(decoder.Next().has_value());
     EXPECT_TRUE(decoder.error());
   }
-  // Unknown frame type.
+  // Frame type zero is not a skip candidate — it can only come from
+  // zeroed/corrupt bytes, so it stays a hard error.
   {
     WireFrame frame;
     frame.type = FrameType::kShutdown;
     std::vector<std::uint8_t> bytes;
     AppendFrame(bytes, frame);
-    bytes[5] = 0x7f;
+    bytes[5] = 0;
     FrameDecoder decoder;
     decoder.Feed(bytes.data(), bytes.size());
     EXPECT_FALSE(decoder.Next().has_value());
@@ -265,9 +285,67 @@ TEST(WireTest, DecoderRejectsMalformedStreams) {
   // Malformed payloads are rejected by the payload decoders.
   EXPECT_FALSE(DecodeFactBatchPayload({0x01}).has_value());
   EXPECT_FALSE(DecodeHelloPayload({}).has_value());
-  std::vector<std::uint8_t> trailing = EncodeHelloPayload(1, 2);
+  // A truncated features varint (continuation bit with no next byte) and
+  // bytes *after* the features varint are both rejected; a single whole
+  // extra varint is the legal optional features field.
+  std::vector<std::uint8_t> truncated = EncodeHelloPayload(1, 2);
+  truncated.push_back(0x80);
+  EXPECT_FALSE(DecodeHelloPayload(truncated).has_value());
+  std::vector<std::uint8_t> trailing = EncodeHelloPayload(1, 2, 5);
   trailing.push_back(0);
   EXPECT_FALSE(DecodeHelloPayload(trailing).has_value());
+  EXPECT_FALSE(DecodeTraceCtxPayload({}).has_value());
+  std::vector<std::uint8_t> ctx_trailing = EncodeTraceCtxPayload(1, 2, 3);
+  ctx_trailing.push_back(0);
+  EXPECT_FALSE(DecodeTraceCtxPayload(ctx_trailing).has_value());
+}
+
+TEST(WireTest, DecoderSkipsUnknownFrameTypes) {
+  // A current-version peer talking to an older decoder: frames of a type
+  // the decoder does not know are skipped (counted, not fatal), and the
+  // known frames around them still come through in order. This is the
+  // forward-compatibility contract optional frames like kTraceCtx rely
+  // on — see the FrameDecoder doc comment in transport/wire.h.
+  std::vector<std::uint8_t> stream;
+  AppendFrame(stream, {kWireVersion, FrameType::kHello, 1, 0,
+                       EncodeHelloPayload(1, 7)});
+  // Hand-build a frame whose type byte is from the future.
+  {
+    WireFrame unknown;
+    unknown.type = FrameType::kShutdown;
+    unknown.from = 1;
+    unknown.to = 0;
+    unknown.payload = {0xaa, 0xbb, 0xcc};
+    const std::size_t at = stream.size();
+    AppendFrame(stream, unknown);
+    stream[at + 5] = 0x7f;  // Type byte sits after u32 length + version.
+  }
+  AppendFrame(stream, {kWireVersion, FrameType::kShutdown, 1, 0, {}});
+
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  std::vector<WireFrame> decoded;
+  while (auto frame = decoder.Next()) decoded.push_back(std::move(*frame));
+  EXPECT_FALSE(decoder.error());
+  EXPECT_EQ(decoder.unknown_skipped(), 1u);
+  EXPECT_EQ(decoder.last_unknown_type(), 0x7f);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].type, FrameType::kHello);
+  EXPECT_EQ(decoded[1].type, FrameType::kShutdown);
+
+  // Skipping respects chunk boundaries: an unknown frame split across
+  // feeds is still consumed exactly once.
+  FrameDecoder chunked;
+  std::vector<WireFrame> chunk_decoded;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    chunked.Feed(stream.data() + i, 1);
+    while (auto frame = chunked.Next()) {
+      chunk_decoded.push_back(std::move(*frame));
+    }
+  }
+  EXPECT_FALSE(chunked.error());
+  EXPECT_EQ(chunked.unknown_skipped(), 1u);
+  EXPECT_EQ(chunk_decoded.size(), 2u);
 }
 
 // Deterministic frame stream covering every type and the interesting
@@ -276,6 +354,11 @@ std::vector<std::uint8_t> GoldenStream() {
   std::vector<std::uint8_t> stream;
   AppendFrame(stream, {kWireVersion, FrameType::kHello, 0, 1,
                        EncodeHelloPayload(0, 0x1234567890abcdefull)});
+  AppendFrame(stream, {kWireVersion, FrameType::kHello, 1, 0,
+                       EncodeHelloPayload(1, 0x1234567890abcdefull,
+                                          kHelloFeatureTraceCtx)});
+  AppendFrame(stream, {kWireVersion, FrameType::kTraceCtx, 2, 3,
+                       EncodeTraceCtxPayload(0x0123456789abcdefull, 17, 4)});
 
   const Fact small(0, {Value(1), Value(-1)});
   const Fact wide(3, {Value(1000000), Value(-1000000), Value(0)});
@@ -325,7 +408,8 @@ TEST(WireTest, GoldenFrameDumpIsStable) {
     }
   }
   EXPECT_FALSE(decoder.error());
-  EXPECT_EQ(frames, 6u);
+  EXPECT_EQ(frames, 8u);
+  EXPECT_EQ(decoder.unknown_skipped(), 0u);
 }
 
 }  // namespace

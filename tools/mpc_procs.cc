@@ -38,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,10 @@
 #include "obs/audit/audit.h"
 #include "obs/audit/bounds.h"
 #include "obs/audit/catalog.h"
+#include "obs/audit/causal.h"
+#include "obs/dist/merge.h"
+#include "obs/dist/shard.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "relational/generators.h"
 #include "transport/transport.h"
@@ -94,7 +99,10 @@ class FrameChannel {
 
   transport::WireFrame ReadFrame() {
     for (;;) {
-      if (auto frame = decoder_.Next()) return std::move(*frame);
+      if (auto frame = decoder_.Next()) {
+        WarnOnSkipped();
+        return std::move(*frame);
+      }
       LAMP_CHECK_MSG(!decoder_.error(), "mpc_procs: malformed frame");
       std::uint8_t buf[1 << 16];
       const ssize_t n = ::read(fd_, buf, sizeof buf);
@@ -107,8 +115,24 @@ class FrameChannel {
   void WriteFrame(const transport::WireFrame& frame) { SendFrame(fd_, frame); }
 
  private:
+  /// Unknown-type frames (a newer peer's optional extension) are skipped
+  /// by the decoder; surface each skip as a warning so a version-skewed
+  /// mesh is visible without being fatal.
+  void WarnOnSkipped() {
+    if (decoder_.unknown_skipped() > warned_skipped_) {
+      std::fprintf(stderr,
+                   "mpc_procs: warning: skipped %llu frame(s) of unknown"
+                   " type 0x%02x on fd %d\n",
+                   static_cast<unsigned long long>(decoder_.unknown_skipped() -
+                                                   warned_skipped_),
+                   decoder_.last_unknown_type(), fd_);
+      warned_skipped_ = decoder_.unknown_skipped();
+    }
+  }
+
   int fd_ = -1;
   transport::FrameDecoder decoder_;
+  std::uint64_t warned_skipped_ = 0;
 };
 
 // --- scenarios ----------------------------------------------------------
@@ -247,6 +271,39 @@ std::uint64_t InstanceDigest(const Instance& inst) {
   return digest;
 }
 
+// --- distributed tracing ------------------------------------------------
+
+/// Tracing configuration shared by the parent and every worker. The
+/// parent derives it once per run; workers recompute nothing — the trace
+/// id is a pure function of (seed, mesh size, label), so all processes
+/// agree on it without a negotiation round.
+struct TraceConfig {
+  std::string prefix;  // $LAMP_TRACE_SHARD; empty = tracing off.
+  std::string label;   // "<scenario>_<transport>".
+  std::uint64_t trace_id = 0;
+
+  bool enabled() const { return !prefix.empty(); }
+  std::string PathFor(std::size_t p, std::size_t rank) const {
+    return obs::dist::ShardPath(prefix, label, p, rank);
+  }
+};
+
+TraceConfig MakeTraceConfig(const std::string& prefix,
+                            const std::string& name,
+                            transport::TransportKind kind, std::size_t p,
+                            std::uint64_t base_seed) {
+  TraceConfig cfg;
+  cfg.prefix = prefix;
+  cfg.label = name + "_" + std::string(transport::TransportKindName(kind));
+  std::uint64_t id = HashCombine(HashMix(base_seed), HashMix(p));
+  for (const char c : cfg.label) {
+    id = HashCombine(id, HashMix(static_cast<std::uint64_t>(
+                             static_cast<unsigned char>(c))));
+  }
+  cfg.trace_id = id;
+  return cfg;
+}
+
 // --- the worker process -------------------------------------------------
 
 struct WorkerReport {
@@ -260,51 +317,93 @@ struct WorkerReport {
 /// established connection to rank s (unset at s == rank).
 void RunWorker(const Scenario& scenario, std::size_t rank,
                std::vector<FrameChannel>& chans, int report_fd,
-               std::uint64_t base_seed) {
+               std::uint64_t base_seed, const TraceConfig& trace) {
   const std::size_t p = scenario.servers;
+
+  // Tracing is per-process: an isolated ring-buffer tracer whose shard is
+  // flushed to $LAMP_TRACE_SHARD-derived paths at the end of the run.
+  // When the env var is unset no tracer is installed and every Emit below
+  // stays on the null-sink fast path.
+  std::unique_ptr<obs::Tracer> tracer;
+  std::optional<obs::ScopedTracer> install;
+  if (trace.enabled()) {
+    tracer = std::make_unique<obs::Tracer>();
+    install.emplace(*tracer);
+  }
+  const std::uint64_t my_features =
+      trace.enabled() ? transport::kHelloFeatureTraceCtx : 0;
+  std::uint64_t mesh_features = my_features;
+  std::uint64_t ring_t0 = 0;    // Rank 0: fold-lap start (local clock).
+  std::uint64_t ring_t1 = 0;    // Rank 0: fold-lap end.
+  std::uint64_t ring_fold = 0;  // Everyone: fold token receipt time.
 
   // Ring seed exchange (two laps: fold rank by rank, then broadcast the
   // result). The outcome must equal the closed form every process already
   // computed — the check pins the protocol against the specification.
+  // The exchange carries two piggybacked extras:
+  //  * feature negotiation — every rank ANDs its Hello feature bits into
+  //    the fold, and the broadcast lap distributes the mesh-wide AND, so
+  //    optional frame types (kTraceCtx) are only ever sent on a mesh
+  //    where every process opted in;
+  //  * clock probing — the fold lap is the one moment every process
+  //    provably touches the same token in ring order, so its local
+  //    receipt times (plus rank 0's lap bounds) are exactly what the
+  //    shard merger needs to estimate per-process clock offsets.
   if (p > 1) {
+    obs::TraceSpan span("proc.seed_exchange", static_cast<std::uint32_t>(rank));
     const std::size_t pred = (rank + p - 1) % p;
     const std::size_t succ = (rank + 1) % p;
     std::uint64_t token;
     if (rank == 0) {
       token = HashCombine(HashMix(base_seed), RankContribution(base_seed, 0));
+      if (tracer != nullptr) {
+        ring_t0 = tracer->NowNs();
+        ring_fold = ring_t0;
+      }
       chans[succ].WriteFrame(
           {transport::kWireVersion, transport::FrameType::kHello,
            static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(succ),
-           transport::EncodeHelloPayload(rank, token)});
+           transport::EncodeHelloPayload(rank, token, my_features)});
       const transport::WireFrame fold = chans[pred].ReadFrame();
+      if (tracer != nullptr) ring_t1 = tracer->NowNs();
       LAMP_CHECK(fold.type == transport::FrameType::kHello);
-      token = transport::DecodeHelloPayload(fold.payload)->seed;
+      const auto payload = transport::DecodeHelloPayload(fold.payload);
+      LAMP_CHECK(payload.has_value());
+      token = payload->seed;
+      mesh_features = payload->features;  // AND over the whole ring.
     } else {
       const transport::WireFrame fold = chans[pred].ReadFrame();
+      if (tracer != nullptr) ring_fold = tracer->NowNs();
       LAMP_CHECK(fold.type == transport::FrameType::kHello);
-      token = HashCombine(transport::DecodeHelloPayload(fold.payload)->seed,
-                          RankContribution(base_seed, rank));
+      const auto payload = transport::DecodeHelloPayload(fold.payload);
+      LAMP_CHECK(payload.has_value());
+      token = HashCombine(payload->seed, RankContribution(base_seed, rank));
       chans[succ].WriteFrame(
           {transport::kWireVersion, transport::FrameType::kHello,
            static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(succ),
-           transport::EncodeHelloPayload(rank, token)});
+           transport::EncodeHelloPayload(rank, token,
+                                         payload->features & my_features)});
     }
-    // Broadcast lap: rank 0 holds the fold; pass it once around.
+    // Broadcast lap: rank 0 holds the fold (and the negotiated feature
+    // set); pass both once around.
     if (rank == 0) {
       chans[succ].WriteFrame(
           {transport::kWireVersion, transport::FrameType::kHello,
            static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(succ),
-           transport::EncodeHelloPayload(rank, token)});
+           transport::EncodeHelloPayload(rank, token, mesh_features)});
     } else {
       const transport::WireFrame bcast = chans[pred].ReadFrame();
       LAMP_CHECK(bcast.type == transport::FrameType::kHello);
-      token = transport::DecodeHelloPayload(bcast.payload)->seed;
+      const auto payload = transport::DecodeHelloPayload(bcast.payload);
+      LAMP_CHECK(payload.has_value());
+      token = payload->seed;
+      mesh_features = payload->features;
       if (succ != 0) {
         chans[succ].WriteFrame(
             {transport::kWireVersion, transport::FrameType::kHello,
              static_cast<std::uint32_t>(rank),
              static_cast<std::uint32_t>(succ),
-             transport::EncodeHelloPayload(rank, token)});
+             transport::EncodeHelloPayload(rank, token, mesh_features)});
       }
     }
     LAMP_CHECK_MSG(token == scenario.routing_seed,
@@ -326,6 +425,7 @@ void RunWorker(const Scenario& scenario, std::size_t rank,
   // frame per peer (ascending rank; possibly empty).
   std::vector<std::vector<transport::RowRef>> batches(p);
   {
+    obs::TraceSpan span("proc.route", static_cast<std::uint32_t>(rank));
     Fact scratch;  // Router argument, rebuilt per row.
     for (RelationId rel = 0; rel < local.NumRelationIds(); ++rel) {
       const RowsView rows = local.RowsOf(rel);
@@ -342,12 +442,35 @@ void RunWorker(const Scenario& scenario, std::size_t rank,
       }
     }
   }
+  // Data sends, each optionally preceded by a kTraceCtx frame carrying
+  // (trace id, span, round) so the receiver can correlate its recv event
+  // with ours. Context frames ride the negotiated feature bit, are never
+  // counted into the wire-byte accounting (tracing must not perturb the
+  // audited numbers), and older peers would skip them cleanly.
+  const bool ctx_on =
+      (mesh_features & transport::kHelloFeatureTraceCtx) != 0;
+  std::uint64_t next_span = 0;
   for (std::size_t target = 0; target < p; ++target) {
     if (target == rank) continue;
-    chans[target].WriteFrame(
-        {transport::kWireVersion, transport::FrameType::kFactBatch,
-         static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(target),
-         transport::EncodeFactBatchPayload(0, batches[target])});
+    const transport::WireFrame frame{
+        transport::kWireVersion, transport::FrameType::kFactBatch,
+        static_cast<std::uint32_t>(rank), static_cast<std::uint32_t>(target),
+        transport::EncodeFactBatchPayload(0, batches[target])};
+    if (ctx_on) {
+      const std::uint64_t span = next_span++;
+      chans[target].WriteFrame(
+          {transport::kWireVersion, transport::FrameType::kTraceCtx,
+           static_cast<std::uint32_t>(rank),
+           static_cast<std::uint32_t>(target),
+           transport::EncodeTraceCtxPayload(trace.trace_id, span, 0)});
+      obs::Emit(obs::EventKind::kDistSend, static_cast<std::uint32_t>(target),
+                0, span);
+      obs::Emit(obs::EventKind::kTransportSend,
+                static_cast<std::uint32_t>(rank),
+                static_cast<std::uint32_t>(target),
+                transport::FrameWireSize(frame));
+    }
+    chans[target].WriteFrame(frame);
   }
 
   // Receive phase: drain peers in ascending rank order with the
@@ -355,27 +478,49 @@ void RunWorker(const Scenario& scenario, std::size_t rank,
   // order, so dedup decisions and loads replay the simulator's exactly.
   WorkerReport report;
   Instance received;
-  for (std::size_t source = 0; source < p; ++source) {
-    if (source == rank) {
-      for (const transport::RowRef& r : batches[rank]) {
-        received.InsertRow(r.relation, r.row, r.arity);
+  {
+    obs::TraceSpan span("proc.drain", static_cast<std::uint32_t>(rank));
+    for (std::size_t source = 0; source < p; ++source) {
+      if (source == rank) {
+        for (const transport::RowRef& r : batches[rank]) {
+          received.InsertRow(r.relation, r.row, r.arity);
+        }
+        continue;
       }
-      continue;
-    }
-    const transport::WireFrame frame = chans[source].ReadFrame();
-    LAMP_CHECK(frame.type == transport::FrameType::kFactBatch);
-    LAMP_CHECK(frame.from == source &&
-               frame.to == static_cast<std::uint32_t>(rank));
-    report.wire_bytes += transport::FrameWireSize(frame);
-    const auto batch = transport::DecodeFactBatchPayload(frame.payload);
-    LAMP_CHECK(batch.has_value() && batch->round == 0);
-    for (const Fact& f : batch->facts) {
-      if (received.Insert(f)) ++report.load;
+      transport::WireFrame frame = chans[source].ReadFrame();
+      std::optional<transport::TraceCtxPayload> ctx;
+      if (frame.type == transport::FrameType::kTraceCtx) {
+        ctx = transport::DecodeTraceCtxPayload(frame.payload);
+        LAMP_CHECK_MSG(ctx.has_value() && ctx->trace_id == trace.trace_id,
+                       "mpc_procs: trace context from a different run");
+        frame = chans[source].ReadFrame();
+      }
+      LAMP_CHECK(frame.type == transport::FrameType::kFactBatch);
+      LAMP_CHECK(frame.from == source &&
+                 frame.to == static_cast<std::uint32_t>(rank));
+      // Context frames are deliberately absent from wire accounting:
+      // tracing on/off must not change the audited byte counts.
+      report.wire_bytes += transport::FrameWireSize(frame);
+      if (ctx.has_value()) {
+        obs::Emit(obs::EventKind::kTransportRecv,
+                  static_cast<std::uint32_t>(rank), frame.from,
+                  transport::FrameWireSize(frame));
+        obs::Emit(obs::EventKind::kDistRecv, frame.from,
+                  static_cast<std::uint32_t>(ctx->round), ctx->span);
+      }
+      const auto batch = transport::DecodeFactBatchPayload(frame.payload);
+      LAMP_CHECK(batch.has_value() && batch->round == 0);
+      for (const Fact& f : batch->facts) {
+        if (received.Insert(f)) ++report.load;
+      }
     }
   }
 
   // Computation phase + report upstream.
-  report.output = Evaluate(scenario.query, received);
+  {
+    obs::TraceSpan span("proc.eval", static_cast<std::uint32_t>(rank));
+    report.output = Evaluate(scenario.query, received);
+  }
   FrameChannel up(report_fd);
   up.WriteFrame({transport::kWireVersion, transport::FrameType::kStats,
                  static_cast<std::uint32_t>(rank),
@@ -398,6 +543,24 @@ void RunWorker(const Scenario& scenario, std::size_t rank,
                  static_cast<std::uint32_t>(rank),
                  static_cast<std::uint32_t>(p),
                  {}});
+
+  // Flush this process's trace shard last, so it covers the full run. The
+  // parent only reads shards after waitpid(), which sequences after this.
+  if (trace.enabled()) {
+    obs::dist::ShardHeader header;
+    header.rank = rank;
+    header.procs = p;
+    header.trace_id = trace.trace_id;
+    header.label = trace.label;
+    header.ring_t0_ns = ring_t0;
+    header.ring_t1_ns = ring_t1;
+    header.ring_fold_ns = ring_fold;
+    const std::string path = trace.PathFor(p, rank);
+    if (!obs::dist::WriteShardFile(path, header, *tracer)) {
+      std::fprintf(stderr, "mpc_procs: warning: cannot write trace shard %s\n",
+                   path.c_str());
+    }
+  }
 }
 
 // --- mesh construction --------------------------------------------------
@@ -477,7 +640,7 @@ struct DistResult {
 
 DistResult RunDistributed(const std::string& name, transport::TransportKind
                           kind, std::size_t procs, std::size_t m,
-                          std::uint64_t base_seed) {
+                          std::uint64_t base_seed, const TraceConfig& trace) {
   // The parent resolves the process count the same way the workers will.
   const Scenario shape = BuildScenario(name, procs, m, base_seed);
   const std::size_t p = shape.servers;
@@ -541,7 +704,7 @@ DistResult RunDistributed(const std::string& name, transport::TransportKind
       }
     }
     const Scenario mine = BuildScenario(name, procs, m, base_seed);
-    RunWorker(mine, rank, chans, pipes[rank][1], base_seed);
+    RunWorker(mine, rank, chans, pipes[rank][1], base_seed, trace);
     for (FrameChannel& chan : chans) {
       if (chan.fd() >= 0) ::close(chan.fd());
     }
@@ -604,6 +767,7 @@ struct Options {
   std::size_t m = 4000;
   std::uint64_t seed = 7;
   bool selfcheck = false;
+  std::string trace_prefix;  // $LAMP_TRACE_SHARD; empty = tracing off.
 };
 
 void Usage() {
@@ -635,8 +799,10 @@ bool RunOne(const std::string& name, const Options& opts) {
                      Instance(), Evaluate(scenario.query, received)};
                });
 
+  const TraceConfig trace =
+      MakeTraceConfig(opts.trace_prefix, name, opts.kind, p, opts.seed);
   const DistResult dist =
-      RunDistributed(name, opts.kind, opts.procs, opts.m, opts.seed);
+      RunDistributed(name, opts.kind, opts.procs, opts.m, opts.seed, trace);
 
   bool ok = dist.output == sim.output();
   const RoundStats& ref_round = sim.stats().rounds.at(0);
@@ -685,6 +851,56 @@ bool RunOne(const std::string& name, const Options& opts) {
   record.params.Set("transport",
                     std::string(transport::TransportKindName(opts.kind)));
   record.expected_violation = scenario.expected_violation;
+
+  // With tracing on, merge the shards the workers just wrote and check
+  // the merge invariants inline: complete pairing (every cross-process
+  // batch matched) and causal order (aligned send strictly before recv).
+  // The measured latency percentiles land in the audit record next to
+  // the wire bytes.
+  if (trace.enabled()) {
+    std::vector<obs::dist::TraceShard> shards;
+    for (std::size_t r = 0; r < p; ++r) {
+      std::string err;
+      auto shard = obs::dist::LoadShardFile(trace.PathFor(p, r), &err);
+      LAMP_CHECK_MSG(shard.has_value(), "mpc_procs: trace shard missing");
+      shards.push_back(std::move(*shard));
+    }
+    std::string err;
+    const auto merged = obs::dist::MergeShards(std::move(shards), &err);
+    if (!merged.has_value()) {
+      std::fprintf(stderr, "mpc_procs: shard merge failed: %s\n",
+                   err.c_str());
+      LAMP_CHECK_MSG(false, "mpc_procs: shard merge failed");
+    }
+    LAMP_CHECK_MSG(merged->pairs.size() == p * (p - 1) &&
+                       merged->unmatched_sends == 0 &&
+                       merged->unmatched_recvs == 0,
+                   "mpc_procs: merged trace did not pair every batch");
+    for (const obs::dist::MatchedPair& pair : merged->pairs) {
+      LAMP_CHECK_MSG(pair.send_ns < pair.recv_ns,
+                     "mpc_procs: aligned send does not precede recv");
+    }
+    record.round_wire_p50_ns.assign(record.round_wire_bytes.size(), 0);
+    record.round_wire_p99_ns.assign(record.round_wire_bytes.size(), 0);
+    for (const obs::dist::RoundLatency& rl :
+         obs::dist::RoundLatencies(*merged)) {
+      if (rl.round < record.round_wire_p50_ns.size()) {
+        record.round_wire_p50_ns[rl.round] = rl.stats.p50_ns;
+        record.round_wire_p99_ns[rl.round] = rl.stats.p99_ns;
+      }
+    }
+    const obs::dist::LatencyStats e2e = obs::dist::EndToEndLatency(*merged);
+    const obs::audit::CausalReport causal =
+        obs::audit::BuildCausalReport(*merged);
+    std::printf(
+        "  trace: shards=%zu pairs=%zu wire-p50=%lluns p99=%lluns"
+        " max-depth=%llu dropped=%llu\n",
+        static_cast<std::size_t>(p), merged->pairs.size(),
+        static_cast<unsigned long long>(e2e.p50_ns),
+        static_cast<unsigned long long>(e2e.p99_ns),
+        static_cast<unsigned long long>(causal.max_depth),
+        static_cast<unsigned long long>(merged->total_dropped));
+  }
   obs::audit::GlobalAuditSink().Add(std::move(record));
   return ok;
 }
@@ -699,6 +915,10 @@ int main(int argc, char** argv) {
   lamp::transport::SetActiveKind(lamp::transport::TransportKind::kInProcess);
 
   Options opts;
+  if (const char* env = std::getenv("LAMP_TRACE_SHARD");
+      env != nullptr && env[0] != '\0') {
+    opts.trace_prefix = env;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> std::string {

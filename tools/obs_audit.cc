@@ -164,13 +164,22 @@ void RenderReport(const std::vector<AuditRecord>& records) {
   // two — a round whose ratio jumps is paying framing or replication
   // overhead the tuple counts don't show. Rounds that moved no tuples
   // (wire bytes all framing, e.g. empty batch frames every peer still
-  // sends) render "-" instead of a ratio.
+  // sends) render "-" instead of a ratio. Records produced by a traced
+  // multi-process run (tools/mpc_procs with LAMP_TRACE_SHARD) also carry
+  // per-round wire-latency percentiles from the merged shards; in-process
+  // runs leave those columns "-".
   bool any_wire = false;
-  for (const AuditRecord& r : records) any_wire |= r.wire_bytes > 0;
+  bool any_latency = false;
+  for (const AuditRecord& r : records) {
+    any_wire |= r.wire_bytes > 0;
+    any_latency |= !r.round_wire_p50_ns.empty();
+  }
   if (!any_wire) return;
   std::printf("\n== wire traffic (lamp.wire.v1 bytes vs logical load) ==\n");
-  std::printf("  %-18s %-26s %5s %12s %10s %9s\n", "bench", "label", "round",
+  std::printf("  %-18s %-26s %5s %12s %10s %9s", "bench", "label", "round",
               "wire bytes", "tuples", "B/tuple");
+  if (any_latency) std::printf(" %12s %12s", "lat p50(ns)", "lat p99(ns)");
+  std::printf("\n");
   for (const AuditRecord& r : records) {
     if (r.wire_bytes == 0) continue;
     const std::size_t rounds =
@@ -188,8 +197,24 @@ void RenderReport(const std::vector<AuditRecord>& records) {
       } else {
         std::snprintf(ratio, sizeof(ratio), "%9s", "-");
       }
-      std::printf("  %-18s %-26s %5s %12zu %10zu %s\n", r.bench.c_str(),
+      std::printf("  %-18s %-26s %5s %12zu %10zu %s", r.bench.c_str(),
                   r.label.c_str(), round_label, bytes, tuples, ratio);
+      if (any_latency) {
+        char p50[32];
+        char p99[32];
+        if (i < r.round_wire_p50_ns.size()) {
+          std::snprintf(p50, sizeof(p50), "%12zu", r.round_wire_p50_ns[i]);
+        } else {
+          std::snprintf(p50, sizeof(p50), "%12s", "-");
+        }
+        if (i < r.round_wire_p99_ns.size()) {
+          std::snprintf(p99, sizeof(p99), "%12zu", r.round_wire_p99_ns[i]);
+        } else {
+          std::snprintf(p99, sizeof(p99), "%12s", "-");
+        }
+        std::printf(" %s %s", p50, p99);
+      }
+      std::printf("\n");
     }
     if (rounds > 1) {
       const double total_tuples = [&] {
@@ -204,8 +229,10 @@ void RenderReport(const std::vector<AuditRecord>& records) {
       } else {
         std::snprintf(ratio, sizeof(ratio), "%9s", "-");
       }
-      std::printf("  %-18s %-26s %5s %12zu %10.0f %s\n", r.bench.c_str(),
+      std::printf("  %-18s %-26s %5s %12zu %10.0f %s", r.bench.c_str(),
                   r.label.c_str(), "all", r.wire_bytes, total_tuples, ratio);
+      if (any_latency) std::printf(" %12s %12s", "-", "-");
+      std::printf("\n");
     }
   }
 }

@@ -38,7 +38,10 @@
 #include "mpc/hypercube_run.h"
 #include "net/network.h"
 #include "net/programs.h"
+#include "obs/audit/causal.h"
 #include "obs/chrome_trace.h"
+#include "obs/dist/merge.h"
+#include "obs/dist/shard.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "relational/generators.h"
@@ -492,6 +495,116 @@ std::uint64_t DroppedCount(const obs::JsonValue& trace) {
   return v == nullptr ? 0 : static_cast<std::uint64_t>(v->AsInt());
 }
 
+// --- merged multi-process traces ----------------------------------------
+
+/// The default --merge rendering: per-shard health (including each
+/// process's dropped-event count — a truncated shard silently skews every
+/// latency number, so it is surfaced per rank, not just as a total),
+/// estimated clock offsets, per-round wire-latency percentiles, and the
+/// cross-process causal profile.
+void RenderMerged(const obs::dist::MergedTrace& merged) {
+  std::printf("merged trace: %llu process(es), label '%s', trace id"
+              " %016llx\n",
+              static_cast<unsigned long long>(merged.procs),
+              merged.label.c_str(),
+              static_cast<unsigned long long>(merged.trace_id));
+  std::printf("  matched pairs: %zu  unmatched: %llu send(s) / %llu"
+              " recv(s)\n\n",
+              merged.pairs.size(),
+              static_cast<unsigned long long>(merged.unmatched_sends),
+              static_cast<unsigned long long>(merged.unmatched_recvs));
+
+  std::printf("== shards ==\n");
+  for (const obs::dist::TraceShard& shard : merged.shards) {
+    std::printf("  rank %-3llu events=%-6zu dropped=%-6llu offset=%+lldns\n",
+                static_cast<unsigned long long>(shard.header.rank),
+                shard.events.size(),
+                static_cast<unsigned long long>(shard.header.dropped),
+                static_cast<long long>(
+                    merged.offset_ns[shard.header.rank]));
+  }
+  if (merged.total_dropped > 0) {
+    std::printf("  WARNING: %llu event(s) dropped to ring overflow — the"
+                " merged timeline is TRUNCATED\n",
+                static_cast<unsigned long long>(merged.total_dropped));
+  }
+  std::printf("\n");
+
+  const std::vector<obs::dist::RoundLatency> rounds =
+      obs::dist::RoundLatencies(merged);
+  if (!rounds.empty()) {
+    std::printf("== wire latency (aligned send -> recv) ==\n");
+    std::printf("  %-8s %-8s %-12s %-12s %-12s %-12s\n", "round", "pairs",
+                "p50", "p95", "p99", "max");
+    for (const obs::dist::RoundLatency& rl : rounds) {
+      std::printf("  %-8llu %-8zu %-12llu %-12llu %-12llu %-12llu\n",
+                  static_cast<unsigned long long>(rl.round), rl.stats.count,
+                  static_cast<unsigned long long>(rl.stats.p50_ns),
+                  static_cast<unsigned long long>(rl.stats.p95_ns),
+                  static_cast<unsigned long long>(rl.stats.p99_ns),
+                  static_cast<unsigned long long>(rl.stats.max_ns));
+    }
+    const obs::dist::LatencyStats e2e = obs::dist::EndToEndLatency(merged);
+    std::printf("  %-8s %-8zu %-12llu %-12llu %-12llu %-12llu  (ns)\n",
+                "all", e2e.count,
+                static_cast<unsigned long long>(e2e.p50_ns),
+                static_cast<unsigned long long>(e2e.p95_ns),
+                static_cast<unsigned long long>(e2e.p99_ns),
+                static_cast<unsigned long long>(e2e.max_ns));
+    std::printf("\n");
+  }
+
+  if (!merged.pairs.empty()) {
+    std::printf("== cross-process causality ==\n");
+    std::printf("%s\n",
+                obs::audit::BuildCausalReport(merged).Render().c_str());
+  }
+}
+
+/// --merge entry point: load every shard, merge, render/emit.
+int MergeMain(const std::vector<std::string>& files, bool raw_json,
+              bool chrome, bool strict) {
+  if (files.empty()) {
+    std::fprintf(stderr, "trace_dump: --merge needs shard files\n");
+    return 2;
+  }
+  std::vector<obs::dist::TraceShard> shards;
+  for (const std::string& path : files) {
+    std::string err;
+    auto shard = obs::dist::LoadShardFile(path, &err);
+    if (!shard.has_value()) {
+      std::fprintf(stderr, "trace_dump: %s: %s\n", path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    if (shard->header.dropped > 0) {
+      std::fprintf(stderr,
+                   "trace_dump: WARNING: shard %s (rank %llu) dropped %llu"
+                   " event(s) to ring overflow\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(shard->header.rank),
+                   static_cast<unsigned long long>(shard->header.dropped));
+    }
+    shards.push_back(std::move(*shard));
+  }
+  std::string err;
+  const auto merged = obs::dist::MergeShards(std::move(shards), &err);
+  if (!merged.has_value()) {
+    std::fprintf(stderr, "trace_dump: merge failed: %s\n", err.c_str());
+    return 2;
+  }
+  if (raw_json) {
+    std::printf("%s\n", obs::dist::MergedTraceJson(*merged).Dump(2).c_str());
+  } else if (chrome) {
+    std::printf("%s\n",
+                obs::dist::MergedChromeTrace(*merged).Dump(1).c_str());
+  } else {
+    RenderMerged(*merged);
+  }
+  if (strict && merged->total_dropped > 0) return 3;
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   transport::ConfigureFromCommandLine(&argc, argv);
   bool raw_json = false;
@@ -499,6 +612,7 @@ int Main(int argc, char** argv) {
   bool strict = false;
   bool diff = false;
   bool stats = false;
+  bool merge = false;
   std::string mode;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -513,11 +627,25 @@ int Main(int argc, char** argv) {
       diff = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--merge") {
+      merge = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: trace_dump [--json | --chrome | --stats] [--strict]"
           " (<trace.json> | --demo-mpc | --demo-net)\n"
           "       trace_dump --diff <a.json> <b.json>\n"
+          "       trace_dump --merge [--json | --chrome] [--strict]"
+          " <shard.jsonl...>\n"
+          "\n"
+          "--merge joins the lamp.traceshard.v1 files of one mpc_procs\n"
+          "run (LAMP_TRACE_SHARD=<prefix> mpc_procs ...) into a single\n"
+          "mesh-wide trace: clocks aligned via the ring seed-exchange\n"
+          "timing, send/recv pairs matched by (sender rank, span) and\n"
+          "rendered as per-round latency percentiles plus a cross-process\n"
+          "causal profile. With --chrome, each server rank becomes one\n"
+          "process lane and matched pairs become flow arrows; --json\n"
+          "emits the lamp.merged_trace.v1 document; --strict exits 3 if\n"
+          "any shard dropped events.\n"
           "\n"
           "--chrome converts the trace to the Chrome Trace Event Format;\n"
           "save it to a file and open it at ui.perfetto.dev or in\n"
@@ -537,6 +665,9 @@ int Main(int argc, char** argv) {
       files.push_back(arg);
       mode = arg;
     }
+  }
+  if (merge) {
+    return MergeMain(files, raw_json, chrome, strict);
   }
   if (diff) {
     if (files.size() != 2) {
