@@ -24,6 +24,8 @@
 #include "par/thread_pool.h"
 #include "obs/trace.h"
 #include "relational/generators.h"
+#include "sa/plan/agreement.h"
+#include "sa/plan/plan.h"
 #include "transport/transport.h"
 
 namespace {
@@ -89,6 +91,20 @@ void PrintTable() {
       std::printf("%-9s %5.2f %6zu %8zu %10zu %14.0f %8.2f\n", spec.name,
                   tau, p, actual_p, run.stats.MaxLoad(), predicted,
                   static_cast<double>(run.stats.MaxLoad()) / predicted);
+      // The static planner scores the race's own grid (share_candidates)
+      // so its hypercube prediction and the measurement are at the same
+      // shares; the agreement record keeps the cost model honest even on
+      // this single-strategy race (the binary strategies are infeasible
+      // for every query here except "join", where repartition ties the
+      // (1,1,p) grid by construction).
+      sa::plan::PlanOptions plan_options;
+      plan_options.p = actual_p;
+      plan_options.share_candidates = {shares};
+      const sa::plan::PlanCertificate cert =
+          sa::plan::PlanQuery(q, schema, catalog, plan_options);
+      const sa::plan::StrategyPrediction* pick = cert.Winner();
+      const std::string pick_name(obs::audit::StrategyName(
+          pick != nullptr ? pick->strategy : obs::audit::Strategy::kNone));
       obs::MetricsRegistry registry;
       run.stats.ToMetrics(registry);
       reporter.NewRecord()
@@ -100,6 +116,9 @@ void PrintTable() {
           .Param("transport", transport_name)
           .Metrics(registry)
           .Metric("predicted_max_load", predicted)
+          .Metric("planner.pick", pick_name)
+          .Metric("planner.predicted_max_load",
+                  pick != nullptr ? pick->predicted_max_load : 0.0)
           .WallNs(timer.ElapsedNs());
       // Audit against the exact expected load of the shares actually
       // used (not the asymptotic tau* prediction in the table): matching
@@ -111,7 +130,19 @@ void PrintTable() {
       audit.params.Set("m", m);
       audit.params.Set("tau_star", tau);
       audit.params.Set("transport", transport_name);
+      const sa::plan::StrategyPrediction* hc =
+          cert.Find(obs::audit::Strategy::kHyperCube);
+      if (hc != nullptr && hc->feasible) {
+        audit.predicted_max_load = hc->predicted_max_load;
+        audit.predicted_wire_bytes = hc->predicted_wire_bytes;
+      }
+      audit.planned_strategy = pick_name;
       obs::audit::GlobalAuditSink().Add(std::move(audit));
+      sa::plan::GlobalPlanSink().Add(sa::plan::MakeAgreementRecord(
+          "hypercube_load",
+          std::string(spec.name) + "/p=" + std::to_string(actual_p), cert,
+          {{obs::audit::Strategy::kHyperCube,
+            static_cast<double>(run.stats.MaxLoad())}}));
     }
   }
   std::printf(
@@ -165,5 +196,6 @@ int main(int argc, char** argv) {
   lamp::obs::RunRepeated([] { PrintTable(); });
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  lamp::sa::plan::FinalizeGlobalPlan();
   return lamp::obs::audit::FinalizeGlobalAudit();
 }

@@ -6,18 +6,24 @@
 //   (1b) fragment-replicate join: max load O(m/sqrt(p)) *independent of
 //        skew*.
 //
-// The table prints measured max loads against both predictions, on
-// skew-free (matching database) and skewed (half the tuples share one
-// join value) inputs; the timed benchmarks measure simulator throughput.
+// All four implemented strategies race on both the skew-free (matching
+// database) and skewed (half of R shares one join value) inputs; the
+// table prints the measured max loads next to the static planner's pick
+// (sa/plan). Every race also emits a lamp.plan_agreement.v1 record, so
+// `lamp_plan check` gates the cost model against what actually won; the
+// timed benchmarks measure simulator throughput.
 
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "cq/parser.h"
+#include "distribution/hypercube.h"
+#include "mpc/hypercube_run.h"
 #include "mpc/join_strategies.h"
 #include "mpc/shares_skew.h"
 #include "obs/audit/audit.h"
@@ -26,6 +32,8 @@
 #include "obs/bench_report.h"
 #include "par/thread_pool.h"
 #include "relational/generators.h"
+#include "sa/plan/agreement.h"
+#include "sa/plan/plan.h"
 #include "transport/transport.h"
 
 namespace {
@@ -70,8 +78,8 @@ void PrintTable() {
   std::printf(
       "# E1: one-round join strategies (Example 3.1), m=%zu per relation, "
       "transport=%s\n"
-      "# columns: p  repart(skew-free)  m/p  repart(skewed)  "
-      "fragrep(skewed)  m/sqrt(p)  shares-skew(skewed)\n",
+      "# columns: p  scenario  repart  fragrep  hypercube  shares-skew  "
+      "planner-pick  measured-pick  agree\n",
       m, transport_name.c_str());
   obs::BenchReporter reporter("join_strategies");
   const obs::audit::Catalog free_catalog =
@@ -79,61 +87,127 @@ void PrintTable() {
   const obs::audit::Catalog skew_catalog =
       obs::audit::BuildCatalog(w.schema, w.skewed);
   using obs::audit::Strategy;
-  const auto audit = [&](const char* label, Strategy strategy,
-                         const obs::audit::Catalog& catalog, std::size_t p,
-                         const RunStats& stats, bool expected_violation) {
-    obs::audit::AuditRecord record = obs::audit::MakeAuditRecord(
-        "join_strategies", label, strategy, p,
-        obs::audit::BoundFor(strategy, w.query, w.schema, catalog, p),
-        stats);
-    record.params.Set("m", w.m);
-    record.params.Set("transport", transport_name);
-    record.expected_violation = expected_violation;
-    obs::audit::GlobalAuditSink().Add(std::move(record));
+
+  struct Scenario {
+    const char* name;
+    const Instance* db;
+    const obs::audit::Catalog* catalog;
   };
+  const Scenario scenarios[] = {
+      {"skew_free", &w.skew_free, &free_catalog},
+      {"skewed", &w.skewed, &skew_catalog},
+  };
+
   for (std::size_t p : {4, 16, 64, 256}) {
     obs::WallTimer timer;
-    const auto repart_free = RepartitionJoin(w.query, w.skew_free, p, 7);
-    const auto repart_skew = RepartitionJoin(w.query, w.skewed, p, 7);
-    const auto fragrep_skew = FragmentReplicateJoin(w.query, w.skewed, p, 7);
-    const auto shares_skew = SharesSkewJoin(w.query, w.skewed, p, 7);
-    audit("repartition/skew_free", Strategy::kRepartition, free_catalog, p,
-          repart_free.stats, /*expected_violation=*/false);
-    // The heavy join value pins half of R on one server: the m/p bound
-    // *must* break for large p — that is claim (1a), kept as a pinned
-    // expected violation rather than a gate failure.
-    audit("repartition/skewed", Strategy::kRepartition, skew_catalog, p,
-          repart_skew.stats, /*expected_violation=*/true);
-    audit("fragment_replicate/skewed", Strategy::kFragmentReplicate,
-          skew_catalog, p, fragrep_skew.stats, /*expected_violation=*/false);
-    audit("shares_skew/skewed", Strategy::kSharesSkew, skew_catalog, p,
-          shares_skew.stats, /*expected_violation=*/false);
-    std::printf("%6zu %12zu %8.0f %12zu %12zu %10.0f %14zu\n", p,
-                repart_free.stats.MaxLoad(),
-                2.0 * static_cast<double>(m) / static_cast<double>(p),
-                repart_skew.stats.MaxLoad(), fragrep_skew.stats.MaxLoad(),
-                2.0 * static_cast<double>(m) /
-                    std::sqrt(static_cast<double>(p)),
-                shares_skew.stats.MaxLoad());
-    reporter.NewRecord()
-        .Param("p", p)
-        .Param("m", m)
-        .Param("transport", transport_name)
-        .Metric("repartition.skew_free.mpc.max_load",
-                repart_free.stats.MaxLoad())
-        .Metric("repartition.skewed.mpc.max_load",
-                repart_skew.stats.MaxLoad())
-        .Metric("fragment_replicate.skewed.mpc.max_load",
-                fragrep_skew.stats.MaxLoad())
-        .Metric("shares_skew.skewed.mpc.max_load",
-                shares_skew.stats.MaxLoad())
-        .WallMs(timer.ElapsedMs());
+    auto& record = reporter.NewRecord();
+    record.Param("p", p).Param("m", m).Param("transport", transport_name);
+    for (const Scenario& scenario : scenarios) {
+      const bool skewed = scenario.db == &w.skewed;
+      // The planner scores the same grid the race runs, so prediction
+      // and measurement disagree only when the cost model is wrong, not
+      // because they chose different shares.
+      const Shares shares = LpRoundedShares(w.query, p);
+      sa::plan::PlanOptions plan_options;
+      plan_options.p = p;
+      plan_options.share_candidates = {shares};
+      const sa::plan::PlanCertificate cert =
+          sa::plan::PlanQuery(w.query, w.schema, *scenario.catalog,
+                              plan_options);
+      const sa::plan::StrategyPrediction* pick = cert.Winner();
+
+      const auto repart = RepartitionJoin(w.query, *scenario.db, p, 7);
+      const auto fragrep = FragmentReplicateJoin(w.query, *scenario.db, p, 7);
+      const auto hypercube = RunHyperCube(w.query, *scenario.db, shares);
+      const auto shares_skew = SharesSkewJoin(w.query, *scenario.db, p, 7);
+
+      // A heavy join value pins half of R on one server (repartition) or
+      // one hypercube cell: the skew-free m/p and HyperCube bounds *must*
+      // break on the skewed input for large p — that is claim (1a), kept
+      // as pinned expected violations rather than gate failures.
+      const auto audit = [&](const char* strategy_label, Strategy strategy,
+                             const RunStats& stats, bool expected_violation) {
+        obs::audit::AuditRecord record = obs::audit::MakeAuditRecord(
+            "join_strategies",
+            std::string(strategy_label) + "/" + scenario.name, strategy, p,
+            strategy == Strategy::kHyperCube
+                ? obs::audit::HyperCubeBound(w.query, w.schema,
+                                             *scenario.catalog, shares)
+                : obs::audit::BoundFor(strategy, w.query, w.schema,
+                                       *scenario.catalog, p),
+            stats);
+        record.params.Set("m", w.m);
+        record.params.Set("transport", transport_name);
+        record.expected_violation = expected_violation;
+        // The planner's verdict rides along so `obs_audit report` can
+        // render predicted-vs-measured slack per strategy.
+        const sa::plan::StrategyPrediction* predicted = cert.Find(strategy);
+        if (predicted != nullptr && predicted->feasible) {
+          record.predicted_max_load = predicted->predicted_max_load;
+          record.predicted_wire_bytes = predicted->predicted_wire_bytes;
+        }
+        if (pick != nullptr) {
+          record.planned_strategy =
+              std::string(obs::audit::StrategyName(pick->strategy));
+        }
+        obs::audit::GlobalAuditSink().Add(std::move(record));
+      };
+      audit("repartition", Strategy::kRepartition, repart.stats,
+            /*expected_violation=*/skewed);
+      audit("fragment_replicate", Strategy::kFragmentReplicate,
+            fragrep.stats, /*expected_violation=*/false);
+      audit("hypercube", Strategy::kHyperCube, hypercube.stats,
+            /*expected_violation=*/skewed);
+      audit("shares_skew", Strategy::kSharesSkew, shares_skew.stats,
+            /*expected_violation=*/false);
+
+      sa::plan::AgreementRecord agreement = sa::plan::MakeAgreementRecord(
+          "join_strategies",
+          std::string(scenario.name) + "/p=" + std::to_string(p), cert,
+          {{Strategy::kRepartition,
+            static_cast<double>(repart.stats.MaxLoad())},
+           {Strategy::kFragmentReplicate,
+            static_cast<double>(fragrep.stats.MaxLoad())},
+           {Strategy::kHyperCube,
+            static_cast<double>(hypercube.stats.MaxLoad())},
+           {Strategy::kSharesSkew,
+            static_cast<double>(shares_skew.stats.MaxLoad())}});
+      const std::string pick_name(obs::audit::StrategyName(
+          pick != nullptr ? pick->strategy : Strategy::kNone));
+      const std::string measured_name(
+          obs::audit::StrategyName(agreement.measured));
+      std::printf("%6zu %-10s %8zu %8zu %10zu %12zu  %-18s %-18s %s\n", p,
+                  scenario.name, repart.stats.MaxLoad(),
+                  fragrep.stats.MaxLoad(), hypercube.stats.MaxLoad(),
+                  shares_skew.stats.MaxLoad(), pick_name.c_str(),
+                  measured_name.c_str(), agreement.Agree() ? "yes" : "NO");
+      const std::string prefix = std::string(scenario.name) + ".";
+      record.Metric(prefix + "repartition.mpc.max_load",
+                    repart.stats.MaxLoad())
+          .Metric(prefix + "fragment_replicate.mpc.max_load",
+                  fragrep.stats.MaxLoad())
+          .Metric(prefix + "hypercube.mpc.max_load",
+                  hypercube.stats.MaxLoad())
+          .Metric(prefix + "shares_skew.mpc.max_load",
+                  shares_skew.stats.MaxLoad())
+          // Planner verdicts are metrics, not params: the perf key
+          // (bench, params, threads) must not change when the cost model
+          // does.
+          .Metric(prefix + "planner.pick", pick_name)
+          .Metric(prefix + "planner.predicted_max_load",
+                  pick != nullptr ? pick->predicted_max_load : 0.0)
+          .Metric(prefix + "planner.agree", agreement.Agree() ? 1 : 0);
+      sa::plan::GlobalPlanSink().Add(std::move(agreement));
+    }
+    record.WallMs(timer.ElapsedMs());
   }
   std::printf(
-      "# shape check: column 2 tracks column 3; column 4 stays ~m/2 "
-      "(heavy value pinned to one server); column 5 tracks column 6; "
-      "SharesSkew handles the heavy value in one round without paying "
-      "fragment-replicate's blanket replication for light values.\n\n");
+      "# shape check: skew-free repart tracks m/p while skewed repart "
+      "stays ~m/2 (heavy value pinned to one server); fragrep tracks "
+      "m/sqrt(p) on both inputs; SharesSkew handles the heavy value in "
+      "one round without paying fragment-replicate's blanket replication "
+      "for light values. The planner must pick each race's winner (or a "
+      "predicted tie): lamp_plan check gates the agreement records.\n\n");
 }
 
 void BM_RepartitionJoin(benchmark::State& state) {
@@ -166,5 +240,6 @@ int main(int argc, char** argv) {
   lamp::obs::RunRepeated([] { PrintTable(); });
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  lamp::sa::plan::FinalizeGlobalPlan();
   return lamp::obs::audit::FinalizeGlobalAudit();
 }

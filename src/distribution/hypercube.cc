@@ -214,6 +214,35 @@ Shares OptimizeIntegerShares(const ConjunctiveQuery& query,
   return best;
 }
 
+Shares BestShares(const ConjunctiveQuery& query, std::size_t budget,
+                  const std::vector<double>& atom_sizes,
+                  const std::vector<Shares>& candidates) {
+  std::vector<Shares> pool = candidates;
+  pool.push_back(UniformShares(query, budget));
+  Shares best;
+  double best_load = -1.0;
+  for (const Shares& shares : pool) {
+    if (shares.size() != query.NumVars()) continue;
+    std::size_t product = 1;
+    bool valid = true;
+    for (const std::size_t s : shares) {
+      if (s == 0) {
+        valid = false;
+        break;
+      }
+      product *= s;
+    }
+    if (!valid || product > budget) continue;
+    const double load = ExpectedHyperCubeLoad(query, shares, atom_sizes);
+    if (best_load < 0.0 || load < best_load) {
+      best_load = load;
+      best = shares;
+    }
+  }
+  // UniformShares is always well-formed and within budget, so best is set.
+  return best;
+}
+
 Shares OptimizeIntegerSharesTotalComm(const ConjunctiveQuery& query,
                                       std::size_t num_servers,
                                       const std::vector<double>& atom_sizes) {

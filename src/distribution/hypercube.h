@@ -95,6 +95,16 @@ Shares OptimizeIntegerShares(const ConjunctiveQuery& query,
                              std::size_t budget,
                              const std::vector<double>& atom_sizes);
 
+/// Cost-model hook for the static planner (sa/plan): among \p candidates
+/// plus UniformShares, returns the share vector minimizing
+/// ExpectedHyperCubeLoad for the given \p atom_sizes, discarding
+/// candidates that are malformed (wrong length, a zero share) or exceed
+/// the server \p budget. Ties keep the earlier candidate, so a caller can
+/// pin "the shares the bench actually runs" by passing them first.
+Shares BestShares(const ConjunctiveQuery& query, std::size_t budget,
+                  const std::vector<double>& atom_sizes,
+                  const std::vector<Shares>& candidates);
+
 /// The Afrati-Ullman Shares objective: integer shares with product exactly
 /// \p num_servers minimizing the *total communication*
 /// sum_atoms m_atom * prod_{v not in atom} alpha_v (each tuple of an atom

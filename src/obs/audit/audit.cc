@@ -19,6 +19,11 @@ double AuditRecord::Headroom() const {
   return bound.tuples * slack / measured;
 }
 
+double AuditRecord::PredictionRatio() const {
+  if (!HasPrediction() || predicted_max_load <= 0.0) return 0.0;
+  return static_cast<double>(measured_max_load) / predicted_max_load;
+}
+
 JsonValue AuditRecord::ToJson() const {
   JsonValue doc = JsonValue::Object();
   doc.Set("schema", "lamp.audit.v1");
@@ -62,6 +67,11 @@ JsonValue AuditRecord::ToJson() const {
     JsonValue p99 = JsonValue::Array();
     for (const std::size_t v : round_wire_p99_ns) p99.PushBack(JsonValue(v));
     doc.Set("round_wire_p99_ns", std::move(p99));
+  }
+  if (HasPrediction()) {
+    doc.Set("predicted_max_load", predicted_max_load);
+    doc.Set("predicted_wire_bytes", predicted_wire_bytes);
+    doc.Set("planned_strategy", planned_strategy);
   }
   doc.Set("pass", Pass());
   doc.Set("expected_violation", expected_violation);
@@ -153,6 +163,18 @@ std::optional<AuditRecord> AuditRecord::FromJson(const JsonValue& doc) {
       record.round_wire_p99_ns.push_back(
           static_cast<std::size_t>(p99->at(i).AsInt()));
     }
+  }
+  if (const JsonValue* predicted = doc.Find("predicted_max_load");
+      predicted != nullptr && predicted->IsNumber()) {
+    record.predicted_max_load = predicted->AsDouble();
+  }
+  if (const JsonValue* predicted_wire = doc.Find("predicted_wire_bytes");
+      predicted_wire != nullptr && predicted_wire->IsNumber()) {
+    record.predicted_wire_bytes = predicted_wire->AsDouble();
+  }
+  if (const JsonValue* planned = doc.Find("planned_strategy");
+      planned != nullptr && planned->IsString()) {
+    record.planned_strategy = planned->AsString();
   }
   if (const JsonValue* expected = doc.Find("expected_violation");
       expected != nullptr && expected->IsBool()) {

@@ -83,6 +83,16 @@ struct AuditRecord {
   std::vector<std::size_t> round_wire_p50_ns;
   std::vector<std::size_t> round_wire_p99_ns;
 
+  /// The static planner's verdict for this run, when the producing bench
+  /// planned it (lamp.plan.v1 — see sa/plan/plan.h): the predicted max
+  /// per-server load and wire bytes for *this record's* strategy, and the
+  /// strategy the planner ranked first for the whole scenario. Zero /
+  /// empty when the run was not planned; FromJson tolerates absence.
+  /// `obs_audit report` renders predicted-vs-measured slack from these.
+  double predicted_max_load = 0.0;
+  double predicted_wire_bytes = 0.0;
+  std::string planned_strategy;
+
   bool expected_violation = false;  // Exempt from hard fail.
 
   /// measured <= bound * slack (true when there is no bound).
@@ -94,6 +104,13 @@ struct AuditRecord {
 
   /// True when this record should fail a hard-fail gate.
   bool HardViolation() const { return !Pass() && !expected_violation; }
+
+  /// True when the record carries a planner verdict.
+  bool HasPrediction() const { return !planned_strategy.empty(); }
+
+  /// measured / predicted max load (how far reality strayed from the
+  /// model; ~1 is a good model). 0 when unplanned or predicted is 0.
+  double PredictionRatio() const;
 
   JsonValue ToJson() const;
   static std::optional<AuditRecord> FromJson(const JsonValue& doc);

@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "transport/wire.h"
+
 namespace lamp::obs::audit {
 
 std::uint64_t ColumnStats::MaxFrequencyLower() const {
@@ -59,6 +61,7 @@ JsonValue Catalog::ToJson() const {
       JsonValue col = JsonValue::Object();
       col.Set("distinct", c.distinct);
       col.Set("zipf_s", c.zipf_s);
+      col.Set("avg_bytes", c.avg_bytes);
       JsonValue heavy = JsonValue::Array();
       for (const SketchEntry& e : c.heavy) {
         JsonValue entry = JsonValue::Object();
@@ -109,6 +112,10 @@ std::optional<Catalog> Catalog::FromJson(const JsonValue& doc) {
       ColumnStats cstats;
       cstats.distinct = static_cast<std::size_t>(distinct->AsInt());
       cstats.zipf_s = zipf->AsDouble();
+      if (const JsonValue* avg = col.Find("avg_bytes");
+          avg != nullptr && avg->IsNumber()) {
+        cstats.avg_bytes = avg->AsDouble();
+      }
       if (const JsonValue* heavy = col.Find("heavy");
           heavy != nullptr && heavy->IsArray()) {
         for (std::size_t k = 0; k < heavy->size(); ++k) {
@@ -141,6 +148,7 @@ Catalog BuildCatalog(const Schema& schema, const Instance& instance,
     stats.arity = arity;
 
     std::vector<std::unordered_set<std::int64_t>> distinct(arity);
+    std::vector<std::uint64_t> value_bytes(arity, 0);
     std::vector<SpaceSavingSketch> sketches;
     sketches.reserve(arity);
     for (std::size_t c = 0; c < arity; ++c) {
@@ -151,6 +159,7 @@ Catalog BuildCatalog(const Schema& schema, const Instance& instance,
         ++stats.cardinality;
         for (std::size_t c = 0; c < arity && c < f.args.size(); ++c) {
           distinct[c].insert(f.args[c].v);
+          value_bytes[c] += transport::ZigzagSize(f.args[c].v);
           sketches[c].Observe(f.args[c].v);
         }
       }
@@ -161,6 +170,10 @@ Catalog BuildCatalog(const Schema& schema, const Instance& instance,
       // Estimate skew from the full sketch (more ranks, better fit), but
       // persist only the top_k heaviest entries.
       cstats.zipf_s = EstimateZipfExponent(sketches[c].Entries());
+      cstats.avg_bytes = stats.cardinality == 0
+                             ? 0.0
+                             : static_cast<double>(value_bytes[c]) /
+                                   static_cast<double>(stats.cardinality);
       cstats.heavy = sketches[c].TopK(options.top_k);
       stats.columns.push_back(std::move(cstats));
     }

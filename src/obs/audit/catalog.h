@@ -35,6 +35,12 @@ namespace lamp::obs::audit {
 struct ColumnStats {
   std::size_t distinct = 0;  // Exact distinct-value count.
   double zipf_s = 0.0;       // Estimated Zipf exponent (0 = uniform-ish).
+  /// Mean lamp.wire.v1 zigzag-varint size of the column's values, in
+  /// bytes — what one value of this column costs on the wire. The
+  /// planner multiplies shipped-tuple estimates by these to predict wire
+  /// bytes. 0 when the column is empty (or the catalog predates the
+  /// field; FromJson tolerates absence).
+  double avg_bytes = 0.0;
   std::vector<SketchEntry> heavy;  // Sketch top-k, count descending.
 
   /// Upper bound on the max frequency of any value in this column

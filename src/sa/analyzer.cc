@@ -93,6 +93,13 @@ void RunCore(const Schema& schema, ProgramAnalysis& analysis,
     }
     lint.outputs.push_back(id);
   }
+  lint.have_catalog = options.have_catalog;
+  for (const std::string& name : options.catalog_relations) {
+    // Catalog entries for relations the program never mentions are fine
+    // (the catalog covers the whole database); only known ids matter.
+    const RelationId id = schema.TryIdOf(name);
+    if (id != Interner::kNotFound) lint.catalog_relations.push_back(id);
+  }
 
   std::vector<LintDiagnostic> found =
       LintProgram(schema, analysis.program, lint);

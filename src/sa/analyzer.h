@@ -60,6 +60,12 @@ struct AnalyzerOptions {
   /// Output relation names for the dead-rule pass (merged with any
   /// `# @output` pragmas in text mode).
   std::vector<std::string> outputs;
+  /// Statistics-catalog relation names for the no-statistics pass
+  /// (lamp_lint --catalog extracts these from a lamp.catalog.v1 file).
+  /// The pass runs only when have_catalog is set — an empty catalog is a
+  /// valid catalog that knows nothing.
+  bool have_catalog = false;
+  std::vector<std::string> catalog_relations;
 };
 
 /// Analyzes an already-built program.

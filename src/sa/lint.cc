@@ -1,5 +1,6 @@
 #include "sa/lint.h"
 
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
@@ -199,6 +200,106 @@ std::vector<LintDiagnostic> LintProgram(const Schema& schema,
       Emit(out, LintSeverity::kWarning, "dead-rule", static_cast<int>(k),
            "rule derives " + schema.NameOf(rule.head().relation) +
                ", which cannot reach any declared output relation");
+    }
+  }
+
+  // -- cross-product -------------------------------------------------------
+  // Components of the positive body under shared variables; constants
+  // never connect atoms, but negated atoms and inequalities do (their
+  // variables must be co-located too, so `ADom(x), ADom(y), !TC(x,y)` is
+  // connected, not a cross product). Two or more components mean the
+  // rule joins with no join key — the same hazard the sa/plan cost model
+  // raises for the plain queries it routes.
+  for (std::size_t k = 0; k < rules.size(); ++k) {
+    const ConjunctiveQuery& rule = rules[k];
+    const std::vector<Atom>& body = rule.body();
+    if (body.size() < 2) continue;
+    std::vector<std::size_t> parent(body.size());
+    for (std::size_t a = 0; a < body.size(); ++a) parent[a] = a;
+    const auto find = [&parent](std::size_t a) {
+      while (parent[a] != a) {
+        parent[a] = parent[parent[a]];
+        a = parent[a];
+      }
+      return a;
+    };
+    std::map<VarId, std::size_t> first_atom;
+    for (std::size_t a = 0; a < body.size(); ++a) {
+      for (const Term& term : body[a].terms) {
+        if (!term.IsVar()) continue;
+        auto [it, inserted] = first_atom.emplace(term.var, a);
+        if (!inserted) parent[find(a)] = find(it->second);
+      }
+    }
+    // Negative literals union every positive atom their variables touch.
+    const auto connect_through = [&](const Term& term,
+                                     std::optional<std::size_t>& anchor) {
+      if (!term.IsVar()) return;
+      const auto it = first_atom.find(term.var);
+      if (it == first_atom.end()) return;  // Unsafe rule; safety flags it.
+      if (anchor.has_value()) {
+        parent[find(*anchor)] = find(it->second);
+      } else {
+        anchor = it->second;
+      }
+    };
+    for (const Atom& neg : rule.negated()) {
+      std::optional<std::size_t> anchor;
+      for (const Term& term : neg.terms) connect_through(term, anchor);
+    }
+    for (const auto& [a, b] : rule.inequalities()) {
+      std::optional<std::size_t> anchor;
+      connect_through(a, anchor);
+      connect_through(b, anchor);
+    }
+    std::set<std::size_t> roots;
+    for (std::size_t a = 0; a < body.size(); ++a) roots.insert(find(a));
+    if (roots.size() < 2) continue;
+    std::string groups;
+    for (const std::size_t root : roots) {
+      if (!groups.empty()) groups += " x ";
+      groups += "{";
+      bool first = true;
+      for (std::size_t a = 0; a < body.size(); ++a) {
+        if (find(a) != root) continue;
+        if (!first) groups += ", ";
+        groups += RenderAtom(schema, rule, body[a]);
+        first = false;
+      }
+      groups += "}";
+    }
+    Emit(out, LintSeverity::kWarning, "cross-product", static_cast<int>(k),
+         "body splits into " + std::to_string(roots.size()) +
+             " components sharing no variable (" + groups +
+             ") — the join is a cross product with no key to route on");
+  }
+
+  // -- no-statistics -------------------------------------------------------
+  if (options.have_catalog) {
+    const std::set<RelationId> known(options.catalog_relations.begin(),
+                                     options.catalog_relations.end());
+    // IDB relations (some rule's head) have derived cardinalities no
+    // catalog carries; only extensional atoms need statistics.
+    std::set<RelationId> idb;
+    for (const ConjunctiveQuery& rule : rules) {
+      idb.insert(rule.head().relation);
+    }
+    for (std::size_t k = 0; k < rules.size(); ++k) {
+      const ConjunctiveQuery& rule = rules[k];
+      std::set<RelationId> flagged;  // Once per relation per rule.
+      for (const Atom& atom : rule.body()) {
+        if (known.count(atom.relation) > 0 ||
+            idb.count(atom.relation) > 0) {
+          continue;
+        }
+        if (!flagged.insert(atom.relation).second) continue;
+        Emit(out, LintSeverity::kWarning, "no-statistics",
+             static_cast<int>(k),
+             "no cardinality for " + schema.NameOf(atom.relation) + "/" +
+                 std::to_string(schema.ArityOf(atom.relation)) +
+                 " in the statistics catalog — the planner treats the "
+                 "atom as empty");
+      }
     }
   }
 

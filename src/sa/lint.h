@@ -24,6 +24,16 @@
 ///   unused-relation    a declared relation no rule mentions — warning
 ///   dead-rule          with declared outputs: the rule's head cannot
 ///                      reach any output in the dependency graph — warning
+///   cross-product      a rule body splits into components sharing no
+///                      variable: the join is a cross product, there is no
+///                      join key to route on and every one-round
+///                      distribution strategy degenerates to broadcast
+///                      (the sa/plan cost model raises the same hazard) —
+///                      warning
+///   no-statistics      with a statistics catalog: a positive body atom
+///                      over a relation the catalog has no cardinality
+///                      for — the planner would treat it as empty —
+///                      warning
 ///
 /// Errors mean the program has no (stratified) semantics as written;
 /// warnings mean it computes what it computes wastefully or suspiciously.
@@ -53,6 +63,12 @@ struct LintOptions {
   /// Relations that should occur in the program (e.g. @edb declarations);
   /// any that do not triggers unused-relation.
   std::vector<RelationId> declared_relations;
+  /// Statistics catalog for the no-statistics pass: when true,
+  /// `catalog_relations` holds every relation the catalog has a
+  /// cardinality for and body atoms over any other relation are flagged.
+  /// When false (no catalog supplied) the pass is skipped.
+  bool have_catalog = false;
+  std::vector<RelationId> catalog_relations;
 };
 
 /// Runs every pass over \p program. Diagnostics are ordered by pass (in

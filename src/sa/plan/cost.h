@@ -1,0 +1,79 @@
+#ifndef LAMP_SA_PLAN_COST_H_
+#define LAMP_SA_PLAN_COST_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "distribution/hypercube.h"
+#include "obs/audit/bounds.h"
+#include "sa/plan/estimate.h"
+
+/// \file
+/// The strategy cost model (stage three of the planner). Every strategy
+/// the repo implements is scored on the *same* closed forms the audit
+/// layer checks measured runs against (obs/audit/bounds.h):
+///
+///   repartition        base m/p       (RepartitionBound)
+///   fragment-replicate base m/floor(sqrt p)  (SqrtPBound; skew-free AND
+///                      skewed — replication is blind to values)
+///   hypercube          base sum_e m_e / prod_{v in e} a_v
+///                      (HyperCubeBound at the chosen shares)
+///   shares_skew        modeled on the implemented algorithm
+///                      (mpc/shares_skew.cc): light hash region p/2 plus
+///                      per-heavy-value g x g fragment-replicate grids
+///
+/// On top of each base the model adds the *skew correction* the bounds
+/// deliberately omit: a heavy join value pins one server/cell, which
+/// receives the whole heavy group plus its hash share of the rest. Heavy
+/// frequencies come from the catalog's Space-Saving sketches — the
+/// upper-bound counts, because failing to predict a pinned server is the
+/// expensive mistake (the audit layer then measures it).
+///
+/// predicted_max_load is a *prediction* (compare to the measured max:
+/// the planner-agreement gate), while base_bound is the audit *pass
+/// threshold* — the same number bounds.h computes.
+
+namespace lamp::sa::plan {
+
+struct PlanOptions {
+  std::size_t p = 4;            // Server budget.
+  /// Heavy-hitter fraction for hazard notes (matches
+  /// RelationStats::HasHeavyHitter).
+  double heavy_fraction = 0.05;
+  /// Extra share vectors to consider for hypercube, tried before the
+  /// uniform fallback; benches pass the shares they actually run so the
+  /// prediction and the measurement use the same grid.
+  std::vector<Shares> share_candidates;
+  /// Relative predicted-cost gap under which two strategies count as a
+  /// tie (the verdict is "either"; see agreement.h).
+  double tie_margin = 0.02;
+};
+
+/// One strategy's score.
+struct StrategyPrediction {
+  obs::audit::Strategy strategy = obs::audit::Strategy::kNone;
+  bool feasible = false;
+  std::string note;                // Why infeasible, or skew commentary.
+  double base_bound = 0.0;         // Exact bounds.h closed form.
+  double predicted_max_load = 0.0; // Base + heavy-hitter correction.
+  double predicted_tuples = 0.0;   // Total shipped tuples (communication).
+  double predicted_wire_bytes = 0.0;  // Payload bytes (framing excluded).
+  Shares shares;                   // HyperCube only.
+  std::string formula;             // How predicted_max_load was derived.
+};
+
+/// Scores all four one-round strategies for \p query over the (already
+/// rewritten) \p atoms. Infeasible strategies are returned with
+/// feasible=false and a reason. The effective sizes in \p atoms are fed
+/// through the bounds.h formulas by building a shadow catalog whose
+/// cardinalities are the effective ones, so base_bound equals the exact
+/// closed form whenever no rewrite fired.
+std::vector<StrategyPrediction> CostStrategies(
+    const ConjunctiveQuery& query, const Schema& schema,
+    const obs::audit::Catalog& catalog, const Estimator& estimator,
+    const std::vector<AtomEstimate>& atoms, const PlanOptions& options);
+
+}  // namespace lamp::sa::plan
+
+#endif  // LAMP_SA_PLAN_COST_H_

@@ -1,0 +1,91 @@
+#ifndef LAMP_SA_PLAN_ESTIMATE_H_
+#define LAMP_SA_PLAN_ESTIMATE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cq/cq.h"
+#include "obs/audit/catalog.h"
+#include "relational/schema.h"
+
+/// \file
+/// Cardinality estimation over the statistics catalog ("lamp.catalog.v1",
+/// obs/audit/catalog.h) — the first stage of the static planner
+/// (sa/plan/plan.h). Estimates follow the System-R independence
+/// assumption, corrected by the Space-Saving heavy-hitter profiles the
+/// catalog carries: a join column with a heavy value contributes its
+/// sketched frequency product instead of the uniform m/d average, which
+/// is exactly the regime where the independence assumption collapses
+/// (and where the one-round strategies diverge — see cost.h).
+
+namespace lamp::sa::plan {
+
+/// One positive body atom with its catalog statistics resolved.
+struct AtomEstimate {
+  std::size_t atom_index = 0;  // Index into query.body().
+  std::string relation;        // Relation name (schema).
+  std::size_t arity = 0;
+  bool in_catalog = false;     // Catalog has an entry for the relation.
+  double cardinality = 0.0;    // Raw catalog cardinality.
+  double effective = 0.0;      // After rewrites (starts == cardinality).
+  double fact_bytes = 0.0;     // Predicted wire bytes of one encoded fact.
+};
+
+/// Read-only estimator bound to one (query, schema, catalog) triple.
+/// Column lookups are positional: atom \p a, term position \p pos.
+class Estimator {
+ public:
+  Estimator(const ConjunctiveQuery& query, const Schema& schema,
+            const obs::audit::Catalog& catalog);
+
+  /// Per-atom statistics with effective == cardinality (pre-rewrite).
+  /// Atoms over relations the catalog does not know get in_catalog=false
+  /// and size 0 — a hazard the lint pass also flags.
+  std::vector<AtomEstimate> InitialAtoms() const;
+
+  /// Catalog column stats of body atom \p a at position \p pos; nullptr
+  /// when the relation is unknown or the position is out of range.
+  const obs::audit::ColumnStats* ColumnAt(std::size_t a,
+                                          std::size_t pos) const;
+
+  /// Distinct-value count at (atom, pos); 0 when unknown.
+  double DistinctAt(std::size_t a, std::size_t pos) const;
+
+  /// Sketch frequency of \p value at (atom, pos): the Space-Saving count
+  /// (an upper bound on the true frequency) when the value is among the
+  /// catalog's top-k entries, otherwise the uniform average m/d. 0 when
+  /// the column is unknown or empty.
+  double FrequencyAt(std::size_t a, std::size_t pos, Value value) const;
+
+  /// Sketch entries of (atom, pos) that are *demonstrably* heavy: the
+  /// guaranteed lower bound (count - error) strictly exceeds the column's
+  /// uniform average m/d. On a uniform column the sketch still carries
+  /// top-k entries, but their counts are almost pure overestimation error
+  /// (~m/capacity each) — treating those as skew candidates would add a
+  /// phantom pinned-server correction to every strategy. Empty when the
+  /// column is unknown.
+  std::vector<obs::audit::SketchEntry> HeavyEntries(std::size_t a,
+                                                    std::size_t pos) const;
+
+  /// Estimated output cardinality of the query over \p atoms (their
+  /// `effective` sizes): independence-assumption product divided by
+  /// (max distinct)^(occurrences-1) per shared variable, with the
+  /// heavy-hitter product correction on binary single-variable joins.
+  double EstimateOutput(const std::vector<AtomEstimate>& atoms) const;
+
+  const ConjunctiveQuery& query() const { return query_; }
+  const Schema& schema() const { return schema_; }
+  const obs::audit::Catalog& catalog() const { return catalog_; }
+
+ private:
+  const ConjunctiveQuery& query_;
+  const Schema& schema_;
+  const obs::audit::Catalog& catalog_;
+  /// relations_[a] = catalog entry of body atom a (nullptr if unknown).
+  std::vector<const obs::audit::RelationStats*> relations_;
+};
+
+}  // namespace lamp::sa::plan
+
+#endif  // LAMP_SA_PLAN_ESTIMATE_H_

@@ -1,0 +1,246 @@
+#include "sa/plan/plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lamp::sa::plan {
+
+namespace {
+
+using obs::JsonValue;
+using obs::audit::Strategy;
+using obs::audit::StrategyName;
+
+/// Tie-break order among equally-priced strategies: prefer the cheaper
+/// machinery (plain hash repartition) over grids and skew handling.
+int PreferenceRank(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kRepartition:
+      return 0;
+    case Strategy::kHyperCube:
+      return 1;
+    case Strategy::kSharesSkew:
+      return 2;
+    case Strategy::kFragmentReplicate:
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+const StrategyPrediction* PlanCertificate::Winner() const {
+  for (const StrategyPrediction& s : strategies) {
+    if (s.feasible) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<Strategy> PlanCertificate::WinnerSet() const {
+  std::vector<Strategy> set;
+  const StrategyPrediction* winner = Winner();
+  if (winner == nullptr) return set;
+  const double cutoff = winner->predicted_max_load * (1.0 + tie_margin);
+  for (const StrategyPrediction& s : strategies) {
+    if (s.feasible && s.predicted_max_load <= cutoff) {
+      set.push_back(s.strategy);
+    }
+  }
+  return set;
+}
+
+const StrategyPrediction* PlanCertificate::Find(Strategy strategy) const {
+  for (const StrategyPrediction& s : strategies) {
+    if (s.strategy == strategy) return &s;
+  }
+  return nullptr;
+}
+
+JsonValue PlanCertificate::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", "lamp.plan.v1");
+  doc.Set("query", query_text);
+  doc.Set("p", p);
+  doc.Set("tie_margin", tie_margin);
+  doc.Set("estimated_output", estimated_output);
+
+  JsonValue atoms_json = JsonValue::Array();
+  for (const AtomEstimate& atom : atoms) {
+    JsonValue a = JsonValue::Object();
+    a.Set("relation", atom.relation);
+    a.Set("arity", atom.arity);
+    a.Set("in_catalog", atom.in_catalog);
+    a.Set("cardinality", atom.cardinality);
+    a.Set("effective", atom.effective);
+    a.Set("fact_bytes", atom.fact_bytes);
+    atoms_json.PushBack(std::move(a));
+  }
+  doc.Set("atoms", std::move(atoms_json));
+
+  JsonValue rewrites_json = JsonValue::Array();
+  for (const Rewrite& rw : rewrites) {
+    JsonValue r = JsonValue::Object();
+    r.Set("kind", RewriteKindName(rw.kind));
+    r.Set("atom", rw.atom);
+    r.Set("before", rw.before);
+    r.Set("after", rw.after);
+    r.Set("description", rw.description);
+    rewrites_json.PushBack(std::move(r));
+  }
+  doc.Set("rewrites", std::move(rewrites_json));
+
+  JsonValue strategies_json = JsonValue::Array();
+  for (const StrategyPrediction& s : strategies) {
+    JsonValue v = JsonValue::Object();
+    v.Set("strategy", StrategyName(s.strategy));
+    v.Set("feasible", s.feasible);
+    v.Set("base_bound", s.base_bound);
+    v.Set("predicted_max_load", s.predicted_max_load);
+    v.Set("predicted_tuples", s.predicted_tuples);
+    v.Set("predicted_wire_bytes", s.predicted_wire_bytes);
+    if (!s.shares.empty()) {
+      JsonValue shares = JsonValue::Array();
+      for (const std::size_t a : s.shares) shares.PushBack(a);
+      v.Set("shares", std::move(shares));
+    }
+    if (!s.formula.empty()) v.Set("formula", s.formula);
+    if (!s.note.empty()) v.Set("note", s.note);
+    strategies_json.PushBack(std::move(v));
+  }
+  doc.Set("strategies", std::move(strategies_json));
+
+  const StrategyPrediction* winner = Winner();
+  doc.Set("winner",
+          winner == nullptr ? "" : std::string(StrategyName(winner->strategy)));
+  JsonValue winner_set = JsonValue::Array();
+  for (const Strategy s : WinnerSet()) {
+    winner_set.PushBack(StrategyName(s));
+  }
+  doc.Set("winner_set", std::move(winner_set));
+
+  JsonValue hazards_json = JsonValue::Array();
+  for (const std::string& h : hazards) hazards_json.PushBack(h);
+  doc.Set("hazards", std::move(hazards_json));
+  return doc;
+}
+
+std::string PlanCertificate::RenderText(bool explain) const {
+  std::string out;
+  out += "plan: " + query_text + "\n";
+  out += "  p=" + std::to_string(p) +
+         "  estimated_output=" + Fmt(estimated_output) + "\n";
+  for (const AtomEstimate& atom : atoms) {
+    out += "  atom " + atom.relation + "/" + std::to_string(atom.arity);
+    if (!atom.in_catalog) {
+      out += ": NO STATISTICS (planned at size 0)\n";
+      continue;
+    }
+    out += ": m=" + Fmt(atom.cardinality);
+    if (atom.effective != atom.cardinality) {
+      out += " effective=" + Fmt(atom.effective);
+    }
+    out += " fact_bytes=" + Fmt(atom.fact_bytes) + "\n";
+  }
+  if (explain) {
+    for (const Rewrite& rw : rewrites) {
+      out += "  rewrite [" + std::string(RewriteKindName(rw.kind)) + "] " +
+             rw.description + "\n";
+    }
+  }
+  const StrategyPrediction* winner = Winner();
+  for (const StrategyPrediction& s : strategies) {
+    out += "  ";
+    out += (winner != nullptr && &s == winner) ? "* " : "  ";
+    out += std::string(StrategyName(s.strategy));
+    if (!s.feasible) {
+      out += ": infeasible (" + s.note + ")\n";
+      continue;
+    }
+    out += ": load~" + Fmt(s.predicted_max_load) +
+           " (bound " + Fmt(s.base_bound) + ")" +
+           " tuples~" + Fmt(s.predicted_tuples) +
+           " wire~" + Fmt(s.predicted_wire_bytes) + "B";
+    if (!s.shares.empty()) {
+      out += " shares=(";
+      for (std::size_t i = 0; i < s.shares.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(s.shares[i]);
+      }
+      out += ")";
+    }
+    out += "\n";
+    if (explain && !s.formula.empty()) {
+      out += "      formula: " + s.formula + "\n";
+    }
+    if (explain && !s.note.empty()) {
+      out += "      note: " + s.note + "\n";
+    }
+  }
+  for (const std::string& h : hazards) {
+    out += "  hazard: " + h + "\n";
+  }
+  return out;
+}
+
+PlanCertificate PlanQuery(const ConjunctiveQuery& query, const Schema& schema,
+                          const obs::audit::Catalog& catalog,
+                          const PlanOptions& options) {
+  PlanCertificate cert;
+  cert.query_text = query.ToString(schema);
+  cert.p = options.p;
+  cert.tie_margin = options.tie_margin;
+
+  const Estimator estimator(query, schema, catalog);
+  cert.atoms = estimator.InitialAtoms();
+  cert.rewrites = ApplyRewrites(query, estimator, cert.atoms);
+  cert.estimated_output = estimator.EstimateOutput(cert.atoms);
+  cert.strategies = CostStrategies(query, schema, catalog, estimator,
+                                   cert.atoms, options);
+
+  // Rank: feasible by predicted load then preference; infeasible last in
+  // preference order.
+  std::stable_sort(cert.strategies.begin(), cert.strategies.end(),
+                   [](const StrategyPrediction& a,
+                      const StrategyPrediction& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     if (a.feasible &&
+                         a.predicted_max_load != b.predicted_max_load) {
+                       return a.predicted_max_load < b.predicted_max_load;
+                     }
+                     return PreferenceRank(a.strategy) <
+                            PreferenceRank(b.strategy);
+                   });
+
+  // Hazards: the certificate-level warnings a caller should surface even
+  // without reading the strategy table.
+  for (const AtomEstimate& atom : cert.atoms) {
+    if (!atom.in_catalog) {
+      cert.hazards.push_back(
+          "no statistics for " + atom.relation +
+          " in the catalog: estimates treat it as empty and every bound "
+          "is unreliable");
+    }
+  }
+  for (const Rewrite& rw : cert.rewrites) {
+    if (rw.kind == RewriteKind::kCrossProduct) {
+      cert.hazards.push_back(rw.description);
+    }
+  }
+  for (const StrategyPrediction& s : cert.strategies) {
+    if (s.feasible && s.predicted_max_load > s.base_bound &&
+        !s.note.empty()) {
+      cert.hazards.push_back(std::string(StrategyName(s.strategy)) + ": " +
+                             s.note);
+    }
+  }
+  return cert;
+}
+
+}  // namespace lamp::sa::plan

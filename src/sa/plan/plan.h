@@ -1,0 +1,75 @@
+#ifndef LAMP_SA_PLAN_PLAN_H_
+#define LAMP_SA_PLAN_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "sa/plan/cost.h"
+#include "sa/plan/estimate.h"
+#include "sa/plan/rewrite.h"
+
+/// \file
+/// The planner entry point and its output, the plan *certificate*
+/// ("lamp.plan.v1"). PlanQuery runs the four stages —
+///
+///   estimates  (estimate.h: catalog cardinalities + sketch corrections)
+///   rewrites   (rewrite.h: pushdowns, reducers, cross-product hazards)
+///   cost       (cost.h: bounds.h closed forms + skew corrections)
+///   certificate (this file: ranked verdict, hazards, JSON)
+///
+/// — entirely statically: no data is read, only the `lamp.catalog.v1`
+/// statistics. The certificate is *checkable*: every base_bound it quotes
+/// is the exact formula the audit layer recomputes at run time, and the
+/// predicted winner is compared against the measured winner by the
+/// planner-agreement gate (agreement.h), so a cost-model regression
+/// surfaces as a CI failure rather than silent bad advice.
+
+namespace lamp::sa::plan {
+
+/// The planner's full output for one (query, catalog, p) instance.
+/// `strategies` is ranked: feasible strategies by ascending predicted
+/// load (ties broken by the preference order repartition < hypercube <
+/// shares_skew < fragment_replicate — cheaper machinery first), then the
+/// infeasible ones.
+struct PlanCertificate {
+  std::string query_text;   // query.ToString(schema).
+  std::size_t p = 0;
+  double tie_margin = 0.02;
+  double estimated_output = 0.0;   // Estimator::EstimateOutput.
+  std::vector<AtomEstimate> atoms;
+  std::vector<Rewrite> rewrites;
+  std::vector<StrategyPrediction> strategies;
+  std::vector<std::string> hazards;  // Cross products, missing stats, skew.
+
+  /// The top-ranked feasible strategy; nullptr when nothing is feasible.
+  const StrategyPrediction* Winner() const;
+
+  /// Every feasible strategy whose predicted load is within tie_margin
+  /// of the winner's (always includes the winner). Two strategies inside
+  /// one winner set are predicted indistinguishable — the agreement gate
+  /// accepts a measured win by any member.
+  std::vector<obs::audit::Strategy> WinnerSet() const;
+
+  /// The prediction for \p strategy; nullptr when the planner did not
+  /// score it.
+  const StrategyPrediction* Find(obs::audit::Strategy strategy) const;
+
+  /// "lamp.plan.v1" document.
+  obs::JsonValue ToJson() const;
+
+  /// Human-readable report. \p explain adds the per-strategy formulas and
+  /// the applied rewrites.
+  std::string RenderText(bool explain) const;
+};
+
+/// Runs the full pipeline. The query's positive body atoms are looked up
+/// in \p catalog by schema name; unknown relations plan at size 0 and
+/// raise a hazard (and a lamp_lint warning, which shares the detection).
+PlanCertificate PlanQuery(const ConjunctiveQuery& query, const Schema& schema,
+                          const obs::audit::Catalog& catalog,
+                          const PlanOptions& options);
+
+}  // namespace lamp::sa::plan
+
+#endif  // LAMP_SA_PLAN_PLAN_H_

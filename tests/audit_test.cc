@@ -22,6 +22,7 @@
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "relational/generators.h"
+#include "transport/wire.h"
 
 namespace lamp::obs::audit {
 namespace {
@@ -164,6 +165,56 @@ TEST(CatalogTest, CollectsPerRelationAndPerColumnStats) {
   ASSERT_EQ(empty->columns.size(), 3u);
   EXPECT_EQ(empty->columns[0].MaxFrequencyLower(), 0u);
   EXPECT_FALSE(empty->HasHeavyHitter(0.01));
+}
+
+TEST(CatalogTest, SketchDegenerateColumns) {
+  // The three degenerate column shapes the planner's estimator leans on:
+  // an empty relation, an all-distinct column (pure sketch noise — every
+  // counter holds count ~ error ~ N/capacity) and a single-value column
+  // (one exact counter). Wire-size stats must track the same shapes.
+  Schema schema;
+  schema.AddRelation("Empty", 2);
+  const RelationId d = schema.AddRelation("AllDistinct", 1);
+  const RelationId s = schema.AddRelation("SingleValue", 1);
+  Instance db;
+  constexpr std::int64_t kN = 500;  // Overflows the 64-counter sketch.
+  for (std::int64_t i = 0; i < kN; ++i) db.Insert(Fact(d, {i + 1}));
+  for (std::int64_t i = 0; i < kN; ++i) {
+    db.Insert(Fact(s, {42}));  // Set semantics: dedups to one fact.
+  }
+  const Catalog catalog = BuildCatalog(schema, db);
+
+  const RelationStats* empty = catalog.Find("Empty");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->cardinality, 0u);
+  for (const ColumnStats& col : empty->columns) {
+    EXPECT_EQ(col.distinct, 0u);
+    EXPECT_TRUE(col.heavy.empty());
+    EXPECT_EQ(col.avg_bytes, 0.0);
+  }
+
+  const RelationStats* distinct = catalog.Find("AllDistinct");
+  ASSERT_NE(distinct, nullptr);
+  EXPECT_EQ(distinct->cardinality, static_cast<std::uint64_t>(kN));
+  ASSERT_EQ(distinct->columns.size(), 1u);
+  EXPECT_EQ(distinct->columns[0].distinct, static_cast<std::size_t>(kN));
+  // Every true frequency is 1: the sketch's guaranteed lower bound can
+  // never certify more, and no heavy-hitter call may fire.
+  EXPECT_LE(distinct->columns[0].MaxFrequencyLower(), 1u);
+  EXPECT_FALSE(distinct->HasHeavyHitter(0.05));
+  EXPECT_GT(distinct->columns[0].avg_bytes, 0.0);
+
+  const RelationStats* single = catalog.Find("SingleValue");
+  ASSERT_NE(single, nullptr);
+  EXPECT_EQ(single->cardinality, 1u) << "set semantics dedup";
+  ASSERT_EQ(single->columns.size(), 1u);
+  EXPECT_EQ(single->columns[0].distinct, 1u);
+  // One exact counter: upper and lower bounds coincide.
+  EXPECT_EQ(single->columns[0].MaxFrequencyLower(), 1u);
+  EXPECT_EQ(single->columns[0].MaxFrequencyUpper(), 1u);
+  // avg_bytes is the exact zigzag-varint size of the single value 42.
+  EXPECT_DOUBLE_EQ(single->columns[0].avg_bytes,
+                   static_cast<double>(transport::ZigzagSize(42)));
 }
 
 TEST(CatalogTest, JsonRoundTrip) {

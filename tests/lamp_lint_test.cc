@@ -83,6 +83,10 @@ TEST(LampLintGoldenTest, UnstratifiableProgram) {
 
 TEST(LampLintGoldenTest, UnsafeProgram) { CheckGolden("unsafe"); }
 
+TEST(LampLintGoldenTest, CrossProductProgram) {
+  CheckGolden("cross_product");
+}
+
 // Structural guards independent of the golden bytes, so a bad regen
 // cannot silently bless a wrong analysis.
 
@@ -128,6 +132,52 @@ TEST(LampLintFixtureTest, UnsafeFlagsEveryViolationWithLines) {
     dead = dead || d.pass == "dead-rule";
   }
   EXPECT_TRUE(dead) << "Q(x) cannot reach the declared output H";
+}
+
+TEST(LampLintFixtureTest, CrossProductNamesBothComponents) {
+  const Analyzed a = AnalyzeFixture("cross_product");
+  EXPECT_TRUE(a.analysis.parse_ok);
+  EXPECT_EQ(a.analysis.ErrorCount(), 0u);
+  bool found = false;
+  for (const LintDiagnostic& d : a.analysis.diagnostics) {
+    if (d.pass != "cross-product") continue;
+    found = true;
+    EXPECT_EQ(d.severity, LintSeverity::kWarning);
+    EXPECT_NE(d.message.find("R(x,y)"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("S(u,v)"), std::string::npos) << d.message;
+    EXPECT_GT(d.line, 0) << d.message;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LampLintFixtureTest, NoStatisticsFlagsOnlyUncataloguedEdbAtoms) {
+  AnalyzerOptions options;
+  options.have_catalog = true;
+  options.catalog_relations = {"R"};
+  Schema schema;
+  const ProgramAnalysis analysis = AnalyzeProgramText(
+      schema,
+      "T(x,y) <- R(x,y)\n"
+      "H(x,z) <- T(x,y), S(y,z)\n",
+      options);
+  std::size_t flagged = 0;
+  for (const LintDiagnostic& d : analysis.diagnostics) {
+    if (d.pass != "no-statistics") continue;
+    ++flagged;
+    EXPECT_EQ(d.severity, LintSeverity::kWarning);
+    // S is extensional and uncatalogued; R is catalogued and T is
+    // derived — only S may be flagged.
+    EXPECT_NE(d.message.find("S/2"), std::string::npos) << d.message;
+  }
+  EXPECT_EQ(flagged, 1u);
+
+  // Without a catalog the pass must stay silent.
+  Schema schema2;
+  const ProgramAnalysis no_catalog = AnalyzeProgramText(
+      schema2, "H(x,z) <- T(x,y), S(y,z)\n");
+  for (const LintDiagnostic& d : no_catalog.diagnostics) {
+    EXPECT_NE(d.pass, "no-statistics") << d.message;
+  }
 }
 
 TEST(LampLintFixtureTest, ParseErrorsAreDiagnosticsNotAborts) {

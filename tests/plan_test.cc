@@ -1,0 +1,366 @@
+// The static planner (src/sa/plan): certificate correctness, the
+// bounds.h-parity contract, the skew crossover verdicts, and the
+// planner-agreement gate machinery.
+//
+// The load-bearing property: whenever no rewrite fires, the certificate's
+// hypercube base_bound is *bit-identical* to the closed form the audit
+// layer recomputes at run time (obs/audit/bounds.h HyperCubeBound at the
+// same shares). The planner and the auditor must never argue about what
+// the bound is — only about whether the measured run met it.
+//
+// The certificate golden pins the full "lamp.plan.v1" document; after an
+// intentional format change regenerate with:
+//   LAMP_REGEN_GOLDEN=1 ./build/tests/plan_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "cq/parser.h"
+#include "distribution/hypercube.h"
+#include "mpc/hypercube_run.h"
+#include "obs/audit/bounds.h"
+#include "obs/audit/catalog.h"
+#include "obs/json.h"
+#include "relational/generators.h"
+#include "relational/instance.h"
+#include "sa/plan/agreement.h"
+#include "sa/plan/plan.h"
+
+#ifndef LAMP_TESTS_DIR
+#error "tests/CMakeLists.txt must define LAMP_TESTS_DIR"
+#endif
+
+namespace lamp::sa::plan {
+namespace {
+
+using obs::audit::BuildCatalog;
+using obs::audit::Catalog;
+using obs::audit::Strategy;
+
+// The lamp_plan --demo workloads, reproduced bit for bit (fixed seeds):
+// 20000 facts per relation; the skewed variant routes half of R and ten
+// S facts through join value y=0.
+struct Demo {
+  Schema schema;
+  ConjunctiveQuery query;
+  Catalog catalog;
+};
+
+Demo MakeDemo(bool skewed) {
+  Demo demo;
+  demo.query = ParseQuery(demo.schema, "H(x,z) <- R(x,y), S(y,z)");
+  const RelationId r = demo.schema.IdOf("R");
+  const RelationId s = demo.schema.IdOf("S");
+  constexpr std::size_t kFacts = 20000;
+  const auto range = static_cast<std::int64_t>(16 * kFacts);
+  Rng rng(skewed ? 7 : 3);
+  Instance instance;
+  for (std::size_t i = 0; i < kFacts; ++i) {
+    const bool heavy = skewed && i < kFacts / 2;
+    const Value y = heavy ? Value{0} : Value{rng.UniformInt(1, range)};
+    instance.Insert(Fact{r, {Value{rng.UniformInt(0, range)}, y}});
+  }
+  for (std::size_t i = 0; i < kFacts; ++i) {
+    const bool heavy = skewed && i < 10;
+    const Value y = heavy ? Value{0} : Value{rng.UniformInt(1, range)};
+    instance.Insert(Fact{s, {y, Value{rng.UniformInt(0, range)}}});
+  }
+  demo.catalog = BuildCatalog(demo.schema, instance);
+  return demo;
+}
+
+// --- bounds.h parity ----------------------------------------------------
+
+TEST(PlanBoundsParityTest, HyperCubeBaseBoundIsTheExactClosedForm) {
+  // Randomized shares over two query shapes: whatever grid the planner
+  // settles on, its base_bound must equal HyperCubeBound at that grid —
+  // no drift between the cost model and the audit layer. Equal-size
+  // uniform relations keep every rewrite quiet, which is the precondition
+  // for exact parity (a fired rewrite would shrink the shadow catalog).
+  Rng rng(99);
+  for (const char* text :
+       {"H(x,y,z) <- R0(x,y), R1(y,z)",
+        "H(x,y,z) <- R0(x,y), R1(y,z), R2(z,x)"}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      Schema schema;
+      const ConjunctiveQuery query = ParseQuery(schema, text);
+      Instance db;
+      for (const Atom& atom : query.body()) {
+        AddUniformRelation(schema, atom.relation, 2000, 50000, rng, db);
+      }
+      const Catalog catalog = BuildCatalog(schema, db);
+
+      Shares shares = LpRoundedShares(query, 16);
+      for (std::size_t& share : shares) {
+        share = static_cast<std::size_t>(rng.UniformInt(1, 3));
+      }
+      PlanOptions options;
+      options.p = std::accumulate(shares.begin(), shares.end(),
+                                  std::size_t{1},
+                                  std::multiplies<std::size_t>());
+      options.share_candidates = {shares};
+
+      const PlanCertificate cert =
+          PlanQuery(query, schema, catalog, options);
+      ASSERT_TRUE(cert.rewrites.empty()) << text;
+      const StrategyPrediction* hc = cert.Find(Strategy::kHyperCube);
+      ASSERT_NE(hc, nullptr) << text;
+      ASSERT_TRUE(hc->feasible) << hc->note;
+      const obs::audit::LoadBound bound =
+          obs::audit::HyperCubeBound(query, schema, catalog, hc->shares);
+      ASSERT_TRUE(bound.has_bound);
+      EXPECT_EQ(hc->base_bound, bound.tuples)
+          << text << " trial " << trial << " shares product " << options.p;
+    }
+  }
+}
+
+// --- crossover verdicts -------------------------------------------------
+
+TEST(PlanVerdictTest, SkewFreePicksRepartition) {
+  const Demo demo = MakeDemo(/*skewed=*/false);
+  PlanOptions options;
+  options.p = 4;
+  const PlanCertificate cert =
+      PlanQuery(demo.query, demo.schema, demo.catalog, options);
+  const StrategyPrediction* winner = cert.Winner();
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->strategy, Strategy::kRepartition);
+  // m/p scaled by the shipped fraction (p-1)/p: 40000/4 * 3/4.
+  EXPECT_DOUBLE_EQ(winner->predicted_max_load, 7500.0);
+  // Hypercube at shares (1,1,p) *is* repartition up to hashing: the
+  // model must predict them indistinguishable.
+  const std::vector<Strategy> ties = cert.WinnerSet();
+  EXPECT_GE(ties.size(), 2u);
+  EXPECT_NE(std::find(ties.begin(), ties.end(), Strategy::kHyperCube),
+            ties.end());
+}
+
+TEST(PlanVerdictTest, SkewedLargePPicksSharesSkew) {
+  const Demo demo = MakeDemo(/*skewed=*/true);
+  PlanOptions options;
+  options.p = 64;
+  const PlanCertificate cert =
+      PlanQuery(demo.query, demo.schema, demo.catalog, options);
+  const StrategyPrediction* winner = cert.Winner();
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->strategy, Strategy::kSharesSkew);
+  // The heavy value must be called out somewhere: either a skew hazard
+  // or a pinned-server note on the hash strategies.
+  const StrategyPrediction* repart = cert.Find(Strategy::kRepartition);
+  ASSERT_NE(repart, nullptr);
+  EXPECT_GT(repart->predicted_max_load, repart->base_bound)
+      << "the heavy join value must push repartition past its skew-free "
+         "bound";
+}
+
+TEST(PlanVerdictTest, UniformColumnsRaiseNoPhantomSkewNotes) {
+  // Space-Saving counts on a uniform column are pure sketch noise
+  // (count ~ error ~ m/capacity). The estimator must not promote them to
+  // skew candidates: skew-free repartition predicts exactly the shipped
+  // base bound, with no pinned-server note.
+  const Demo demo = MakeDemo(/*skewed=*/false);
+  PlanOptions options;
+  options.p = 4;
+  const PlanCertificate cert =
+      PlanQuery(demo.query, demo.schema, demo.catalog, options);
+  const StrategyPrediction* repart = cert.Find(Strategy::kRepartition);
+  ASSERT_NE(repart, nullptr);
+  EXPECT_DOUBLE_EQ(repart->predicted_max_load, 7500.0);
+  EXPECT_EQ(repart->note.find("heavy"), std::string::npos) << repart->note;
+}
+
+TEST(PlanVerdictTest, InfeasibleStrategiesRankLastWithReasons) {
+  Schema schema;
+  const ConjunctiveQuery triangle =
+      ParseQuery(schema, "H(x,y,z) <- R0(x,y), R1(y,z), R2(z,x)");
+  Rng rng(5);
+  Instance db;
+  for (const Atom& atom : triangle.body()) {
+    AddUniformRelation(schema, atom.relation, 1000, 20000, rng, db);
+  }
+  const Catalog catalog = BuildCatalog(schema, db);
+  PlanOptions options;
+  options.p = 27;
+  const PlanCertificate cert = PlanQuery(triangle, schema, catalog, options);
+  const StrategyPrediction* winner = cert.Winner();
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->strategy, Strategy::kHyperCube)
+      << "only hypercube handles a 3-atom body in one round";
+  for (const StrategyPrediction& s : cert.strategies) {
+    if (s.strategy == Strategy::kHyperCube) continue;
+    EXPECT_FALSE(s.feasible);
+    EXPECT_FALSE(s.note.empty()) << "infeasibility must carry a reason";
+  }
+}
+
+// --- certificate golden -------------------------------------------------
+
+TEST(PlanCertificateTest, GoldenDocument) {
+  const Demo demo = MakeDemo(/*skewed=*/true);
+  PlanOptions options;
+  options.p = 4;
+  const PlanCertificate cert =
+      PlanQuery(demo.query, demo.schema, demo.catalog, options);
+  const std::string got = cert.ToJson().Dump(2) + "\n";
+  const std::string golden_path =
+      std::string(LAMP_TESTS_DIR) + "/golden/plan_certificate.json";
+
+  if (std::getenv("LAMP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << golden_path;
+    out << got;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.is_open()) << "missing golden " << golden_path
+                            << " — regenerate with LAMP_REGEN_GOLDEN=1";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "lamp.plan.v1 output drifted from the golden. If the change is "
+         "intentional, rerun with LAMP_REGEN_GOLDEN=1.";
+  EXPECT_TRUE(obs::JsonValue::Parse(got).has_value());
+}
+
+// --- agreement records --------------------------------------------------
+
+AgreementRecord TwoWayRace(double predicted_best, double predicted_runner,
+                           double measured_best, double measured_runner) {
+  AgreementRecord record;
+  record.bench = "test";
+  record.label = "race";
+  record.p = 4;
+  record.tie_margin = 0.02;
+  record.predicted = Strategy::kRepartition;
+  record.outcomes = {{Strategy::kRepartition, measured_best},
+                     {Strategy::kFragmentReplicate, measured_runner}};
+  record.predicted_loads = {predicted_best, predicted_runner};
+  record.measured = measured_best <= measured_runner
+                        ? Strategy::kRepartition
+                        : Strategy::kFragmentReplicate;
+  return record;
+}
+
+TEST(AgreementRecordTest, AgreeOnExactMatchAndWithinTieMargin) {
+  // Predicted and measured winner coincide.
+  EXPECT_TRUE(TwoWayRace(100.0, 400.0, 90.0, 380.0).Agree());
+  // Measured winner differs but was predicted within 2% of the best.
+  EXPECT_TRUE(TwoWayRace(100.0, 101.0, 95.0, 90.0).Agree());
+  // Measured winner was predicted 4x worse: a genuine disagreement.
+  EXPECT_FALSE(TwoWayRace(100.0, 400.0, 95.0, 90.0).Agree());
+}
+
+TEST(AgreementRecordTest, PartialRaceJudgesOnlyItsParticipants) {
+  // The certificate's overall winner (repartition) sat out; the race ran
+  // hypercube alone, predicted best of the field that ran.
+  AgreementRecord record;
+  record.predicted = Strategy::kRepartition;
+  record.measured = Strategy::kHyperCube;
+  record.tie_margin = 0.02;
+  record.outcomes = {{Strategy::kHyperCube, 250.0}};
+  record.predicted_loads = {240.0};
+  EXPECT_TRUE(record.Agree());
+  // A strategy the race never measured cannot agree by default.
+  record.outcomes.clear();
+  record.predicted_loads.clear();
+  EXPECT_FALSE(record.Agree());
+}
+
+TEST(AgreementRecordTest, JsonRoundTrip) {
+  const AgreementRecord record = TwoWayRace(100.0, 400.0, 95.0, 90.0);
+  const std::optional<AgreementRecord> parsed =
+      AgreementRecord::FromJson(record.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->bench, record.bench);
+  EXPECT_EQ(parsed->label, record.label);
+  EXPECT_EQ(parsed->p, record.p);
+  EXPECT_EQ(parsed->predicted, record.predicted);
+  EXPECT_EQ(parsed->measured, record.measured);
+  ASSERT_EQ(parsed->outcomes.size(), record.outcomes.size());
+  EXPECT_EQ(parsed->outcomes[1].strategy, Strategy::kFragmentReplicate);
+  EXPECT_EQ(parsed->predicted_loads, record.predicted_loads);
+  EXPECT_EQ(parsed->Agree(), record.Agree());
+}
+
+TEST(AgreementRecordTest, MakeDerivesMeasuredWinnerTiesKeepEarlier) {
+  const Demo demo = MakeDemo(/*skewed=*/false);
+  PlanOptions options;
+  options.p = 4;
+  const PlanCertificate cert =
+      PlanQuery(demo.query, demo.schema, demo.catalog, options);
+  const AgreementRecord record = MakeAgreementRecord(
+      "test", "tie", cert,
+      {{Strategy::kRepartition, 500.0}, {Strategy::kHyperCube, 500.0}});
+  EXPECT_EQ(record.measured, Strategy::kRepartition);
+  EXPECT_EQ(record.predicted, cert.Winner()->strategy);
+  ASSERT_EQ(record.predicted_loads.size(), 2u);
+  EXPECT_GT(record.predicted_loads[0], 0.0);
+}
+
+// --- the gate -----------------------------------------------------------
+
+TEST(AgreementGateTest, UnpinnedDisagreementFailsPinnedPasses) {
+  const AgreementRecord bad = TwoWayRace(100.0, 400.0, 95.0, 90.0);
+  ASSERT_FALSE(bad.Agree());
+
+  AgreementCheck unpinned = CheckAgreement({bad}, {});
+  EXPECT_FALSE(unpinned.Ok());
+  ASSERT_EQ(unpinned.failures.size(), 1u);
+  EXPECT_TRUE(unpinned.dangling_pins.empty());
+
+  AgreementPin pin;
+  pin.bench = "test";
+  pin.label = "race";
+  pin.predicted = "repartition";
+  pin.measured = "fragment_replicate";
+  pin.reason = "synthetic disagreement for the test";
+  const AgreementCheck pinned = CheckAgreement({bad}, {pin});
+  EXPECT_TRUE(pinned.Ok()) << (pinned.failures.empty()
+                                   ? "dangling pin"
+                                   : pinned.failures.front());
+}
+
+TEST(AgreementGateTest, DanglingPinsFail) {
+  const AgreementRecord good = TwoWayRace(100.0, 400.0, 90.0, 380.0);
+  AgreementPin stale;
+  stale.bench = "test";
+  stale.label = "no_such_race";
+  stale.reason = "excuse that matches nothing";
+  const AgreementCheck check = CheckAgreement({good}, {stale});
+  EXPECT_FALSE(check.Ok());
+  EXPECT_TRUE(check.failures.empty());
+  ASSERT_EQ(check.dangling_pins.size(), 1u);
+}
+
+TEST(AgreementGateTest, PinsJsonRejectsMissingReasonAndWrongSchema) {
+  AgreementPin pin;
+  pin.bench = "join_strategies";
+  pin.reason = "documented model gap";
+  const obs::JsonValue doc = PinsToJson({pin});
+  const auto parsed = PinsFromJson(doc);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->front().bench, "join_strategies");
+  EXPECT_EQ(parsed->front().reason, "documented model gap");
+
+  // A pin without a reason is not an excuse — reject the whole file.
+  obs::JsonValue no_reason = obs::JsonValue::Parse(
+      R"({"schema":"lamp.plan_pins.v1","pins":[{"bench":"x"}]})").value();
+  EXPECT_FALSE(PinsFromJson(no_reason).has_value());
+
+  obs::JsonValue wrong_schema = obs::JsonValue::Parse(
+      R"({"schema":"lamp.plan.v1","pins":[]})").value();
+  EXPECT_FALSE(PinsFromJson(wrong_schema).has_value());
+}
+
+}  // namespace
+}  // namespace lamp::sa::plan

@@ -14,6 +14,9 @@
 //   bench_runner --audit A.jsonl --audit-hard-fail
 //                                                exit 4 on any unexpected
 //                                                load-bound violation
+//   bench_runner --plan PLAN.jsonl               collect the benches'
+//                                                lamp.plan_agreement.v1
+//                                                records (sa/plan)
 //
 // Every record is stamped with run provenance (git rev, ISO date, host,
 // repeat index) so BENCH_report.json is a self-describing point on the
@@ -39,6 +42,7 @@
 #include "obs/bench_report.h"
 #include "obs/json.h"
 #include "obs/perfdb.h"
+#include "sa/plan/agreement.h"
 
 namespace lamp {
 namespace {
@@ -52,6 +56,7 @@ struct Options {
   std::string compare;           // --compare: records file standing in for a run.
   std::string filter;            // Substring filter on manifest names.
   std::string audit;             // --audit: lamp.audit.v1 JSON-lines sink.
+  std::string plan;              // --plan: lamp.plan_agreement.v1 sink.
   std::vector<int> threads{1};   // --threads 1,4
   int repeat = 1;
   bool update_baseline = false;
@@ -74,6 +79,8 @@ void Usage() {
       "                    FILE and print a load-bound summary\n"
       "  --audit-hard-fail exit 4 when any record violates its bound\n"
       "                    without being marked expected (needs --audit)\n"
+      "  --plan FILE       collect the benches' planner-agreement records\n"
+      "                    into FILE (gate them with: lamp_plan check)\n"
       "  --baseline FILE   compare against a baseline; exit 1 on regression\n"
       "  --update          rewrite --baseline from this run and exit 0\n"
       "  --compare FILE    don't run benches; read records/report/baseline\n"
@@ -311,6 +318,7 @@ int RunSuite(const Options& opt, const obs::JsonValue& meta, obs::PerfDb* db) {
       opt.out + ".records.tmp";  // One shared append target, wiped first.
   std::remove(records_path.c_str());
   if (!opt.audit.empty()) std::remove(opt.audit.c_str());
+  if (!opt.plan.empty()) std::remove(opt.plan.c_str());
   const std::string meta_json = meta.Dump();
 
   std::size_t run = 0;
@@ -339,8 +347,13 @@ int RunSuite(const Options& opt, const obs::JsonValue& meta, obs::PerfDb* db) {
                 ? std::string()
                 : std::string(obs::audit::kAuditJsonEnvVar) + "=" +
                       Quoted(opt.audit) + " ";
+        const std::string plan_env =
+            opt.plan.empty()
+                ? std::string()
+                : std::string(sa::plan::kPlanJsonEnvVar) + "=" +
+                      Quoted(opt.plan) + " ";
         const std::string cmd =
-            audit_env + std::string(obs::kBenchJsonEnvVar) + "=" +
+            audit_env + plan_env + std::string(obs::kBenchJsonEnvVar) + "=" +
             Quoted(records_path) + " " + obs::kBenchMetaEnvVar + "=" +
             Quoted(meta_json) + " " + Quoted(bin) + transport_flag +
             " --threads " + std::to_string(t) + " --repeat " +
@@ -436,6 +449,47 @@ int SummarizeAudit(const Options& opt) {
   return 0;
 }
 
+/// Counts the lamp.plan_agreement.v1 records the benches appended to
+/// opt.plan and reports immediate disagreements. The committed-pin gate
+/// lives in `lamp_plan check`; the runner only surfaces the raw tally so
+/// a run that silently emitted nothing is visible right away.
+int SummarizePlan(const Options& opt) {
+  const std::optional<std::string> text = ReadFile(opt.plan);
+  if (!text.has_value() || text->empty()) {
+    std::fprintf(stderr,
+                 "bench_runner: benches emitted no planner-agreement"
+                 " records into %s\n",
+                 opt.plan.c_str());
+    return 2;
+  }
+  std::size_t total = 0, agreed = 0;
+  std::istringstream lines(*text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    const std::optional<obs::JsonValue> doc = obs::JsonValue::Parse(line);
+    if (!doc.has_value()) continue;
+    const std::optional<sa::plan::AgreementRecord> record =
+        sa::plan::AgreementRecord::FromJson(*doc);
+    if (!record.has_value()) continue;
+    ++total;
+    if (record->Agree()) ++agreed;
+  }
+  std::printf("plan: %zu agreement record(s) in %s — %zu agree, %zu"
+              " disagree (gate: lamp_plan check --pins bench/PLAN_pins.json"
+              " %s)\n",
+              total, opt.plan.c_str(), agreed, total - agreed,
+              opt.plan.c_str());
+  if (total == 0) {
+    std::fprintf(stderr,
+                 "bench_runner: %s holds no parseable planner-agreement"
+                 " records\n",
+                 opt.plan.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -492,6 +546,10 @@ int Main(int argc, char** argv) {
       const char* v = next("--audit");
       if (v == nullptr) return 2;
       opt.audit = v;
+    } else if (arg == "--plan") {
+      const char* v = next("--plan");
+      if (v == nullptr) return 2;
+      opt.plan = v;
     } else if (arg == "--audit-hard-fail") {
       opt.audit_hard_fail = true;
     } else if (arg == "--update") {
@@ -530,6 +588,28 @@ int Main(int argc, char** argv) {
                          " --compare\n");
     return 2;
   }
+  if (!opt.plan.empty() && !opt.compare.empty()) {
+    std::fprintf(stderr, "bench_runner: --plan needs a real run, not"
+                         " --compare\n");
+    return 2;
+  }
+
+  // Load the baseline before running anything, for the same reason the
+  // suite validates its binaries up front: an unreadable or malformed
+  // baseline used to surface only after the whole suite had run, wasting
+  // every measurement. --update rewrites the file, so only the compare
+  // path needs it readable.
+  std::optional<std::map<obs::PerfKey, obs::PerfSummary>> baseline;
+  if (!opt.baseline.empty() && !opt.update_baseline) {
+    baseline = LoadSummaries(opt.baseline);
+    if (!baseline.has_value()) {
+      std::fprintf(stderr,
+                   "bench_runner: cannot load baseline %s — nothing was run;"
+                   " fix the file or rebuild it with --update\n",
+                   opt.baseline.c_str());
+      return 2;
+    }
+  }
 
   const obs::JsonValue meta = RunMetadata(opt);
   obs::PerfDb db;
@@ -559,6 +639,10 @@ int Main(int argc, char** argv) {
     if (!opt.audit.empty()) {
       const int audit_status = SummarizeAudit(opt);
       if (audit_status != 0) return audit_status;
+    }
+    if (!opt.plan.empty()) {
+      const int plan_status = SummarizePlan(opt);
+      if (plan_status != 0) return plan_status;
     }
   }
 
@@ -594,11 +678,23 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
-  const auto baseline = LoadSummaries(opt.baseline);
-  if (!baseline.has_value()) return 2;
   const obs::DiffReport diff =
       obs::DiffSummaries(*baseline, current, opt.thresholds);
   std::printf("\n%s", diff.RenderConsole().c_str());
+  // Keys the baseline pins but this run never produced are a silent way
+  // to lose gate coverage (a renamed bench, a dropped transport, a
+  // narrowed --threads list): name every one of them explicitly.
+  if (diff.num_missing > 0) {
+    std::fprintf(stderr,
+                 "bench_runner: %zu baseline key(s) missing from this run"
+                 " (renamed bench, dropped params, or a narrower --filter/"
+                 "--threads selection? rebuild with --update if intended):\n",
+                 diff.num_missing);
+    for (const obs::DiffEntry& e : diff.entries) {
+      if (e.status != obs::DiffStatus::kMissing) continue;
+      std::fprintf(stderr, "  missing: %s\n", e.key.Label().c_str());
+    }
+  }
   if (!opt.markdown.empty() &&
       !WriteFile(opt.markdown, diff.RenderMarkdown())) {
     std::fprintf(stderr, "bench_runner: cannot write %s\n",

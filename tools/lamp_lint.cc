@@ -11,6 +11,10 @@
 //   --no-subsumption   skip the containment-based subsumed-rule pass
 //   --output NAME      declare an output relation for the dead-rule pass
 //                      (repeatable; merged with # @output pragmas)
+//   --catalog FILE     lamp.catalog.v1 statistics JSON; enables the
+//                      no-statistics pass (extensional body atoms whose
+//                      cardinality the catalog lacks)
+//   --werror           treat warnings as strict violations too
 //
 // File syntax is the repo's .dl convention: one rule per line, `#`/`%`
 // comments, plus `# @edb NAME/ARITY` and `# @output NAME` pragmas (see
@@ -20,6 +24,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,9 +40,39 @@ struct Cli {
   bool builtin = false;
   bool json = false;
   bool strict = false;
+  bool werror = false;
   AnalyzerOptions options;
   std::vector<std::string> files;
 };
+
+/// Extracts the relation names of a lamp.catalog.v1 document. Parsed
+/// minimally here (names only) — lamp_lint links lamp_sa, not the audit
+/// layer that owns the full Catalog type.
+bool LoadCatalogRelations(const std::string& path, AnalyzerOptions& options) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::optional<obs::JsonValue> doc =
+      obs::JsonValue::Parse(text.str());
+  if (!doc.has_value() || !doc->IsObject()) return false;
+  const obs::JsonValue* schema = doc->Find("schema");
+  if (schema == nullptr || !schema->IsString() ||
+      schema->AsString() != "lamp.catalog.v1") {
+    return false;
+  }
+  const obs::JsonValue* relations = doc->Find("relations");
+  if (relations == nullptr || !relations->IsArray()) return false;
+  for (std::size_t i = 0; i < relations->size(); ++i) {
+    const obs::JsonValue& entry = relations->at(i);
+    if (!entry.IsObject()) return false;
+    const obs::JsonValue* name = entry.Find("name");
+    if (name == nullptr || !name->IsString()) return false;
+    options.catalog_relations.push_back(name->AsString());
+  }
+  options.have_catalog = true;
+  return true;
+}
 
 std::string FileStem(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
@@ -82,7 +117,8 @@ int Run(const Cli& cli) {
 
   bool violations = false;
   for (const Result& r : results) {
-    bool clean = !r.analysis.HasErrors();
+    bool clean = !r.analysis.HasErrors() &&
+                 (!cli.werror || r.analysis.WarningCount() == 0);
     if (cli.builtin) {
       // Expected unstratifiability (e.g. win_move) is documented, not a
       // violation; CheckCatalogExpectations already filtered it.
@@ -128,8 +164,22 @@ int Main(int argc, char** argv) {
       cli.json = true;
     } else if (arg == "--strict") {
       cli.strict = true;
+    } else if (arg == "--werror") {
+      cli.werror = true;
     } else if (arg == "--no-subsumption") {
       cli.options.subsumption = false;
+    } else if (arg == "--catalog") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "lamp_lint: --catalog needs a file\n");
+        return 2;
+      }
+      if (!LoadCatalogRelations(argv[++i], cli.options)) {
+        std::fprintf(stderr,
+                     "lamp_lint: %s is not a readable lamp.catalog.v1 "
+                     "document\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--output") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "lamp_lint: --output needs a name\n");
@@ -138,8 +188,9 @@ int Main(int argc, char** argv) {
       cli.options.outputs.emplace_back(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: lamp_lint [--json] [--strict] [--no-subsumption] "
-          "[--output NAME]... (<program.dl>... | --builtin)\n");
+          "usage: lamp_lint [--json] [--strict] [--werror] "
+          "[--no-subsumption] [--catalog FILE] [--output NAME]... "
+          "(<program.dl>... | --builtin)\n");
       return 0;
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "lamp_lint: unknown option %s\n", argv[i]);

@@ -145,6 +145,32 @@ void RenderReport(const std::vector<AuditRecord>& records) {
               " violation(s), %zu hard violation(s), %zu without bound\n",
               records.size(), ok, expected, hard, unbounded);
 
+  // Planner slack: records stamped by a lamp.plan.v1 certificate carry
+  // the *predicted* max load and wire bytes next to the measured ones.
+  // ratio = measured/predicted — ~1 means the cost model is honest,
+  // >>1 means it missed something (skew it didn't see), <<1 means it is
+  // too pessimistic to rank strategies. "planned" is the strategy the
+  // certificate ranked first for the whole scenario, which may differ
+  // from the strategy this record measured (every lane of a race is
+  // stamped with the same verdict).
+  bool any_planned = false;
+  for (const AuditRecord& r : records) any_planned |= r.HasPrediction();
+  if (any_planned) {
+    std::printf("\n== planner slack (predicted vs measured) ==\n");
+    std::printf("  %-18s %-26s %-18s %5s %12s %10s %7s %12s %12s\n", "bench",
+                "label", "planned", "p", "pred.load", "meas.max", "ratio",
+                "pred.bytes", "wire bytes");
+    for (const AuditRecord& r : records) {
+      if (!r.HasPrediction()) continue;
+      std::printf("  %-18s %-26s %-18s %5zu %12.1f %10zu %7.2f %12.0f"
+                  " %12zu\n",
+                  r.bench.c_str(), r.label.c_str(),
+                  r.planned_strategy.c_str(), r.p, r.predicted_max_load,
+                  r.measured_max_load, r.PredictionRatio(),
+                  r.predicted_wire_bytes, r.wire_bytes);
+    }
+  }
+
   std::printf("\n== worst-round per-server load heatmaps ==\n");
   for (const AuditRecord& r : records) {
     if (r.per_server.empty()) continue;
